@@ -1,0 +1,45 @@
+# Development targets for the audiofp reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench fuzz study examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+	gofmt -l . && test -z "$$(gofmt -l .)"
+
+# Full suite, including the 2093-user fixture (~1-2 min).
+test:
+	$(GO) test ./...
+
+# Skips the rendering sweeps.
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzzing passes over the parsing/ingestion surfaces.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzStoreScan -fuzztime 20s ./internal/storage/
+	$(GO) test -run '^$$' -fuzz FuzzSubmitHandler -fuzztime 20s ./internal/collectserver/
+
+# Regenerate every table and figure at paper scale.
+study:
+	$(GO) run ./cmd/fpstudy
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/tracker
+	$(GO) run ./examples/additive
+	$(GO) run ./examples/collection
+	$(GO) run ./examples/mitigation
+
+clean:
+	rm -f collection-demo.ndjson fingerprints.ndjson
+	rm -rf internal/storage/testdata internal/collectserver/testdata

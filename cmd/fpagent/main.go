@@ -1,0 +1,124 @@
+// Command fpagent simulates a participant population: it samples devices,
+// runs all seven Web Audio fingerprinting vectors against each device's
+// simulated audio stack for the configured number of iterations, and
+// submits the fingerprints to a collection server over HTTP — the
+// counterpart of the study site's in-browser code, driven at scale.
+//
+// Usage (against a running fpserver):
+//
+//	fpagent -server http://localhost:8080 -users 100 -iterations 30
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sync"
+
+	"repro/internal/collectclient"
+	"repro/internal/collectserver"
+	"repro/internal/platform"
+	"repro/internal/population"
+	"repro/internal/study"
+	"repro/internal/vectors"
+)
+
+func main() {
+	var (
+		server     = flag.String("server", "http://localhost:8080", "collection server base URL")
+		users      = flag.Int("users", 50, "number of simulated participants")
+		iterations = flag.Int("iterations", 30, "fingerprinting iterations per vector")
+		seed       = flag.Int64("seed", 20220325, "population and jitter seed")
+		parallel   = flag.Int("parallel", 8, "concurrent participants")
+		followUp   = flag.Bool("followup", false, "use the §5 follow-up demographic mix")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "fpagent ", log.LstdFlags|log.Lmsgprefix)
+
+	cfg := population.Config{Seed: *seed, N: *users}
+	if *followUp {
+		cfg.Mix = population.FollowUpMix()
+		cfg.IDPrefix = "f"
+	}
+	devices := population.Sample(cfg)
+	jitter := platform.DefaultJitter()
+	cache := vectors.NewCache()
+	client := collectclient.New(*server)
+	ctx := context.Background()
+
+	if _, err := client.StudyInfo(ctx); err != nil {
+		logger.Fatalf("server unreachable: %v", err)
+	}
+
+	// Per-device jitter seeds, pre-derived for determinism.
+	seedRng := rand.New(rand.NewSource(*seed ^ 0x6a75747465726d6c))
+	seeds := make([]int64, len(devices))
+	for i := range seeds {
+		seeds[i] = seedRng.Int63()
+	}
+
+	sem := make(chan struct{}, max(1, *parallel))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	failures := 0
+
+	for i, d := range devices {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, d *platform.Device) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := runParticipant(ctx, client, cache, jitter, d, *iterations, seeds[i]); err != nil {
+				mu.Lock()
+				failures++
+				mu.Unlock()
+				logger.Printf("participant %s: %v", d.ID, err)
+			}
+		}(i, d)
+	}
+	wg.Wait()
+	if failures > 0 {
+		logger.Fatalf("%d of %d participants failed", failures, len(devices))
+	}
+	logger.Printf("submitted %d participants × %d iterations × %d vectors",
+		len(devices), *iterations, len(vectors.All))
+}
+
+// runParticipant performs one device's full study visit: consent, render,
+// submit in batches.
+func runParticipant(ctx context.Context, client *collectclient.Client, cache *vectors.Cache,
+	jitter *platform.JitterModel, d *platform.Device, iterations int, seed int64) error {
+
+	sess, err := client.StartSession(ctx, d.ID, d.UserAgent())
+	if err != nil {
+		return err
+	}
+	runner := vectors.NewRunner(d.AudioTraits(), d.SampleRate)
+	stack := d.AudioStackKey()
+	rng := rand.New(rand.NewSource(seed))
+
+	recs := make([]collectserver.FPRecord, 0, iterations*len(vectors.All))
+	for it := 0; it < iterations; it++ {
+		for _, v := range vectors.All {
+			off := jitter.Offset(rng, d.Load, v)
+			fp, err := cache.Run(stack, runner, v, off)
+			if err != nil {
+				return fmt.Errorf("render %v: %w", v, err)
+			}
+			rec := collectserver.FPRecord{Vector: v.String(), Iteration: it, Hash: fp.Hash, Sum: fp.Sum}
+			if it == 0 && v == vectors.DC {
+				rec.Surfaces = map[string]string{
+					study.SurfaceCanvas:   d.CanvasFingerprint(),
+					study.SurfaceFonts:    d.FontsFingerprint(),
+					study.SurfaceMathJS:   d.MathJSFingerprint(),
+					study.SurfacePlatform: d.Platform(),
+				}
+			}
+			recs = append(recs, rec)
+		}
+	}
+	return sess.SubmitChunked(ctx, recs, 128)
+}

@@ -1,0 +1,99 @@
+// Command fpanalyze re-runs the paper's analyses over a stored fingerprint
+// dataset (an fpserver export or an fpstudy -out file). Each table/figure
+// can be produced individually or all at once.
+//
+// Usage:
+//
+//	fpanalyze -data main.ndjson                  # everything derivable
+//	fpanalyze -data main.ndjson -exp table2      # one experiment
+//	fpanalyze -list                              # show experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+	"repro/internal/study"
+)
+
+func main() {
+	var (
+		dataPath = flag.String("data", "", "NDJSON dataset (fpserver export / fpstudy -out)")
+		exp      = flag.String("exp", "", "single experiment id to run (default: all)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "fpanalyze ", log.LstdFlags|log.Lmsgprefix)
+
+	if *list {
+		fmt.Println("main-study experiments:")
+		for _, id := range core.MainExperiments {
+			fmt.Println("  " + id)
+		}
+		fmt.Println("follow-up experiments (need a follow-up dataset):")
+		for _, id := range core.FollowUpExperiments {
+			fmt.Println("  " + id)
+		}
+		fmt.Println("extensions:")
+		for _, id := range []string{"ablation", "anonymity", "demographics"} {
+			fmt.Println("  " + id)
+		}
+		return
+	}
+	if *dataPath == "" {
+		logger.Fatal("-data is required (or -list)")
+	}
+
+	st, err := storage.Open(*dataPath, storage.Options{})
+	if err != nil {
+		logger.Fatalf("open dataset: %v", err)
+	}
+	recs, err := st.All()
+	closeErr := st.Close()
+	if err != nil {
+		logger.Fatalf("read dataset: %v", err)
+	}
+	if closeErr != nil {
+		logger.Fatalf("close dataset: %v", closeErr)
+	}
+	logger.Printf("loaded %d records", len(recs))
+
+	ds, err := study.FromRecords(recs)
+	if err != nil {
+		logger.Fatalf("reconstruct dataset: %v", err)
+	}
+	logger.Printf("dataset: %d users × %d iterations", len(ds.Users), ds.Iterations)
+
+	render := func(id string) error {
+		switch id {
+		case "ablation":
+			return core.WriteAblation(os.Stdout, ds, 3)
+		case "anonymity":
+			return core.WriteAnonymity(os.Stdout, ds)
+		case "demographics":
+			return core.WriteDemographics(os.Stdout, ds)
+		default:
+			return core.WriteExperiment(os.Stdout, ds, id)
+		}
+	}
+	if *exp != "" {
+		if err := render(*exp); err != nil {
+			logger.Fatalf("experiment %s: %v", *exp, err)
+		}
+		return
+	}
+	ids := append([]string{}, core.MainExperiments...)
+	ids = append(ids, core.FollowUpExperiments...)
+	ids = append(ids, "ablation", "anonymity", "demographics")
+	for _, id := range ids {
+		if err := render(id); err != nil {
+			logger.Printf("experiment %s skipped: %v", id, err)
+			continue
+		}
+		fmt.Println()
+	}
+}

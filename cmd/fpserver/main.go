@@ -1,0 +1,77 @@
+// Command fpserver runs the fingerprint-collection backend: the consent-
+// gated HTTP API participants submit Web Audio fingerprints to, persisting
+// them in an append-only NDJSON store.
+//
+// Usage:
+//
+//	fpserver -addr :8080 -store fingerprints.ndjson -admin-token secret
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/collectserver"
+	"repro/internal/storage"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		storePath  = flag.String("store", "fingerprints.ndjson", "NDJSON store path")
+		adminToken = flag.String("admin-token", "", "bearer token authorizing /api/v1/export (empty disables export)")
+		syncWrites = flag.Bool("sync", false, "fsync after every accepted batch")
+		maxBatch   = flag.Int("max-batch", 256, "max records per submission")
+		sessRate   = flag.Float64("session-rate", 600, "session creations per client IP per minute")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "fpserver ", log.LstdFlags|log.Lmsgprefix)
+
+	st, err := storage.Open(*storePath, storage.Options{SyncEveryAppend: *syncWrites})
+	if err != nil {
+		logger.Fatalf("open store: %v", err)
+	}
+	defer st.Close()
+	logger.Printf("store %s opened with %d existing records", st.Path(), st.Count())
+
+	srv, err := collectserver.New(collectserver.Config{
+		Store:             st,
+		AdminToken:        *adminToken,
+		MaxBatch:          *maxBatch,
+		Logger:            logger,
+		SessionRatePerMin: *sessRate,
+	})
+	if err != nil {
+		logger.Fatalf("configure server: %v", err)
+	}
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			logger.Printf("shutdown: %v", err)
+		}
+	}()
+
+	logger.Printf("listening on %s", *addr)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Fatalf("serve: %v", err)
+	}
+	logger.Printf("stopped; %d records stored", st.Count())
+}

@@ -1,0 +1,101 @@
+// Command fpstudy simulates the paper's two measurement campaigns end to
+// end — the 2093-user main study and the 528-user Math-JS follow-up — and
+// regenerates every table and figure of the evaluation. Optionally persists
+// the raw datasets as NDJSON for later re-analysis with fpanalyze.
+//
+// Usage:
+//
+//	fpstudy                          # full-scale run, all experiments
+//	fpstudy -users 500 -iterations 10 -out main.ndjson
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/population"
+	"repro/internal/storage"
+	"repro/internal/study"
+)
+
+func main() {
+	var (
+		users      = flag.Int("users", 2093, "main-study participants")
+		fuUsers    = flag.Int("followup-users", 528, "follow-up participants (0 skips the follow-up)")
+		iterations = flag.Int("iterations", 30, "iterations per vector")
+		seed       = flag.Int64("seed", core.MainStudySeed, "main-study seed")
+		fuSeed     = flag.Int64("followup-seed", core.FollowUpSeed, "follow-up seed")
+		out        = flag.String("out", "", "write the main dataset as NDJSON to this path")
+		fuOut      = flag.String("followup-out", "", "write the follow-up dataset as NDJSON to this path")
+		ablation   = flag.Bool("ablation", true, "render the graph-vs-naive collation ablation")
+		evolution  = flag.Int("evolution-users", 800, "users for the §6 era comparison (0 skips it)")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "fpstudy ", log.LstdFlags|log.Lmsgprefix)
+
+	start := time.Now()
+	logger.Printf("simulating main study: %d users × %d iterations × 7 vectors", *users, *iterations)
+	main, err := study.Run(study.Config{Seed: *seed, Users: *users, Iterations: *iterations})
+	if err != nil {
+		logger.Fatalf("main study: %v", err)
+	}
+	logger.Printf("main study complete in %s", time.Since(start).Round(time.Millisecond))
+
+	var followUp *study.Dataset
+	if *fuUsers > 0 {
+		followUp, err = study.Run(study.Config{
+			Seed: *fuSeed, Users: *fuUsers, Iterations: *iterations,
+			Mix: population.FollowUpMix(), IDPrefix: "f",
+		})
+		if err != nil {
+			logger.Fatalf("follow-up study: %v", err)
+		}
+	}
+
+	for path, ds := range map[string]*study.Dataset{*out: main, *fuOut: followUp} {
+		if path == "" || ds == nil {
+			continue
+		}
+		if err := writeDataset(path, ds); err != nil {
+			logger.Fatalf("write %s: %v", path, err)
+		}
+		logger.Printf("dataset written to %s", path)
+	}
+
+	if err := core.WriteDemographics(os.Stdout, main); err != nil {
+		logger.Fatalf("render demographics: %v", err)
+	}
+	fmt.Println()
+	if err := core.WriteAllExperiments(os.Stdout, main, followUp); err != nil {
+		logger.Fatalf("render experiments: %v", err)
+	}
+	if *ablation {
+		if err := core.WriteAblation(os.Stdout, main, 3); err != nil {
+			logger.Fatalf("render ablation: %v", err)
+		}
+		fmt.Println()
+	}
+	if err := core.WriteAnonymity(os.Stdout, main); err != nil {
+		logger.Fatalf("render anonymity: %v", err)
+	}
+	fmt.Println()
+	if *evolution > 0 {
+		if err := core.WriteEvolution(os.Stdout, *seed, *evolution, min(*iterations, 10)); err != nil {
+			logger.Fatalf("render evolution: %v", err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "total runtime: %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+func writeDataset(path string, ds *study.Dataset) error {
+	st, err := storage.Open(path, storage.Options{})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	return st.Append(ds.ToRecords(time.Now().UTC())...)
+}

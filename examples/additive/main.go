@@ -1,0 +1,44 @@
+// Additive-value demo (paper §4): how much identification power does Web
+// Audio fingerprinting add on top of Canvas or User-Agent fingerprinting?
+//
+//	go run ./examples/additive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/diversity"
+	"repro/internal/study"
+)
+
+func main() {
+	// A mid-sized simulated study (scale up -users for paper-scale numbers).
+	ds, err := core.RunStudy(study.Config{Seed: core.MainStudySeed, Users: 600, Iterations: 12})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("population: %d users\n\n", len(ds.Users))
+	audio := diversity.Summarize(ds.CombinedLabels())
+	fmt.Printf("combined audio fingerprint alone: %d distinct, %.3f bits (e_norm %.3f)\n\n",
+		audio.Distinct, audio.EntropyBits, audio.Normalized)
+
+	for _, base := range []struct {
+		name   string
+		values []string
+	}{
+		{"Canvas", ds.Canvas},
+		{"User-Agent", ds.UA},
+		{"Fonts", ds.Fonts},
+	} {
+		r := ds.AdditiveValue(base.name, base.values)
+		fmt.Printf("%-11s alone: %.3f bits → with audio: %.3f bits  (e_norm +%.1f%%)\n",
+			base.name, r.Base.EntropyBits, r.WithAudio.EntropyBits, 100*r.NormIncrease)
+	}
+
+	fmt.Println("\nThe paper's headline: audio is weak alone (95 distinct values in 2093")
+	fmt.Println("users) yet adds ~9.6% normalized entropy to Canvas fingerprinting —")
+	fmt.Println("and the same additive structure appears in this simulation.")
+}

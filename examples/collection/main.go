@@ -1,0 +1,102 @@
+// Collection demo: the full backend loop in one process — start the
+// collection server, run simulated participants against it over real HTTP,
+// export the dataset, and analyze it.
+//
+//	go run ./examples/collection
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+
+	"repro/internal/collectclient"
+	"repro/internal/collectserver"
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/population"
+	"repro/internal/storage"
+	"repro/internal/study"
+	"repro/internal/vectors"
+)
+
+func main() {
+	dir, err := filepath.Abs(".")
+	if err != nil {
+		log.Fatal(err)
+	}
+	storePath := filepath.Join(dir, "collection-demo.ndjson")
+
+	st, err := storage.Open(storePath, storage.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+
+	srv, err := collectserver.New(collectserver.Config{Store: st, AdminToken: "demo"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	fmt.Printf("collection server listening at %s\n", ts.URL)
+
+	// Simulated participants visit and submit over HTTP.
+	devices := population.Sample(population.Config{Seed: 11, N: 25})
+	jitter := platform.DefaultJitter()
+	cache := vectors.NewCache()
+	client := collectclient.New(ts.URL)
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(2))
+
+	const iterations = 5
+	for _, d := range devices {
+		sess, err := client.StartSession(ctx, d.ID, d.UserAgent())
+		if err != nil {
+			log.Fatal(err)
+		}
+		runner := vectors.NewRunner(d.AudioTraits(), d.SampleRate)
+		var recs []collectserver.FPRecord
+		for it := 0; it < iterations; it++ {
+			for _, v := range vectors.All {
+				fp, err := cache.Run(d.AudioStackKey(), runner, v, jitter.Offset(rng, d.Load, v))
+				if err != nil {
+					log.Fatal(err)
+				}
+				rec := collectserver.FPRecord{Vector: v.String(), Iteration: it, Hash: fp.Hash}
+				if it == 0 && v == vectors.DC {
+					rec.Surfaces = map[string]string{
+						study.SurfaceCanvas:   d.CanvasFingerprint(),
+						study.SurfaceFonts:    d.FontsFingerprint(),
+						study.SurfaceMathJS:   d.MathJSFingerprint(),
+						study.SurfacePlatform: d.Platform(),
+					}
+				}
+				recs = append(recs, rec)
+			}
+		}
+		if err := sess.SubmitChunked(ctx, recs, 100); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("collected %d records from %d participants → %s\n",
+		st.Count(), len(devices), storePath)
+
+	// Re-analyze the collected data exactly as fpanalyze would.
+	recs, err := st.All()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := study.FromRecords(recs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	if err := core.WriteExperiment(os.Stdout, ds, core.ExpTable2); err != nil {
+		log.Fatal(err)
+	}
+}

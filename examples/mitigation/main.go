@@ -1,0 +1,61 @@
+// Mitigation demo (paper §4): Brave-style fingerprint randomization
+// ("farbling") applied to the Web Audio read surfaces, and its effect on
+// the paper's attack measured with the paper's own methodology.
+//
+//	go run ./examples/mitigation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/defense"
+	"repro/internal/vectors"
+	"repro/internal/webaudio"
+)
+
+func main() {
+	base := webaudio.DefaultTraits()
+
+	// One machine, two browsing sessions, no defense: the DC fingerprint is
+	// bit-identical — a perfect tracking cookie.
+	plain := func() string {
+		fp, err := vectors.NewRunner(base, 0).Run(vectors.DC, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return fp.Hash
+	}
+	fmt.Println("undefended DC fingerprint, session 1:", plain()[:16], "…")
+	fmt.Println("undefended DC fingerprint, session 2:", plain()[:16], "…")
+
+	// With session-keyed farbling the two sessions stop matching, while
+	// repeated reads inside one session still agree (sites keep working).
+	session := func(seed uint64) string {
+		tr := defense.Protect(base, defense.SessionKeyed, seed)
+		fp, err := vectors.NewRunner(tr, 0).Run(vectors.DC, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return fp.Hash
+	}
+	fmt.Println("\ndefended, session A (read 1):        ", session(1001)[:16], "…")
+	fmt.Println("defended, session A (read 2):        ", session(1001)[:16], "…")
+	fmt.Println("defended, session B:                 ", session(1002)[:16], "…")
+
+	// Population-scale evaluation with the paper's methodology.
+	fmt.Println("\npopulation-scale evaluation (Hybrid vector, 80 users, 2 sessions):")
+	for _, mode := range []struct {
+		name string
+		m    defense.Mode
+	}{{"off", defense.Off}, {"session-keyed farbling", defense.SessionKeyed}} {
+		ev, err := defense.Evaluate(mode.m, vectors.Hybrid, 80, 99)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-22s %s\n", mode.name+":", ev)
+	}
+	fmt.Println("\nWith the defense on, cross-session tracking drops to zero and every")
+	fmt.Println("first-session fingerprint is unique — collisions (the anonymity the")
+	fmt.Println("paper measures) are gone, but so is linkability.")
+}

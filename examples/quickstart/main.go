@@ -1,0 +1,70 @@
+// Quickstart: fingerprint two simulated browsers with all seven Web Audio
+// vectors and see which ones tell them apart.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/mathx"
+	"repro/internal/vectors"
+	"repro/internal/webaudio"
+)
+
+func main() {
+	// Machine A: a mainstream desktop stack (libm math, Blink-like).
+	machineA := core.NewFingerprinter(webaudio.DefaultTraits(), 48000)
+
+	// Machine B: identical except its audio stack computes sine through a
+	// lookup table — the kind of difference a phone SoC's DSP library has.
+	traitsB := webaudio.DefaultTraits()
+	traitsB.Kernel = mathx.Lut1024
+	machineB := core.NewFingerprinter(traitsB, 48000)
+
+	fpsA, err := machineA.FingerprintAll(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fpsB, err := machineB.FingerprintAll(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("vector           machine A        machine B        distinguishes?")
+	for i, v := range vectors.All {
+		same := "YES"
+		if fpsA[i].Hash == fpsB[i].Hash {
+			same = "no"
+		}
+		fmt.Printf("%-16s %s… %s… %s\n", v, fpsA[i].Hash[:12], fpsB[i].Hash[:12], same)
+	}
+
+	// The same machine fingerprinted twice is indistinguishable from itself
+	// (when idle — capture offset 0):
+	again, err := machineA.FingerprintAll(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stable := true
+	for i := range again {
+		if again[i].Hash != fpsA[i].Hash {
+			stable = false
+		}
+	}
+	fmt.Printf("\nmachine A re-fingerprinted identically: %t\n", stable)
+
+	// Under load, the live-context vectors drift (the paper's fickleness) —
+	// but the offline DC vector never does:
+	loaded, err := machineA.FingerprintAll(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nunder load (capture offset 3):")
+	for i, v := range vectors.All {
+		changed := loaded[i].Hash != fpsA[i].Hash
+		fmt.Printf("%-16s changed=%t\n", v, changed)
+	}
+}

@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVIIdenticalIsZero(t *testing.T) {
+	x := []int{0, 0, 1, 1, 2}
+	v, err := VI(x, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Errorf("VI(x,x) = %g, want 0", v)
+	}
+}
+
+// TestVIIsAMetric: symmetry and triangle inequality over random triples.
+func TestVIIsAMetric(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 30
+		mk := func() []int {
+			l := make([]int, n)
+			for i := range l {
+				l[i] = rng.Intn(5)
+			}
+			return l
+		}
+		a, b, c := mk(), mk(), mk()
+		ab, _ := VI(a, b)
+		ba, _ := VI(b, a)
+		bc, _ := VI(b, c)
+		ac, _ := VI(a, c)
+		if math.Abs(ab-ba) > 1e-12 {
+			return false
+		}
+		return ac <= ab+bc+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNVIBounds(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(50)
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := range a {
+			a[i] = rng.Intn(6)
+			b[i] = rng.Intn(6)
+		}
+		v, err := NVI(a, b)
+		if err != nil {
+			return false
+		}
+		return v >= 0 && v <= 1+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFowlkesMallows(t *testing.T) {
+	// Identical partitions → 1.
+	x := []int{0, 0, 1, 1, 2, 2}
+	if v, _ := FowlkesMallows(x, x); math.Abs(v-1) > 1e-12 {
+		t.Errorf("FM(x,x) = %g", v)
+	}
+	// Label renaming invariant.
+	y := []int{5, 5, 9, 9, 7, 7}
+	if v, _ := FowlkesMallows(x, y); math.Abs(v-1) > 1e-12 {
+		t.Errorf("FM under renaming = %g", v)
+	}
+	// All singletons vs all singletons → 1 by convention.
+	if v, _ := FowlkesMallows([]int{0, 1, 2}, []int{5, 6, 7}); v != 1 {
+		t.Errorf("FM(singletons, singletons) = %g", v)
+	}
+	// All singletons vs one blob → 0.
+	if v, _ := FowlkesMallows([]int{0, 1, 2}, []int{0, 0, 0}); v != 0 {
+		t.Errorf("FM(singletons, blob) = %g", v)
+	}
+	// Known value: x=[0,0,1,1], y=[0,1,0,1]: tp=0 → 0.
+	if v, _ := FowlkesMallows([]int{0, 0, 1, 1}, []int{0, 1, 0, 1}); v != 0 {
+		t.Errorf("FM anti-correlated = %g", v)
+	}
+}
+
+func TestHomogeneityCompleteness(t *testing.T) {
+	// Clusters refine classes: homogeneous (h=1) but incomplete (c<1).
+	classes := []int{0, 0, 0, 0, 1, 1, 1, 1}
+	clusters := []int{0, 0, 1, 1, 2, 2, 3, 3}
+	h, c, v, err := HomogeneityCompleteness(classes, clusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h-1) > 1e-12 {
+		t.Errorf("refinement homogeneity = %g, want 1", h)
+	}
+	if c >= 1 {
+		t.Errorf("refinement completeness = %g, want < 1", c)
+	}
+	if v <= 0 || v >= 1 {
+		t.Errorf("v-measure = %g, want in (0,1)", v)
+	}
+
+	// Swap roles: clusters merge classes → complete but not homogeneous.
+	h2, c2, _, err := HomogeneityCompleteness(clusters, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c2-1) > 1e-12 {
+		t.Errorf("coarsening completeness = %g, want 1", c2)
+	}
+	if h2 >= 1 {
+		t.Errorf("coarsening homogeneity = %g, want < 1", h2)
+	}
+
+	// Identical partitions: h = c = v = 1.
+	h3, c3, v3, _ := HomogeneityCompleteness(classes, classes)
+	if h3 != 1 || c3 != 1 || v3 != 1 {
+		t.Errorf("identical partitions: h=%g c=%g v=%g", h3, c3, v3)
+	}
+}
+
+// TestMetricsAgreeOnOrdering: on a fixed base partition, every metric must
+// rank a refinement as closer than a random shuffle.
+func TestMetricsAgreeOnOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	base := make([]int, 120)
+	refined := make([]int, 120)
+	random := make([]int, 120)
+	for i := range base {
+		base[i] = i / 30
+		refined[i] = i / 15
+		random[i] = rng.Intn(8)
+	}
+	type metric struct {
+		name   string
+		higher bool // true when larger = more similar
+		f      func(a, b []int) (float64, error)
+	}
+	metrics := []metric{
+		{"AMI", true, AMI},
+		{"NMI", true, NMI},
+		{"ARI", true, ARI},
+		{"FM", true, FowlkesMallows},
+		{"VI", false, VI},
+	}
+	for _, m := range metrics {
+		near, err := m.f(base, refined)
+		if err != nil {
+			t.Fatal(err)
+		}
+		far, err := m.f(base, random)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok := near > far
+		if !m.higher {
+			ok = near < far
+		}
+		if !ok {
+			t.Errorf("%s: refinement %.4f vs random %.4f ranked wrong", m.name, near, far)
+		}
+	}
+}

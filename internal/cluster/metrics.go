@@ -1,0 +1,232 @@
+// Package cluster implements clustering-comparison metrics: mutual
+// information, the Adjusted Mutual Information of Vinh, Epps & Bailey (ICML
+// 2009) — the agreement score the paper uses throughout §3.3 and Fig. 9,
+// chosen for its behaviour on imbalanced, small-cluster partitions — plus
+// normalized MI and the Adjusted Rand Index for cross-checks.
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// Contingency is the joint count table of two clusterings over the same
+// items. Labels are arbitrary ints; only equality matters.
+type Contingency struct {
+	n     int     // number of items
+	rows  []int   // marginal counts of clustering U
+	cols  []int   // marginal counts of clustering V
+	cells [][]int // cells[i][j] = |U_i ∩ V_j|
+}
+
+// NewContingency builds the table for label vectors x and y, which must
+// have equal, non-zero length.
+func NewContingency(x, y []int) (*Contingency, error) {
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("cluster: label lengths differ (%d vs %d)", len(x), len(y))
+	}
+	if len(x) == 0 {
+		return nil, fmt.Errorf("cluster: empty clusterings")
+	}
+	xi := indexLabels(x)
+	yi := indexLabels(y)
+	c := &Contingency{
+		n:    len(x),
+		rows: make([]int, len(xi)),
+		cols: make([]int, len(yi)),
+	}
+	c.cells = make([][]int, len(xi))
+	for i := range c.cells {
+		c.cells[i] = make([]int, len(yi))
+	}
+	for k := range x {
+		i, j := xi[x[k]], yi[y[k]]
+		c.cells[i][j]++
+		c.rows[i]++
+		c.cols[j]++
+	}
+	return c, nil
+}
+
+func indexLabels(labels []int) map[int]int {
+	idx := make(map[int]int)
+	for _, l := range labels {
+		if _, ok := idx[l]; !ok {
+			idx[l] = len(idx)
+		}
+	}
+	return idx
+}
+
+// MI returns the mutual information between the two clusterings, in nats.
+func (c *Contingency) MI() float64 {
+	n := float64(c.n)
+	var mi float64
+	for i, row := range c.cells {
+		for j, nij := range row {
+			if nij == 0 {
+				continue
+			}
+			pij := float64(nij) / n
+			mi += pij * math.Log(n*float64(nij)/(float64(c.rows[i])*float64(c.cols[j])))
+		}
+	}
+	if mi < 0 { // guard against -0 from rounding
+		mi = 0
+	}
+	return mi
+}
+
+// EntropyU returns the Shannon entropy (nats) of clustering U's marginal.
+func (c *Contingency) EntropyU() float64 { return marginalEntropy(c.rows, c.n) }
+
+// EntropyV returns the Shannon entropy (nats) of clustering V's marginal.
+func (c *Contingency) EntropyV() float64 { return marginalEntropy(c.cols, c.n) }
+
+func marginalEntropy(counts []int, n int) float64 {
+	var h float64
+	fn := float64(n)
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / fn
+		h -= p * math.Log(p)
+	}
+	if h < 0 {
+		h = 0
+	}
+	return h
+}
+
+// ExpectedMI returns E[MI] under the permutation (hypergeometric) model of
+// Vinh et al., in nats. Complexity is O(R·C·n̄) over the contingency shape.
+func (c *Contingency) ExpectedMI() float64 {
+	n := c.n
+	lgam := makeLogFactorials(n + 1)
+	logN := lgam[n]
+	fn := float64(n)
+	var emi float64
+	for _, ai := range c.rows {
+		for _, bj := range c.cols {
+			lo := ai + bj - n
+			if lo < 1 {
+				lo = 1
+			}
+			hi := ai
+			if bj < hi {
+				hi = bj
+			}
+			for nij := lo; nij <= hi; nij++ {
+				// term = nij/n · log(n·nij / (ai·bj)) · P(nij | ai, bj, n)
+				logP := lgam[ai] + lgam[bj] + lgam[n-ai] + lgam[n-bj] -
+					logN - lgam[nij] - lgam[ai-nij] - lgam[bj-nij] - lgam[n-ai-bj+nij]
+				info := math.Log(fn*float64(nij)/(float64(ai)*float64(bj))) * float64(nij) / fn
+				emi += info * math.Exp(logP)
+			}
+		}
+	}
+	return emi
+}
+
+// makeLogFactorials returns lgam[k] = ln k! for k in [0, n].
+func makeLogFactorials(n int) []float64 {
+	lg := make([]float64, n+1)
+	for k := 2; k <= n; k++ {
+		lg[k] = lg[k-1] + math.Log(float64(k))
+	}
+	return lg
+}
+
+// AMI returns the Adjusted Mutual Information of label vectors x and y with
+// the arithmetic-mean normalizer:
+//
+//	AMI = (MI − E[MI]) / (½(H(U)+H(V)) − E[MI])
+//
+// Two identical trivial clusterings (a single cluster each, or every item a
+// singleton in both) score 1 by convention.
+func AMI(x, y []int) (float64, error) {
+	c, err := NewContingency(x, y)
+	if err != nil {
+		return 0, err
+	}
+	ru, rv := len(c.rows), len(c.cols)
+	if (ru == 1 && rv == 1) || (ru == c.n && rv == c.n) {
+		return 1, nil
+	}
+	mi := c.MI()
+	emi := c.ExpectedMI()
+	h := (c.EntropyU() + c.EntropyV()) / 2
+	den := h - emi
+	const eps = 2.220446049250313e-16
+	if math.Abs(den) < eps {
+		den = math.Copysign(eps, den)
+	}
+	return (mi - emi) / den, nil
+}
+
+// NMI returns the arithmetic-mean Normalized Mutual Information.
+func NMI(x, y []int) (float64, error) {
+	c, err := NewContingency(x, y)
+	if err != nil {
+		return 0, err
+	}
+	hu, hv := c.EntropyU(), c.EntropyV()
+	if hu == 0 && hv == 0 {
+		return 1, nil
+	}
+	den := (hu + hv) / 2
+	if den == 0 {
+		return 0, nil
+	}
+	return c.MI() / den, nil
+}
+
+// ARI returns the Adjusted Rand Index of x and y.
+func ARI(x, y []int) (float64, error) {
+	c, err := NewContingency(x, y)
+	if err != nil {
+		return 0, err
+	}
+	choose2 := func(k int) float64 { return float64(k) * float64(k-1) / 2 }
+	var sumCells, sumRows, sumCols float64
+	for i, row := range c.cells {
+		for _, nij := range row {
+			sumCells += choose2(nij)
+		}
+		sumRows += choose2(c.rows[i])
+	}
+	for _, bj := range c.cols {
+		sumCols += choose2(bj)
+	}
+	total := choose2(c.n)
+	expected := sumRows * sumCols / total
+	maxIdx := (sumRows + sumCols) / 2
+	if maxIdx == expected {
+		return 1, nil // both partitions trivial in the same way
+	}
+	return (sumCells - expected) / (maxIdx - expected), nil
+}
+
+// PairwiseAMI computes the AMI between every pair in a set of label vectors
+// (all over the same items), returning a symmetric matrix with unit
+// diagonal — the structure behind the paper's Fig. 9 heatmap.
+func PairwiseAMI(labelings [][]int) ([][]float64, error) {
+	k := len(labelings)
+	out := make([][]float64, k)
+	for i := range out {
+		out[i] = make([]float64, k)
+		out[i][i] = 1
+	}
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			v, err := AMI(labelings[i], labelings[j])
+			if err != nil {
+				return nil, err
+			}
+			out[i][j] = v
+			out[j][i] = v
+		}
+	}
+	return out, nil
+}

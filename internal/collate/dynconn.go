@@ -1,0 +1,250 @@
+package collate
+
+import "fmt"
+
+// Dynamic is a fully-dynamic connectivity structure after Holm, de
+// Lichtenberg & Thorup (J. ACM 2001) — the algorithm the paper's §3.2 cites
+// for fingerprinters that must *retire* observations (user deletions, data
+// retention limits) as well as add them: edge insertion and deletion in
+// O(log² n) amortized, connectivity queries in O(log n).
+//
+// Structure: every edge has a level ℓ ∈ [0, log₂ n]. Forest F_i spans the
+// graph restricted to edges of level ≥ i; F_0 is the spanning forest.
+// Deleting a tree edge of level ℓ searches levels ℓ…0 for a replacement
+// among same-level non-tree edges incident to the smaller side, promoting
+// inspected edges one level up to pay for future searches.
+type Dynamic struct {
+	n       int
+	forests []*ettForest
+	// adj[i][v] = set of non-tree level-i edges incident to v.
+	adj   []map[int]map[int]struct{}
+	edges map[arcKey]*edgeInfo
+	comps int
+}
+
+type edgeInfo struct {
+	level int
+	tree  bool
+}
+
+// NewDynamic creates a structure over n initial vertices (0 … n−1).
+func NewDynamic(n int) *Dynamic {
+	d := &Dynamic{n: n, edges: make(map[arcKey]*edgeInfo), comps: n}
+	d.addLevel()
+	d.forests[0].ensureVertex(n - 1)
+	return d
+}
+
+func (d *Dynamic) addLevel() {
+	f := newETTForest()
+	if d.n > 0 {
+		f.ensureVertex(d.n - 1)
+	}
+	d.forests = append(d.forests, f)
+	d.adj = append(d.adj, make(map[int]map[int]struct{}))
+}
+
+// AddVertex appends an isolated vertex and returns its id.
+func (d *Dynamic) AddVertex() int {
+	id := d.n
+	d.n++
+	for _, f := range d.forests {
+		f.ensureVertex(id)
+	}
+	d.comps++
+	return id
+}
+
+// NumVertices returns the vertex count.
+func (d *Dynamic) NumVertices() int { return d.n }
+
+// Components returns the number of connected components.
+func (d *Dynamic) Components() int { return d.comps }
+
+// Connected reports whether u and v are in one component.
+func (d *Dynamic) Connected(u, v int) bool {
+	d.check(u)
+	d.check(v)
+	if u == v {
+		return true
+	}
+	return d.forests[0].connected(u, v)
+}
+
+// ComponentSize returns the number of vertices in v's component.
+func (d *Dynamic) ComponentSize(v int) int {
+	d.check(v)
+	return d.forests[0].treeSize(v)
+}
+
+// ComponentID returns a canonical identifier of v's component, stable until
+// the next update.
+func (d *Dynamic) ComponentID(v int) int {
+	d.check(v)
+	r := rootOf(d.forests[0].loops[v])
+	// The root's smallest endpoint is not canonical; use the tour's first
+	// node's vertex after normalization: walk to leftmost node.
+	for r.left != nil {
+		r = r.left
+	}
+	return r.u
+}
+
+func (d *Dynamic) check(v int) {
+	if v < 0 || v >= d.n {
+		panic(fmt.Sprintf("collate: vertex %d out of range [0,%d)", v, d.n))
+	}
+}
+
+func key(u, v int) arcKey {
+	if u > v {
+		u, v = v, u
+	}
+	return arcKey{u, v}
+}
+
+// HasEdge reports whether edge (u, v) is present.
+func (d *Dynamic) HasEdge(u, v int) bool {
+	_, ok := d.edges[key(u, v)]
+	return ok
+}
+
+// AddEdge inserts edge (u, v). Inserting an existing edge or a self-loop is
+// a no-op. It reports whether the edge joined two components.
+func (d *Dynamic) AddEdge(u, v int) bool {
+	d.check(u)
+	d.check(v)
+	if u == v || d.HasEdge(u, v) {
+		return false
+	}
+	k := key(u, v)
+	if !d.forests[0].connected(u, v) {
+		d.edges[k] = &edgeInfo{level: 0, tree: true}
+		d.forests[0].link(u, v, true)
+		d.comps--
+		return true
+	}
+	d.edges[k] = &edgeInfo{level: 0, tree: false}
+	d.addNonTree(0, u, v)
+	return false
+}
+
+// addNonTree registers (u, v) as a level-i non-tree edge.
+func (d *Dynamic) addNonTree(i, u, v int) {
+	for _, x := range [2]int{u, v} {
+		m := d.adj[i][x]
+		if m == nil {
+			m = make(map[int]struct{})
+			d.adj[i][x] = m
+		}
+	}
+	d.adj[i][u][v] = struct{}{}
+	d.adj[i][v][u] = struct{}{}
+	d.forests[i].setAdjFlag(u, true)
+	d.forests[i].setAdjFlag(v, true)
+}
+
+// removeNonTree unregisters (u, v) at level i, clearing flags when empty.
+func (d *Dynamic) removeNonTree(i, u, v int) {
+	delete(d.adj[i][u], v)
+	delete(d.adj[i][v], u)
+	if len(d.adj[i][u]) == 0 {
+		delete(d.adj[i], u)
+		d.forests[i].setAdjFlag(u, false)
+	}
+	if len(d.adj[i][v]) == 0 {
+		delete(d.adj[i], v)
+		d.forests[i].setAdjFlag(v, false)
+	}
+}
+
+// RemoveEdge deletes edge (u, v). Removing an absent edge is a no-op. It
+// reports whether the deletion split a component.
+func (d *Dynamic) RemoveEdge(u, v int) bool {
+	d.check(u)
+	d.check(v)
+	k := key(u, v)
+	info, ok := d.edges[k]
+	if !ok {
+		return false
+	}
+	delete(d.edges, k)
+	if !info.tree {
+		d.removeNonTree(info.level, u, v)
+		return false
+	}
+	// Tree edge: cut at every forest it participates in.
+	for i := 0; i <= info.level; i++ {
+		d.forests[i].cut(u, v)
+	}
+	// Search for a replacement from the edge's level downward.
+	for i := info.level; i >= 0; i-- {
+		if d.replace(i, u, v) {
+			return false
+		}
+	}
+	d.comps++
+	return true
+}
+
+// replace searches level i for a non-tree edge reconnecting the two sides
+// of the removed (u, v) tree edge, per HDT: promote the smaller side's
+// level-i tree edges, then scan its level-i non-tree edges, promoting those
+// that stay inside and reconnecting with the first that crosses.
+func (d *Dynamic) replace(i, u, v int) bool {
+	f := d.forests[i]
+	// Work on the smaller side to amortize.
+	su, sv := f.treeSize(u), f.treeSize(v)
+	small := u
+	if sv < su {
+		small = v
+	}
+	if i+1 >= len(d.forests) {
+		d.addLevel()
+	}
+
+	// Promote every level-i tree edge inside the small side to level i+1.
+	root := rootOf(f.loops[small])
+	for {
+		arc := findLevelEdge(root)
+		if arc == nil {
+			break
+		}
+		a, b := arc.u, arc.v
+		f.setLevelEdgeFlag(a, b, false)
+		d.edges[key(a, b)].level = i + 1
+		d.forests[i+1].link(a, b, true)
+		root = rootOf(f.loops[small])
+	}
+
+	// Scan level-i non-tree edges incident to the small side.
+	for {
+		root = rootOf(f.loops[small])
+		loop := findAdjVertex(root)
+		if loop == nil {
+			return false
+		}
+		x := loop.u
+		for y := range d.adj[i][x] {
+			if f.connected(x, y) {
+				// Internal edge: promote to level i+1.
+				d.removeNonTree(i, x, y)
+				d.addNonTree(i+1, x, y)
+				d.edges[key(x, y)].level = i + 1
+			} else {
+				// Crossing edge: the replacement. It becomes a tree edge of
+				// level i, present in forests 0..i with its flag at level i.
+				d.removeNonTree(i, x, y)
+				info := d.edges[key(x, y)]
+				info.tree = true
+				info.level = i
+				for j := 0; j < i; j++ {
+					d.forests[j].link(x, y, false)
+				}
+				d.forests[i].link(x, y, true)
+				return true
+			}
+			break // adj set mutated; re-fetch via flags
+		}
+	}
+}

@@ -1,0 +1,294 @@
+package collate
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveConn is the quadratic oracle: adjacency sets + BFS.
+type naiveConn struct {
+	n   int
+	adj map[int]map[int]bool
+}
+
+func newNaive(n int) *naiveConn {
+	return &naiveConn{n: n, adj: make(map[int]map[int]bool)}
+}
+
+func (c *naiveConn) add(u, v int) {
+	if c.adj[u] == nil {
+		c.adj[u] = map[int]bool{}
+	}
+	if c.adj[v] == nil {
+		c.adj[v] = map[int]bool{}
+	}
+	c.adj[u][v] = true
+	c.adj[v][u] = true
+}
+
+func (c *naiveConn) remove(u, v int) {
+	delete(c.adj[u], v)
+	delete(c.adj[v], u)
+}
+
+func (c *naiveConn) connected(u, v int) bool {
+	if u == v {
+		return true
+	}
+	seen := map[int]bool{u: true}
+	queue := []int{u}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for y := range c.adj[x] {
+			if y == v {
+				return true
+			}
+			if !seen[y] {
+				seen[y] = true
+				queue = append(queue, y)
+			}
+		}
+	}
+	return false
+}
+
+func (c *naiveConn) components() int {
+	seen := map[int]bool{}
+	comps := 0
+	for v := 0; v < c.n; v++ {
+		if seen[v] {
+			continue
+		}
+		comps++
+		queue := []int{v}
+		seen[v] = true
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			for y := range c.adj[x] {
+				if !seen[y] {
+					seen[y] = true
+					queue = append(queue, y)
+				}
+			}
+		}
+	}
+	return comps
+}
+
+func TestDynamicBasics(t *testing.T) {
+	d := NewDynamic(5)
+	if d.Components() != 5 || d.NumVertices() != 5 {
+		t.Fatalf("fresh: comps=%d n=%d", d.Components(), d.NumVertices())
+	}
+	if !d.AddEdge(0, 1) {
+		t.Error("first edge did not join")
+	}
+	if d.AddEdge(0, 1) {
+		t.Error("duplicate edge joined again")
+	}
+	if d.AddEdge(0, 0) {
+		t.Error("self-loop joined")
+	}
+	d.AddEdge(1, 2)
+	if !d.Connected(0, 2) || d.Connected(0, 3) {
+		t.Error("connectivity wrong after path 0-1-2")
+	}
+	if d.Components() != 3 {
+		t.Errorf("components = %d, want 3", d.Components())
+	}
+	if d.ComponentSize(1) != 3 || d.ComponentSize(4) != 1 {
+		t.Errorf("sizes = %d/%d", d.ComponentSize(1), d.ComponentSize(4))
+	}
+	if !d.HasEdge(1, 0) || d.HasEdge(2, 3) {
+		t.Error("HasEdge wrong")
+	}
+}
+
+func TestDynamicCutAndReplace(t *testing.T) {
+	// Cycle 0-1-2-3-0: cutting one edge must keep it connected via the
+	// replacement (non-tree) edge; cutting a second must split.
+	d := NewDynamic(4)
+	d.AddEdge(0, 1)
+	d.AddEdge(1, 2)
+	d.AddEdge(2, 3)
+	d.AddEdge(3, 0) // closes the cycle as a non-tree edge
+	if d.Components() != 1 {
+		t.Fatalf("cycle components = %d", d.Components())
+	}
+	if split := d.RemoveEdge(1, 2); split {
+		t.Error("removing a cycle edge reported a split")
+	}
+	if !d.Connected(1, 2) {
+		t.Error("replacement edge not found: 1 and 2 disconnected")
+	}
+	if split := d.RemoveEdge(3, 0); !split {
+		t.Error("removing bridge did not report a split")
+	}
+	if d.Connected(0, 2) {
+		t.Error("0 and 2 still connected after both cuts")
+	}
+	if d.Components() != 2 {
+		t.Errorf("components = %d, want 2", d.Components())
+	}
+	if d.RemoveEdge(1, 2) {
+		t.Error("removing absent edge reported a split")
+	}
+}
+
+func TestDynamicAddVertex(t *testing.T) {
+	d := NewDynamic(2)
+	d.AddEdge(0, 1)
+	id := d.AddVertex()
+	if id != 2 || d.Components() != 2 {
+		t.Fatalf("AddVertex: id=%d comps=%d", id, d.Components())
+	}
+	d.AddEdge(2, 0)
+	if !d.Connected(2, 1) {
+		t.Error("new vertex not connectable")
+	}
+}
+
+func TestComponentIDStability(t *testing.T) {
+	d := NewDynamic(6)
+	d.AddEdge(0, 1)
+	d.AddEdge(2, 3)
+	a1, a2 := d.ComponentID(0), d.ComponentID(1)
+	if a1 != a2 {
+		t.Error("same component, different IDs")
+	}
+	if d.ComponentID(2) == a1 {
+		t.Error("different components share an ID")
+	}
+}
+
+// TestDynamicAgainstOracle drives random interleaved insertions/deletions
+// and cross-checks connectivity and component counts against BFS.
+func TestDynamicAgainstOracle(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 24
+		d := NewDynamic(n)
+		naive := newNaive(n)
+		type edge struct{ u, v int }
+		var present []edge
+
+		for op := 0; op < 160; op++ {
+			if len(present) == 0 || rng.Float64() < 0.6 {
+				u, v := rng.Intn(n), rng.Intn(n)
+				if u == v || naive.adj[u][v] {
+					continue
+				}
+				d.AddEdge(u, v)
+				naive.add(u, v)
+				present = append(present, edge{u, v})
+			} else {
+				i := rng.Intn(len(present))
+				e := present[i]
+				present[i] = present[len(present)-1]
+				present = present[:len(present)-1]
+				d.RemoveEdge(e.u, e.v)
+				naive.remove(e.u, e.v)
+			}
+			// Spot-check connectivity.
+			for q := 0; q < 6; q++ {
+				u, v := rng.Intn(n), rng.Intn(n)
+				if d.Connected(u, v) != naive.connected(u, v) {
+					t.Logf("seed %d op %d: Connected(%d,%d) mismatch", seed, op, u, v)
+					return false
+				}
+			}
+			if d.Components() != naive.components() {
+				t.Logf("seed %d op %d: components %d vs %d", seed, op, d.Components(), naive.components())
+				return false
+			}
+		}
+		// Final exhaustive check.
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if d.Connected(u, v) != naive.connected(u, v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDynamicDeleteAll builds a dense graph then deletes every edge,
+// checking the structure unwinds to n singletons.
+func TestDynamicDeleteAll(t *testing.T) {
+	const n = 16
+	d := NewDynamic(n)
+	type edge struct{ u, v int }
+	var edges []edge
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if (u+v)%3 != 0 {
+				continue
+			}
+			d.AddEdge(u, v)
+			edges = append(edges, edge{u, v})
+		}
+	}
+	rng := rand.New(rand.NewSource(9))
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	for _, e := range edges {
+		d.RemoveEdge(e.u, e.v)
+	}
+	if d.Components() != n {
+		t.Errorf("after deleting all edges: %d components, want %d", d.Components(), n)
+	}
+	for v := 0; v < n; v++ {
+		if d.ComponentSize(v) != 1 {
+			t.Errorf("vertex %d component size %d", v, d.ComponentSize(v))
+		}
+	}
+}
+
+func TestDynamicOutOfRangePanics(t *testing.T) {
+	d := NewDynamic(3)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range vertex did not panic")
+		}
+	}()
+	d.Connected(0, 7)
+}
+
+func BenchmarkDynamicAddEdge(b *testing.B) {
+	d := NewDynamic(b.N + 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.AddEdge(i, i+1)
+	}
+}
+
+func BenchmarkDynamicChurn(b *testing.B) {
+	const n = 4096
+	d := NewDynamic(n)
+	rng := rand.New(rand.NewSource(4))
+	type edge struct{ u, v int }
+	var present []edge
+	for i := 0; i < n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v && d.AddEdge(u, v) {
+			present = append(present, edge{u, v})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(present) > 0 && i%2 == 0 {
+			e := present[rng.Intn(len(present))]
+			d.RemoveEdge(e.u, e.v)
+			d.AddEdge(e.u, e.v)
+		} else {
+			d.Connected(rng.Intn(n), rng.Intn(n))
+		}
+	}
+}

@@ -1,0 +1,277 @@
+package collate
+
+// Euler-tour trees over randomized treaps: the balanced-forest primitive
+// underneath the Holm–de Lichtenberg–Thorup dynamic-connectivity structure
+// (dynconn.go). Each spanning tree is stored as its circular Euler tour,
+// flattened into a treap whose in-order traversal is the tour. A tree with
+// n vertices occupies 3n−2 treap nodes: one self-loop node per vertex and
+// two arc nodes per tree edge.
+//
+// Aggregates maintained per subtree let HDT find, in O(log n), a vertex
+// with level-i non-tree edges or a level-i tree edge inside a component.
+
+type ettNode struct {
+	left, right, parent *ettNode
+	prio                uint64
+	size                int
+
+	u, v int // arc endpoints; u == v marks a vertex loop
+
+	// hasAdjSelf marks a vertex loop whose vertex carries non-tree edges at
+	// this forest's level; isLevelEdge marks the canonical arc of a tree
+	// edge whose level equals this forest's level. The *Sub fields are the
+	// subtree ORs.
+	hasAdjSelf   bool
+	hasAdjSub    bool
+	isLevelEdge  bool
+	levelEdgeSub bool
+}
+
+// pull recomputes size and aggregates from children and self.
+func (x *ettNode) pull() {
+	x.size = 1
+	x.hasAdjSub = x.hasAdjSelf
+	x.levelEdgeSub = x.isLevelEdge
+	if x.left != nil {
+		x.size += x.left.size
+		x.hasAdjSub = x.hasAdjSub || x.left.hasAdjSub
+		x.levelEdgeSub = x.levelEdgeSub || x.left.levelEdgeSub
+	}
+	if x.right != nil {
+		x.size += x.right.size
+		x.hasAdjSub = x.hasAdjSub || x.right.hasAdjSub
+		x.levelEdgeSub = x.levelEdgeSub || x.right.levelEdgeSub
+	}
+}
+
+// bubble re-pulls x and every ancestor.
+func bubble(x *ettNode) {
+	for ; x != nil; x = x.parent {
+		x.pull()
+	}
+}
+
+// rootOf returns the treap root of x's tour.
+func rootOf(x *ettNode) *ettNode {
+	for x.parent != nil {
+		x = x.parent
+	}
+	return x
+}
+
+// indexOf returns x's 1-based position in its tour.
+func indexOf(x *ettNode) int {
+	idx := 1
+	if x.left != nil {
+		idx += x.left.size
+	}
+	for ; x.parent != nil; x = x.parent {
+		if x == x.parent.right {
+			idx += 1
+			if x.parent.left != nil {
+				idx += x.parent.left.size
+			}
+		}
+	}
+	return idx
+}
+
+// mergeETT concatenates tours a then b.
+func mergeETT(a, b *ettNode) *ettNode {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	}
+	if a.prio >= b.prio {
+		r := mergeETT(a.right, b)
+		a.right = r
+		if r != nil {
+			r.parent = a
+		}
+		a.pull()
+		return a
+	}
+	l := mergeETT(a, b.left)
+	b.left = l
+	if l != nil {
+		l.parent = b
+	}
+	b.pull()
+	return b
+}
+
+// splitETT splits t into its first k nodes and the rest.
+func splitETT(t *ettNode, k int) (l, r *ettNode) {
+	if t == nil {
+		return nil, nil
+	}
+	leftSize := 0
+	if t.left != nil {
+		leftSize = t.left.size
+	}
+	if k <= leftSize {
+		ll, lr := splitETT(t.left, k)
+		t.left = lr
+		if lr != nil {
+			lr.parent = t
+		}
+		if ll != nil {
+			ll.parent = nil
+		}
+		t.pull()
+		return ll, t
+	}
+	rl, rr := splitETT(t.right, k-leftSize-1)
+	t.right = rl
+	if rl != nil {
+		rl.parent = t
+	}
+	if rr != nil {
+		rr.parent = nil
+	}
+	t.pull()
+	return t, rr
+}
+
+// findAdjVertex returns a vertex-loop node with hasAdjSelf in t's subtree,
+// or nil.
+func findAdjVertex(t *ettNode) *ettNode {
+	for t != nil {
+		switch {
+		case t.hasAdjSelf:
+			return t
+		case t.left != nil && t.left.hasAdjSub:
+			t = t.left
+		case t.right != nil && t.right.hasAdjSub:
+			t = t.right
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// findLevelEdge returns an arc node with isLevelEdge in t's subtree, or nil.
+func findLevelEdge(t *ettNode) *ettNode {
+	for t != nil {
+		switch {
+		case t.isLevelEdge:
+			return t
+		case t.left != nil && t.left.levelEdgeSub:
+			t = t.left
+		case t.right != nil && t.right.levelEdgeSub:
+			t = t.right
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// arcKey identifies a directed arc.
+type arcKey struct{ u, v int }
+
+// ettForest is one level's spanning forest.
+type ettForest struct {
+	loops []*ettNode
+	arcs  map[arcKey]*ettNode
+	seed  uint64
+}
+
+func newETTForest() *ettForest {
+	return &ettForest{arcs: make(map[arcKey]*ettNode), seed: 0x9e3779b97f4a7c15}
+}
+
+// nextPrio is a SplitMix64 stream: deterministic treap priorities.
+func (f *ettForest) nextPrio() uint64 {
+	f.seed += 0x9e3779b97f4a7c15
+	z := f.seed
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// ensureVertex grows the forest to hold vertex v.
+func (f *ettForest) ensureVertex(v int) {
+	for len(f.loops) <= v {
+		id := len(f.loops)
+		n := &ettNode{prio: f.nextPrio(), u: id, v: id}
+		n.pull()
+		f.loops = append(f.loops, n)
+	}
+}
+
+// connected reports whether u and v share a tour.
+func (f *ettForest) connected(u, v int) bool {
+	return rootOf(f.loops[u]) == rootOf(f.loops[v])
+}
+
+// treeSize returns the number of vertices in v's tree: a tour of n vertices
+// has 3n−2 nodes.
+func (f *ettForest) treeSize(v int) int {
+	return (rootOf(f.loops[v]).size + 2) / 3
+}
+
+// reroot rotates v's circular tour so it begins at v's loop, returning the
+// new treap root.
+func (f *ettForest) reroot(v int) *ettNode {
+	x := f.loops[v]
+	t := rootOf(x)
+	i := indexOf(x)
+	a, b := splitETT(t, i-1)
+	return mergeETT(b, a)
+}
+
+// link joins the trees of u and v with the tree edge (u, v). The caller
+// guarantees they are in different trees.
+func (f *ettForest) link(u, v int, levelEdge bool) {
+	tu := f.reroot(u)
+	tv := f.reroot(v)
+	au := &ettNode{prio: f.nextPrio(), u: u, v: v, isLevelEdge: levelEdge}
+	au.pull()
+	av := &ettNode{prio: f.nextPrio(), u: v, v: u}
+	av.pull()
+	f.arcs[arcKey{u, v}] = au
+	f.arcs[arcKey{v, u}] = av
+	mergeETT(mergeETT(tu, au), mergeETT(tv, av))
+}
+
+// cut removes the tree edge (u, v), splitting the tour into two trees.
+func (f *ettForest) cut(u, v int) {
+	a1 := f.arcs[arcKey{u, v}]
+	a2 := f.arcs[arcKey{v, u}]
+	delete(f.arcs, arcKey{u, v})
+	delete(f.arcs, arcKey{v, u})
+	i1, i2 := indexOf(a1), indexOf(a2)
+	if i1 > i2 {
+		a1, a2 = a2, a1
+		i1, i2 = i2, i1
+	}
+	t := rootOf(a1)
+	left, rest := splitETT(t, i1-1)
+	_, rest2 := splitETT(rest, 1) // drop a1
+	middle, rest3 := splitETT(rest2, i2-i1-1)
+	_, right := splitETT(rest3, 1) // drop a2
+	mergeETT(left, right)
+	_ = middle // middle is the split-off component's tour
+}
+
+// setLevelEdgeFlag toggles the level-edge marker on the canonical arc of
+// tree edge (u, v).
+func (f *ettForest) setLevelEdgeFlag(u, v int, on bool) {
+	a := f.arcs[arcKey{u, v}]
+	a.isLevelEdge = on
+	bubble(a)
+}
+
+// setAdjFlag toggles the has-non-tree-edges marker on vertex v's loop.
+func (f *ettForest) setAdjFlag(v int, on bool) {
+	x := f.loops[v]
+	if x.hasAdjSelf == on {
+		return
+	}
+	x.hasAdjSelf = on
+	bubble(x)
+}

@@ -1,0 +1,134 @@
+package collate
+
+// ExpiringGraph is the collation graph with observation *retirement*: a
+// fingerprinter subject to data-retention limits (or user deletion
+// requests) must drop old (user, fingerprint) edges, which can split
+// collated clusters — exactly the fully-dynamic setting for which the paper
+// points at Holm–de Lichtenberg–Thorup [11]. Built on Dynamic, updates cost
+// O(log² n) amortized and queries O(log n).
+type ExpiringGraph struct {
+	dyn   *Dynamic
+	users map[string]int
+	fps   map[string]int
+	// refs counts duplicate observations per (user node, fp node) pair so
+	// an edge disappears only when its last observation is retired.
+	refs    map[arcKey]int
+	userIDs []string
+}
+
+// NewExpiringGraph returns an empty graph.
+func NewExpiringGraph() *ExpiringGraph {
+	return &ExpiringGraph{
+		dyn:   NewDynamic(0),
+		users: make(map[string]int),
+		fps:   make(map[string]int),
+		refs:  make(map[arcKey]int),
+	}
+}
+
+func (g *ExpiringGraph) userNode(user string) int {
+	n, ok := g.users[user]
+	if !ok {
+		n = g.dyn.AddVertex()
+		g.users[user] = n
+		g.userIDs = append(g.userIDs, user)
+	}
+	return n
+}
+
+func (g *ExpiringGraph) fpNode(hash string) int {
+	n, ok := g.fps[hash]
+	if !ok {
+		n = g.dyn.AddVertex()
+		g.fps[hash] = n
+	}
+	return n
+}
+
+// AddObservation records one (user, fingerprint) observation. It reports
+// whether the observation merged two previously distinct clusters.
+func (g *ExpiringGraph) AddObservation(user, hash string) bool {
+	un := g.userNode(user)
+	fn := g.fpNode(hash)
+	k := key(un, fn)
+	g.refs[k]++
+	if g.refs[k] > 1 {
+		return false
+	}
+	return g.dyn.AddEdge(un, fn)
+}
+
+// RemoveObservation retires one observation. It reports whether the removal
+// split a cluster. Removing an unrecorded observation is a no-op.
+func (g *ExpiringGraph) RemoveObservation(user, hash string) bool {
+	un, ok := g.users[user]
+	if !ok {
+		return false
+	}
+	fn, ok := g.fps[hash]
+	if !ok {
+		return false
+	}
+	k := key(un, fn)
+	if g.refs[k] == 0 {
+		return false
+	}
+	g.refs[k]--
+	if g.refs[k] > 0 {
+		return false
+	}
+	delete(g.refs, k)
+	return g.dyn.RemoveEdge(un, fn)
+}
+
+// NumUsers returns the number of distinct users ever observed.
+func (g *ExpiringGraph) NumUsers() int { return len(g.users) }
+
+// ClusterOf returns a canonical identifier of the user's current cluster
+// (stable until the next update). ok is false for unknown users.
+func (g *ExpiringGraph) ClusterOf(user string) (int, bool) {
+	n, ok := g.users[user]
+	if !ok {
+		return 0, false
+	}
+	return g.dyn.ComponentID(n), true
+}
+
+// SameCluster reports whether two known users currently share a collated
+// fingerprint.
+func (g *ExpiringGraph) SameCluster(a, b string) bool {
+	na, ok := g.users[a]
+	if !ok {
+		return false
+	}
+	nb, ok := g.users[b]
+	if !ok {
+		return false
+	}
+	return g.dyn.Connected(na, nb)
+}
+
+// NumClusters returns the number of components containing ≥ 1 user.
+func (g *ExpiringGraph) NumClusters() int {
+	seen := make(map[int]struct{}, len(g.users))
+	for _, n := range g.users {
+		seen[g.dyn.ComponentID(n)] = struct{}{}
+	}
+	return len(seen)
+}
+
+// Labels returns cluster labels for the given users (-1 for unknown).
+func (g *ExpiringGraph) Labels(users []string) []int {
+	out := make([]int, len(users))
+	for i, u := range users {
+		if id, ok := g.ClusterOf(u); ok {
+			out[i] = id
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// Users returns observed user ids in insertion order (shared slice).
+func (g *ExpiringGraph) Users() []string { return g.userIDs }

@@ -1,0 +1,177 @@
+package collate
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExpiringGraphMirrorsGraph(t *testing.T) {
+	// Insert-only workloads must agree exactly with the union-find Graph.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewGraph()
+		e := NewExpiringGraph()
+		for i := 0; i < 120; i++ {
+			u := fmt.Sprintf("u%d", rng.Intn(20))
+			h := fmt.Sprintf("h%d", rng.Intn(30))
+			g.AddObservation(u, h)
+			e.AddObservation(u, h)
+		}
+		if g.NumClusters() != e.NumClusters() {
+			return false
+		}
+		users := g.Users()
+		for i := 0; i < len(users); i++ {
+			for j := i + 1; j < len(users); j++ {
+				gi, _ := g.ClusterOf(users[i])
+				gj, _ := g.ClusterOf(users[j])
+				if (gi == gj) != e.SameCluster(users[i], users[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpiringGraphRetirement(t *testing.T) {
+	e := NewExpiringGraph()
+	// U1 and U2 share eFP3 (the paper's Fig. 4 cluster 1).
+	e.AddObservation("U1", "eFP1")
+	e.AddObservation("U1", "eFP3")
+	merged := e.AddObservation("U2", "eFP3")
+	if !merged {
+		t.Error("shared fingerprint did not merge")
+	}
+	e.AddObservation("U2", "eFP5")
+	if e.NumClusters() != 1 || !e.SameCluster("U1", "U2") {
+		t.Fatal("U1 and U2 should share a cluster")
+	}
+
+	// Retiring U1's link to the shared fingerprint splits them.
+	if split := e.RemoveObservation("U1", "eFP3"); !split {
+		t.Error("retirement did not report a split")
+	}
+	if e.SameCluster("U1", "U2") {
+		t.Error("U1 and U2 still merged after retirement")
+	}
+	if e.NumClusters() != 2 {
+		t.Errorf("clusters = %d, want 2", e.NumClusters())
+	}
+
+	// Unknown removals are no-ops.
+	if e.RemoveObservation("U9", "eFP3") || e.RemoveObservation("U1", "nope") {
+		t.Error("unknown removal reported a split")
+	}
+}
+
+func TestExpiringGraphDuplicateObservations(t *testing.T) {
+	e := NewExpiringGraph()
+	e.AddObservation("U1", "fp")
+	e.AddObservation("U2", "fp")
+	// U2 sees fp again (as happens across iterations).
+	if e.AddObservation("U2", "fp") {
+		t.Error("duplicate observation reported a merge")
+	}
+	// One removal must NOT split: a second observation still holds the edge.
+	if e.RemoveObservation("U2", "fp") {
+		t.Error("split despite remaining duplicate observation")
+	}
+	if !e.SameCluster("U1", "U2") {
+		t.Error("U1/U2 split while one observation remains")
+	}
+	if !e.RemoveObservation("U2", "fp") {
+		t.Error("final removal did not split")
+	}
+	if e.SameCluster("U1", "U2") {
+		t.Error("still merged after all observations retired")
+	}
+}
+
+func TestExpiringGraphAccessors(t *testing.T) {
+	e := NewExpiringGraph()
+	e.AddObservation("a", "h1")
+	e.AddObservation("b", "h2")
+	if e.NumUsers() != 2 {
+		t.Errorf("NumUsers = %d", e.NumUsers())
+	}
+	labels := e.Labels([]string{"a", "b", "zz"})
+	if labels[0] == labels[1] || labels[2] != -1 {
+		t.Errorf("labels = %v", labels)
+	}
+	if _, ok := e.ClusterOf("zz"); ok {
+		t.Error("unknown user resolved")
+	}
+	if got := e.Users(); len(got) != 2 || got[0] != "a" {
+		t.Errorf("Users = %v", got)
+	}
+	if e.SameCluster("a", "zz") || e.SameCluster("zz", "a") {
+		t.Error("SameCluster with unknown user")
+	}
+}
+
+// TestExpiringSlidingWindow simulates a retention-limited fingerprinter:
+// a sliding window of observations over a churning population, cross-checked
+// against a rebuilt-from-scratch union-find graph at every step.
+func TestExpiringSlidingWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	type obs struct{ u, h string }
+	var window []obs
+	e := NewExpiringGraph()
+	const windowSize = 60
+
+	for step := 0; step < 300; step++ {
+		o := obs{
+			u: fmt.Sprintf("u%d", rng.Intn(15)),
+			h: fmt.Sprintf("h%d", rng.Intn(25)),
+		}
+		e.AddObservation(o.u, o.h)
+		window = append(window, o)
+		if len(window) > windowSize {
+			old := window[0]
+			window = window[1:]
+			e.RemoveObservation(old.u, old.h)
+		}
+		if step%25 != 0 {
+			continue
+		}
+		// Rebuild the reference graph from the current window.
+		ref := NewGraph()
+		for _, o := range window {
+			ref.AddObservation(o.u, o.h)
+		}
+		users := ref.Users()
+		for i := 0; i < len(users); i++ {
+			for j := i + 1; j < len(users); j++ {
+				ri, _ := ref.ClusterOf(users[i])
+				rj, _ := ref.ClusterOf(users[j])
+				if (ri == rj) != e.SameCluster(users[i], users[j]) {
+					t.Fatalf("step %d: window graph disagrees for %s/%s", step, users[i], users[j])
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkExpiringGraphChurn(b *testing.B) {
+	e := NewExpiringGraph()
+	rng := rand.New(rand.NewSource(5))
+	type obs struct{ u, h string }
+	var window []obs
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o := obs{u: fmt.Sprintf("u%d", rng.Intn(2000)), h: fmt.Sprintf("h%d", rng.Intn(500))}
+		e.AddObservation(o.u, o.h)
+		window = append(window, o)
+		if len(window) > 5000 {
+			old := window[0]
+			window = window[1:]
+			e.RemoveObservation(old.u, old.h)
+		}
+	}
+}

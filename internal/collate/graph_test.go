@@ -1,0 +1,260 @@
+package collate
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnionFindBasics(t *testing.T) {
+	u := NewUnionFind(5)
+	if u.Sets() != 5 || u.Len() != 5 {
+		t.Fatalf("fresh forest: sets=%d len=%d", u.Sets(), u.Len())
+	}
+	if !u.Union(0, 1) {
+		t.Error("first union reported no merge")
+	}
+	if u.Union(1, 0) {
+		t.Error("repeated union reported a merge")
+	}
+	u.Union(2, 3)
+	u.Union(1, 3)
+	if u.Sets() != 2 {
+		t.Errorf("sets = %d, want 2", u.Sets())
+	}
+	if !u.SameSet(0, 2) {
+		t.Error("0 and 2 should be joined")
+	}
+	if u.SameSet(0, 4) {
+		t.Error("0 and 4 should be disjoint")
+	}
+	if u.SizeOf(0) != 4 {
+		t.Errorf("SizeOf(0) = %d, want 4", u.SizeOf(0))
+	}
+	idx := u.Add()
+	if idx != 5 || u.Sets() != 3 {
+		t.Errorf("Add: idx=%d sets=%d", idx, u.Sets())
+	}
+}
+
+// TestUnionFindAgainstNaive cross-checks random union sequences against a
+// quadratic reference implementation.
+func TestUnionFindAgainstNaive(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 40
+		u := NewUnionFind(n)
+		label := make([]int, n) // naive: component label per element
+		for i := range label {
+			label[i] = i
+		}
+		for op := 0; op < 60; op++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			u.Union(a, b)
+			la, lb := label[a], label[b]
+			if la != lb {
+				for i := range label {
+					if label[i] == lb {
+						label[i] = la
+					}
+				}
+			}
+		}
+		// Compare pairwise connectivity.
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				if u.SameSet(a, b) != (label[a] == label[b]) {
+					return false
+				}
+			}
+		}
+		// Compare set counts.
+		distinct := map[int]struct{}{}
+		for _, l := range label {
+			distinct[l] = struct{}{}
+		}
+		return len(distinct) == u.Sets()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPaperFigure4 reproduces the paper's worked example (Fig. 4): 9
+// elementary fingerprints across 4 users collate into 3 clusters — one
+// shared by U1,U2 and two unique — and a fifth user bridging eFP6/eFP9
+// merges the second and third clusters.
+func TestPaperFigure4(t *testing.T) {
+	g := NewGraph()
+	// U1: eFP1..eFP3; U2: eFP3..eFP5; U3: eFP6,eFP7; U4: eFP8,eFP9.
+	obs := map[string][]string{
+		"U1": {"eFP1", "eFP2", "eFP3"},
+		"U2": {"eFP3", "eFP4", "eFP5"},
+		"U3": {"eFP6", "eFP7"},
+		"U4": {"eFP8", "eFP9"},
+	}
+	for _, u := range []string{"U1", "U2", "U3", "U4"} {
+		for _, h := range obs[u] {
+			g.AddObservation(u, h)
+		}
+	}
+	if got := g.NumClusters(); got != 3 {
+		t.Fatalf("clusters = %d, want 3", got)
+	}
+	c1, _ := g.ClusterOf("U1")
+	c2, _ := g.ClusterOf("U2")
+	c3, _ := g.ClusterOf("U3")
+	c4, _ := g.ClusterOf("U4")
+	if c1 != c2 {
+		t.Error("U1 and U2 should share a cluster")
+	}
+	if c3 == c4 || c3 == c1 || c4 == c1 {
+		t.Error("U3 and U4 should be unique clusters")
+	}
+	if got := g.UniqueClusters(); got != 2 {
+		t.Errorf("unique clusters = %d, want 2", got)
+	}
+
+	// New user U5 bridges eFP6 and eFP9: merges U3's and U4's clusters.
+	merged := false
+	g.AddObservation("U5", "eFP6")
+	if g.AddObservation("U5", "eFP9") {
+		merged = true
+	}
+	if !merged {
+		t.Error("bridging observation did not report a merge")
+	}
+	if got := g.NumClusters(); got != 2 {
+		t.Fatalf("after merge: clusters = %d, want 2", got)
+	}
+	c3, _ = g.ClusterOf("U3")
+	c4, _ = g.ClusterOf("U4")
+	c5, _ := g.ClusterOf("U5")
+	if c3 != c4 || c4 != c5 {
+		t.Error("U3, U4, U5 should share one cluster after bridging")
+	}
+}
+
+func TestGraphAccessors(t *testing.T) {
+	g := NewGraph()
+	g.AddObservation("a", "h1")
+	g.AddObservation("a", "h2")
+	g.AddObservation("b", "h3")
+	if g.NumUsers() != 2 || g.NumFingerprints() != 3 {
+		t.Fatalf("users=%d fps=%d", g.NumUsers(), g.NumFingerprints())
+	}
+	if !g.HasUser("a") || g.HasUser("zz") {
+		t.Error("HasUser wrong")
+	}
+	if _, ok := g.ClusterOf("zz"); ok {
+		t.Error("ClusterOf unknown user reported ok")
+	}
+	labels := g.Labels([]string{"a", "b", "zz"})
+	if labels[0] == labels[1] {
+		t.Error("a and b should have different labels")
+	}
+	if labels[2] != -1 {
+		t.Error("unknown user label should be -1")
+	}
+	sizes := g.ClusterSizes()
+	if len(sizes) != 2 || sizes[0] != 1 || sizes[1] != 1 {
+		t.Errorf("sizes = %v", sizes)
+	}
+	cl := g.Clusters()
+	if len(cl) != 2 {
+		t.Errorf("Clusters() returned %d components", len(cl))
+	}
+	if got := g.Users(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("Users() = %v", got)
+	}
+}
+
+func TestMatchSemantics(t *testing.T) {
+	g := NewGraph()
+	g.AddObservation("u1", "h1")
+	g.AddObservation("u1", "h2")
+	g.AddObservation("u2", "h3")
+
+	c1, _ := g.ClusterOf("u1")
+	if c, res := g.Match([]string{"h2"}); res != MatchUnique || c != c1 {
+		t.Errorf("Match(h2) = (%d,%v), want (%d,unique)", c, res, c1)
+	}
+	if _, res := g.Match([]string{"nope"}); res != MatchNone {
+		t.Errorf("Match(unknown) = %v, want none", res)
+	}
+	if _, res := g.Match([]string{"h1", "h3"}); res != MatchAmbiguous {
+		t.Errorf("Match(h1,h3) = %v, want ambiguous", res)
+	}
+	if c, res := g.Match([]string{"h1", "nope", "h2"}); res != MatchUnique || c != c1 {
+		t.Errorf("Match with partial unknowns = (%d,%v)", c, res)
+	}
+}
+
+// TestClusterCountInvariant: for any observation stream, the number of
+// clusters equals users minus the merging edges among user-reachable parts —
+// verified against a naive recomputation.
+func TestClusterCountInvariant(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewGraph()
+		type edge struct{ u, h string }
+		var edges []edge
+		for i := 0; i < 80; i++ {
+			u := fmt.Sprintf("u%d", rng.Intn(15))
+			h := fmt.Sprintf("h%d", rng.Intn(25))
+			g.AddObservation(u, h)
+			edges = append(edges, edge{u, h})
+		}
+		// Naive recount via label propagation.
+		labels := map[string]string{}
+		var find func(x string) string
+		find = func(x string) string {
+			if labels[x] == x {
+				return x
+			}
+			labels[x] = find(labels[x])
+			return labels[x]
+		}
+		for _, e := range edges {
+			for _, k := range []string{"U:" + e.u, "H:" + e.h} {
+				if _, ok := labels[k]; !ok {
+					labels[k] = k
+				}
+			}
+			ra, rb := find("U:"+e.u), find("H:"+e.h)
+			if ra != rb {
+				labels[rb] = ra
+			}
+		}
+		distinct := map[string]struct{}{}
+		for k := range labels {
+			if k[0] == 'U' {
+				distinct[find(k)] = struct{}{}
+			}
+		}
+		return g.NumClusters() == len(distinct)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkGraphInsert(b *testing.B) {
+	g := NewGraph()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.AddObservation(fmt.Sprintf("u%d", i%10000), fmt.Sprintf("h%d", i%3000))
+	}
+}
+
+func BenchmarkGraphClusterOf(b *testing.B) {
+	g := NewGraph()
+	for i := 0; i < 10000; i++ {
+		g.AddObservation(fmt.Sprintf("u%d", i), fmt.Sprintf("h%d", i%500))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ClusterOf(fmt.Sprintf("u%d", i%10000))
+	}
+}

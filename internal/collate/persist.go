@@ -1,0 +1,108 @@
+package collate
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Graph persistence: a fingerprinter's identity state must survive process
+// restarts. The serialized form captures the node maps and the disjoint-set
+// forest; loading restores clusters, match behaviour and future-merge
+// semantics exactly.
+
+// graphState is the serialized form (version-tagged for forward evolution).
+type graphState struct {
+	Version int            `json:"version"`
+	Users   map[string]int `json:"users"`
+	Fps     map[string]int `json:"fps"`
+	UserIDs []string       `json:"user_ids"`
+	Parent  []int          `json:"parent"`
+	Rank    []byte         `json:"rank"`
+	Size    []int          `json:"size"`
+	Sets    int            `json:"sets"`
+}
+
+// Save serializes the graph to w as JSON.
+func (g *Graph) Save(w io.Writer) error {
+	st := graphState{
+		Version: 1,
+		Users:   g.users,
+		Fps:     g.fps,
+		UserIDs: g.userIDs,
+		Parent:  g.uf.parent,
+		Rank:    g.uf.rank,
+		Size:    g.uf.size,
+		Sets:    g.uf.sets,
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&st)
+}
+
+// LoadGraph restores a graph saved with Save, validating structural
+// invariants before accepting it.
+func LoadGraph(r io.Reader) (*Graph, error) {
+	var st graphState
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&st); err != nil {
+		return nil, fmt.Errorf("collate: decode graph: %w", err)
+	}
+	if st.Version != 1 {
+		return nil, fmt.Errorf("collate: unsupported graph version %d", st.Version)
+	}
+	n := len(st.Parent)
+	if len(st.Rank) != n || len(st.Size) != n {
+		return nil, fmt.Errorf("collate: inconsistent forest arrays (%d/%d/%d)",
+			n, len(st.Rank), len(st.Size))
+	}
+	if len(st.Users)+len(st.Fps) != n {
+		return nil, fmt.Errorf("collate: %d nodes for %d users + %d fingerprints",
+			n, len(st.Users), len(st.Fps))
+	}
+	if len(st.UserIDs) != len(st.Users) {
+		return nil, fmt.Errorf("collate: user order length %d != user count %d",
+			len(st.UserIDs), len(st.Users))
+	}
+	seen := make(map[int]struct{}, n)
+	check := func(m map[string]int) error {
+		for k, idx := range m {
+			if idx < 0 || idx >= n {
+				return fmt.Errorf("collate: node %d for %q out of range", idx, k)
+			}
+			if _, dup := seen[idx]; dup {
+				return fmt.Errorf("collate: node %d mapped twice", idx)
+			}
+			seen[idx] = struct{}{}
+		}
+		return nil
+	}
+	if err := check(st.Users); err != nil {
+		return nil, err
+	}
+	if err := check(st.Fps); err != nil {
+		return nil, err
+	}
+	for i, p := range st.Parent {
+		if p < 0 || p >= n {
+			return nil, fmt.Errorf("collate: parent[%d] = %d out of range", i, p)
+		}
+	}
+	if st.Users == nil {
+		st.Users = map[string]int{}
+	}
+	if st.Fps == nil {
+		st.Fps = map[string]int{}
+	}
+	g := &Graph{
+		uf: &UnionFind{
+			parent: st.Parent,
+			rank:   st.Rank,
+			size:   st.Size,
+			sets:   st.Sets,
+		},
+		users:   st.Users,
+		fps:     st.Fps,
+		userIDs: st.UserIDs,
+	}
+	return g, nil
+}

@@ -1,0 +1,222 @@
+// Package collectclient is the participant-side SDK for the collection
+// backend: it performs the consent handshake, batches elementary
+// fingerprints, and submits them with bounded exponential-backoff retries —
+// the role the study site's in-browser TypeScript played.
+package collectclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"time"
+
+	"repro/internal/collectserver"
+)
+
+// Client talks to one collection server. Safe for concurrent use.
+type Client struct {
+	base    string
+	hc      *http.Client
+	retries int
+	backoff time.Duration
+	rng     *rand.Rand
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client.
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithRetries sets the per-request retry budget (default 3).
+func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
+
+// WithBackoff sets the initial backoff delay (default 100ms, doubling).
+func WithBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = d } }
+
+// New creates a client for the server at baseURL (e.g. "http://host:8080").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base:    baseURL,
+		hc:      &http.Client{Timeout: 30 * time.Second},
+		retries: 3,
+		backoff: 100 * time.Millisecond,
+		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Session is an authorized collection session.
+type Session struct {
+	ID    string
+	Token string
+	c     *Client
+}
+
+// StudyInfo fetches the study's consent metadata.
+func (c *Client) StudyInfo(ctx context.Context) (*collectserver.StudyInfo, error) {
+	var info collectserver.StudyInfo
+	if err := c.do(ctx, http.MethodGet, "/api/v1/study", nil, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// StartSession performs the consent handshake for userID.
+func (c *Client) StartSession(ctx context.Context, userID, userAgent string) (*Session, error) {
+	req := collectserver.NewSessionRequest{UserID: userID, UserAgent: userAgent, Consent: true}
+	var resp collectserver.NewSessionResponse
+	if err := c.do(ctx, http.MethodPost, "/api/v1/sessions", req, &resp); err != nil {
+		return nil, fmt.Errorf("collectclient: start session: %w", err)
+	}
+	return &Session{ID: resp.SessionID, Token: resp.Token, c: c}, nil
+}
+
+// Submit sends one batch of fingerprints under the session.
+func (s *Session) Submit(ctx context.Context, records []collectserver.FPRecord) error {
+	if len(records) == 0 {
+		return nil
+	}
+	req := collectserver.SubmitRequest{Token: s.Token, Records: records}
+	var resp collectserver.SubmitResponse
+	if err := s.c.do(ctx, http.MethodPost, "/api/v1/fingerprints", req, &resp); err != nil {
+		return fmt.Errorf("collectclient: submit: %w", err)
+	}
+	if resp.Accepted != len(records) {
+		return fmt.Errorf("collectclient: server accepted %d of %d records", resp.Accepted, len(records))
+	}
+	return nil
+}
+
+// SubmitChunked splits records into server-friendly batches.
+func (s *Session) SubmitChunked(ctx context.Context, records []collectserver.FPRecord, chunk int) error {
+	if chunk <= 0 {
+		chunk = 128
+	}
+	for len(records) > 0 {
+		n := min(chunk, len(records))
+		if err := s.Submit(ctx, records[:n]); err != nil {
+			return err
+		}
+		records = records[n:]
+	}
+	return nil
+}
+
+// httpStatusError reports a non-2xx response.
+type httpStatusError struct {
+	code int
+	body string
+}
+
+func (e *httpStatusError) Error() string {
+	return fmt.Sprintf("server returned %d: %s", e.code, e.body)
+}
+
+// retryable reports whether the request should be retried: transport errors
+// and 5xx are; 4xx are not.
+func retryable(err error) bool {
+	if se, ok := err.(*httpStatusError); ok {
+		return se.code >= 500
+	}
+	return err != nil
+}
+
+// do issues one JSON request with retries and decodes the response.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("collectclient: marshal request: %w", err)
+		}
+	}
+	delay := c.backoff
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			jitter := time.Duration(c.rng.Int63n(int64(delay)/2 + 1))
+			select {
+			case <-time.After(delay + jitter):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			delay *= 2
+		}
+		lastErr = c.once(ctx, method, path, body, out)
+		if lastErr == nil || !retryable(lastErr) {
+			return lastErr
+		}
+	}
+	return fmt.Errorf("collectclient: %s %s failed after %d attempts: %w",
+		method, path, c.retries+1, lastErr)
+}
+
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return &httpStatusError{code: resp.StatusCode, body: string(bytes.TrimSpace(msg))}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Stats fetches the server's aggregate counters (/api/v1/stats).
+func (c *Client) Stats(ctx context.Context) (records, users int, perVector map[string]int, err error) {
+	var out struct {
+		Records   int            `json:"records"`
+		Users     int            `json:"users"`
+		PerVector map[string]int `json:"per_vector"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/api/v1/stats", nil, &out); err != nil {
+		return 0, 0, nil, err
+	}
+	return out.Records, out.Users, out.PerVector, nil
+}
+
+// Export streams the server's NDJSON dataset to w using the admin token.
+func (c *Client) Export(ctx context.Context, adminToken string, w io.Writer) (int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/api/v1/export", nil)
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Authorization", "Bearer "+adminToken)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return 0, &httpStatusError{code: resp.StatusCode, body: string(bytes.TrimSpace(msg))}
+	}
+	return io.Copy(w, resp.Body)
+}

@@ -1,0 +1,236 @@
+package collectclient
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/collectserver"
+	"repro/internal/storage"
+)
+
+// realServer spins up a genuine collectserver for end-to-end client tests.
+func realServer(t *testing.T) (*httptest.Server, *storage.Store) {
+	t.Helper()
+	st, err := storage.Open(filepath.Join(t.TempDir(), "fp.ndjson"), storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := collectserver.New(collectserver.Config{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); st.Close() })
+	return ts, st
+}
+
+func TestEndToEndSubmission(t *testing.T) {
+	ts, st := realServer(t)
+	c := New(ts.URL)
+	ctx := context.Background()
+
+	info, err := c.StudyInfo(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Vectors) != 7 {
+		t.Errorf("study vectors = %v", info.Vectors)
+	}
+
+	sess, err := c.StartSession(ctx, "participant-1", "UA/1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Token == "" || sess.ID == "" {
+		t.Fatalf("session = %+v", sess)
+	}
+
+	recs := []collectserver.FPRecord{
+		{Vector: "DC", Iteration: 0, Hash: "aa11"},
+		{Vector: "FFT", Iteration: 0, Hash: "bb22"},
+	}
+	if err := sess.Submit(ctx, recs); err != nil {
+		t.Fatal(err)
+	}
+	if st.Count() != 2 {
+		t.Errorf("server stored %d records", st.Count())
+	}
+	// Empty submit is a no-op.
+	if err := sess.Submit(ctx, nil); err != nil {
+		t.Errorf("empty submit: %v", err)
+	}
+}
+
+func TestSubmitChunked(t *testing.T) {
+	ts, st := realServer(t)
+	c := New(ts.URL)
+	sess, err := c.StartSession(context.Background(), "p1", "UA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := make([]collectserver.FPRecord, 210) // the study's per-user volume
+	for i := range recs {
+		recs[i] = collectserver.FPRecord{Vector: "DC", Iteration: i % 30, Hash: "cc33"}
+	}
+	if err := sess.SubmitChunked(context.Background(), recs, 64); err != nil {
+		t.Fatal(err)
+	}
+	if st.Count() != 210 {
+		t.Errorf("stored %d records, want 210", st.Count())
+	}
+}
+
+// TestRetriesOn5xx: transient server errors are retried until success.
+func TestRetriesOn5xx(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "flaky", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusCreated)
+		w.Write([]byte(`{"session_id":"s-1","token":"tok"}`))
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetries(3), WithBackoff(time.Millisecond))
+	sess, err := c.StartSession(context.Background(), "u", "ua")
+	if err != nil {
+		t.Fatalf("expected success after retries: %v", err)
+	}
+	if sess.Token != "tok" {
+		t.Errorf("token = %q", sess.Token)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server called %d times, want 3", got)
+	}
+}
+
+// TestNoRetryOn4xx: client errors fail immediately.
+func TestNoRetryOn4xx(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "bad request", http.StatusBadRequest)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetries(5), WithBackoff(time.Millisecond))
+	if _, err := c.StartSession(context.Background(), "u", "ua"); err == nil {
+		t.Fatal("expected error")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("4xx retried: %d calls", got)
+	}
+}
+
+// TestRetryBudgetExhausted: persistent failures surface after the budget.
+func TestRetryBudgetExhausted(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetries(2), WithBackoff(time.Millisecond))
+	if _, err := c.StartSession(context.Background(), "u", "ua"); err == nil {
+		t.Fatal("expected failure")
+	}
+	if got := calls.Load(); got != 3 { // initial + 2 retries
+		t.Errorf("calls = %d, want 3", got)
+	}
+}
+
+// TestContextCancellation: a cancelled context aborts during backoff.
+func TestContextCancellation(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetries(10), WithBackoff(time.Hour))
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.StartSession(ctx, "u", "ua")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancellation took %v — backoff not interruptible", elapsed)
+	}
+}
+
+// TestSubmitAcceptanceMismatch: a lying server is detected.
+func TestSubmitAcceptanceMismatch(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte(`{"accepted":1,"total_for_session":1}`))
+	}))
+	defer ts.Close()
+
+	sess := &Session{ID: "s", Token: "t", c: New(ts.URL, WithRetries(0), WithBackoff(time.Millisecond))}
+	err := sess.Submit(context.Background(), []collectserver.FPRecord{
+		{Vector: "DC", Iteration: 0, Hash: "aa"},
+		{Vector: "DC", Iteration: 1, Hash: "bb"},
+	})
+	if err == nil {
+		t.Error("partial acceptance went unnoticed")
+	}
+}
+
+func TestStatsAndExport(t *testing.T) {
+	st, err := storage.Open(filepath.Join(t.TempDir(), "fp.ndjson"), storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := collectserver.New(collectserver.Config{Store: st, AdminToken: "adm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer func() { ts.Close(); st.Close() }()
+
+	c := New(ts.URL)
+	ctx := context.Background()
+	sess, err := c.StartSession(ctx, "p1", "UA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Submit(ctx, []collectserver.FPRecord{
+		{Vector: "DC", Iteration: 0, Hash: "aa"},
+		{Vector: "FFT", Iteration: 0, Hash: "bb"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	records, users, perVector, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if records != 2 || users != 1 || perVector["DC"] != 1 {
+		t.Errorf("stats = %d/%d/%v", records, users, perVector)
+	}
+
+	var buf strings.Builder
+	n, err := c.Export(ctx, "adm", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || strings.Count(buf.String(), "\n") != 2 {
+		t.Errorf("export = %d bytes, %q", n, buf.String())
+	}
+	if _, err := c.Export(ctx, "wrong", io.Discard); err == nil {
+		t.Error("export with wrong token succeeded")
+	}
+}

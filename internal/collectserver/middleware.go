@@ -1,0 +1,121 @@
+package collectserver
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// rateLimiter is a token-bucket limiter keyed by client IP, protecting the
+// session-creation endpoint from churn abuse (a public study site's
+// standard hardening).
+type rateLimiter struct {
+	mu       sync.Mutex
+	buckets  map[string]*bucket
+	rate     float64 // tokens per second
+	burst    float64
+	now      func() time.Time
+	lastScan time.Time
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newRateLimiter(ratePerSec, burst float64, now func() time.Time) *rateLimiter {
+	return &rateLimiter{
+		buckets: make(map[string]*bucket),
+		rate:    ratePerSec,
+		burst:   burst,
+		now:     now,
+	}
+}
+
+// allow reports whether the key may proceed, consuming one token.
+func (rl *rateLimiter) allow(key string) bool {
+	now := rl.now()
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	// Periodically drop idle buckets so memory stays bounded.
+	if now.Sub(rl.lastScan) > time.Minute {
+		for k, b := range rl.buckets {
+			if now.Sub(b.last) > 10*time.Minute {
+				delete(rl.buckets, k)
+			}
+		}
+		rl.lastScan = now
+	}
+	b, ok := rl.buckets[key]
+	if !ok {
+		b = &bucket{tokens: rl.burst, last: now}
+		rl.buckets[key] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * rl.rate
+	if b.tokens > rl.burst {
+		b.tokens = rl.burst
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// clientIP extracts the remote IP (ignoring the port).
+func clientIP(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// metrics collects the counters exposed at /metrics in the Prometheus text
+// exposition format.
+type metrics struct {
+	requestsTotal   atomic.Int64
+	requests2xx     atomic.Int64
+	requests4xx     atomic.Int64
+	requests5xx     atomic.Int64
+	recordsAccepted atomic.Int64
+	sessionsCreated atomic.Int64
+	rateLimited     atomic.Int64
+}
+
+// statusRecorder captures the response code for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// handleMetrics renders the counters plus live gauges.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	m := &s.metrics
+	fmt.Fprintf(w, "# TYPE fpserver_requests_total counter\n")
+	fmt.Fprintf(w, "fpserver_requests_total %d\n", m.requestsTotal.Load())
+	fmt.Fprintf(w, "# TYPE fpserver_requests_by_class counter\n")
+	fmt.Fprintf(w, "fpserver_requests_by_class{class=\"2xx\"} %d\n", m.requests2xx.Load())
+	fmt.Fprintf(w, "fpserver_requests_by_class{class=\"4xx\"} %d\n", m.requests4xx.Load())
+	fmt.Fprintf(w, "fpserver_requests_by_class{class=\"5xx\"} %d\n", m.requests5xx.Load())
+	fmt.Fprintf(w, "# TYPE fpserver_records_accepted_total counter\n")
+	fmt.Fprintf(w, "fpserver_records_accepted_total %d\n", m.recordsAccepted.Load())
+	fmt.Fprintf(w, "# TYPE fpserver_sessions_created_total counter\n")
+	fmt.Fprintf(w, "fpserver_sessions_created_total %d\n", m.sessionsCreated.Load())
+	fmt.Fprintf(w, "# TYPE fpserver_rate_limited_total counter\n")
+	fmt.Fprintf(w, "fpserver_rate_limited_total %d\n", m.rateLimited.Load())
+	fmt.Fprintf(w, "# TYPE fpserver_active_sessions gauge\n")
+	fmt.Fprintf(w, "fpserver_active_sessions %d\n", s.ActiveSessions())
+	fmt.Fprintf(w, "# TYPE fpserver_store_records gauge\n")
+	fmt.Fprintf(w, "fpserver_store_records %d\n", s.cfg.Store.Count())
+}

@@ -1,0 +1,84 @@
+package collectserver
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSessionRateLimit(t *testing.T) {
+	f := newFixture(t, func(c *Config) { c.SessionRatePerMin = 3 })
+	ok, limited := 0, 0
+	for i := 0; i < 10; i++ {
+		resp, _ := f.post(t, "/api/v1/sessions",
+			NewSessionRequest{UserID: "u", Consent: true})
+		switch resp.StatusCode {
+		case http.StatusCreated:
+			ok++
+		case http.StatusTooManyRequests:
+			limited++
+		default:
+			t.Fatalf("unexpected status %d", resp.StatusCode)
+		}
+	}
+	if ok == 0 || limited == 0 {
+		t.Fatalf("rate limiter inert: ok=%d limited=%d", ok, limited)
+	}
+	if ok > 4 { // burst 3 plus at most one refill
+		t.Errorf("rate limiter too permissive: %d sessions", ok)
+	}
+	// Tokens refill as time advances.
+	f.now = f.now.Add(time.Minute)
+	resp, _ := f.post(t, "/api/v1/sessions", NewSessionRequest{UserID: "u", Consent: true})
+	if resp.StatusCode != http.StatusCreated {
+		t.Errorf("refill failed: %d", resp.StatusCode)
+	}
+}
+
+func TestRateLimiterBucketGC(t *testing.T) {
+	now := time.Unix(0, 0)
+	rl := newRateLimiter(1, 2, func() time.Time { return now })
+	for i := 0; i < 50; i++ {
+		rl.allow(strings.Repeat("x", i%7) + "ip")
+	}
+	if len(rl.buckets) == 0 {
+		t.Fatal("no buckets created")
+	}
+	now = now.Add(20 * time.Minute)
+	rl.allow("fresh") // triggers the scan
+	if len(rl.buckets) != 1 {
+		t.Errorf("idle buckets not collected: %d remain", len(rl.buckets))
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	f := newFixture(t, nil)
+	tok := f.startSession(t, "u1")
+	f.post(t, "/api/v1/fingerprints", SubmitRequest{Token: tok, Records: []FPRecord{validRecord(0), validRecord(1)}})
+	f.post(t, "/api/v1/fingerprints", SubmitRequest{Token: "bogus", Records: []FPRecord{validRecord(0)}})
+
+	resp, err := http.Get(f.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	out := string(body)
+	for _, want := range []string{
+		"fpserver_requests_total",
+		"fpserver_records_accepted_total 2",
+		"fpserver_sessions_created_total 1",
+		"fpserver_active_sessions 1",
+		"fpserver_store_records 2",
+		`fpserver_requests_by_class{class="4xx"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, out)
+		}
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics content type %q", ct)
+	}
+}

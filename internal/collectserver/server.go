@@ -1,0 +1,410 @@
+// Package collectserver implements the fingerprint-collection backend the
+// paper's study site ran on (§2.2, an Angular + Firebase deployment): a
+// consent-gated HTTP API that issues collection sessions, ingests batched
+// elementary fingerprints, and exports the dataset for analysis.
+//
+// API (JSON over HTTP):
+//
+//	GET  /healthz                 liveness
+//	GET  /api/v1/study            study metadata + consent text
+//	POST /api/v1/sessions         begin a session (consent click) → token
+//	POST /api/v1/fingerprints     submit a batch (session token required)
+//	GET  /api/v1/stats            per-vector record counts
+//	GET  /api/v1/export           NDJSON dump (admin token required)
+package collectserver
+
+import (
+	"crypto/rand"
+	"crypto/subtle"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/storage"
+	"repro/internal/vectors"
+)
+
+// Config parameterizes the server.
+type Config struct {
+	// Store receives accepted records. Required.
+	Store *storage.Store
+	// AdminToken authorizes /api/v1/export. Empty disables export.
+	AdminToken string
+	// MaxBatch bounds records per submission (default 256).
+	MaxBatch int
+	// MaxIterations bounds the iteration index (default 100).
+	MaxIterations int
+	// SessionTTL expires idle sessions (default 30 minutes).
+	SessionTTL time.Duration
+	// MaxRecordsPerSession caps one session's total submissions
+	// (default 10000 — far above the study's 210 per participant).
+	MaxRecordsPerSession int
+	// Logger receives request logs; nil disables logging.
+	Logger *log.Logger
+	// Now supplies time (tests override it); nil means time.Now.
+	Now func() time.Time
+	// SessionRatePerMin caps session creations per client IP per minute
+	// (default 30; ≤ 0 keeps the default, use a huge value to disable).
+	SessionRatePerMin float64
+}
+
+// Server is the collection backend. Create with New, mount via Handler.
+type Server struct {
+	cfg     Config
+	limiter *rateLimiter
+	metrics metrics
+
+	mu       sync.Mutex
+	sessions map[string]*session
+}
+
+type session struct {
+	id        string
+	userID    string
+	userAgent string
+	created   time.Time
+	lastSeen  time.Time
+	records   int
+}
+
+// New validates cfg and builds a Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("collectserver: Config.Store is required")
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 256
+	}
+	if cfg.MaxIterations <= 0 {
+		cfg.MaxIterations = 100
+	}
+	if cfg.SessionTTL <= 0 {
+		cfg.SessionTTL = 30 * time.Minute
+	}
+	if cfg.MaxRecordsPerSession <= 0 {
+		cfg.MaxRecordsPerSession = 10000
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.SessionRatePerMin <= 0 {
+		cfg.SessionRatePerMin = 30
+	}
+	srv := &Server{cfg: cfg, sessions: make(map[string]*session)}
+	srv.limiter = newRateLimiter(cfg.SessionRatePerMin/60, cfg.SessionRatePerMin, cfg.Now)
+	return srv, nil
+}
+
+// Handler returns the server's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /api/v1/study", s.handleStudy)
+	mux.HandleFunc("POST /api/v1/sessions", s.handleNewSession)
+	mux.HandleFunc("POST /api/v1/fingerprints", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/stats", s.handleStats)
+	mux.HandleFunc("GET /api/v1/export", s.handleExport)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s.withMiddleware(mux)
+}
+
+// withMiddleware adds panic recovery, body limits and logging.
+func (s *Server) withMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		defer func() {
+			if rec := recover(); rec != nil {
+				writeErr(w, http.StatusInternalServerError, "internal error")
+				if s.cfg.Logger != nil {
+					s.cfg.Logger.Printf("panic serving %s %s: %v", r.Method, r.URL.Path, rec)
+				}
+			}
+		}()
+		r.Body = http.MaxBytesReader(w, r.Body, 4<<20)
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		s.metrics.requestsTotal.Add(1)
+		switch {
+		case rec.code >= 500:
+			s.metrics.requests5xx.Add(1)
+		case rec.code >= 400:
+			s.metrics.requests4xx.Add(1)
+		default:
+			s.metrics.requests2xx.Add(1)
+		}
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.Printf("%s %s %d (%s)", r.Method, r.URL.Path, rec.code,
+				time.Since(start).Round(time.Microsecond))
+		}
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// StudyInfo is the consent-gate metadata served to participants.
+type StudyInfo struct {
+	Name        string   `json:"name"`
+	Consent     string   `json:"consent"`
+	Vectors     []string `json:"vectors"`
+	Iterations  int      `json:"iterations"`
+	ContactNote string   `json:"contact_note"`
+}
+
+func (s *Server) handleStudy(w http.ResponseWriter, _ *http.Request) {
+	names := make([]string, len(vectors.All))
+	for i, v := range vectors.All {
+		names[i] = v.String()
+	}
+	writeJSON(w, http.StatusOK, StudyInfo{
+		Name: "Web Audio Fingerprinting Measurement Study",
+		Consent: "This study extracts browser fingerprints (Web Audio, Canvas, " +
+			"Font, User-Agent) from your browser. No other information is " +
+			"collected. Participation begins only after you click consent.",
+		Vectors:     names,
+		Iterations:  30,
+		ContactNote: "Contact the study operators to have your data removed.",
+	})
+}
+
+// NewSessionRequest starts a collection session; the POST itself is the
+// consent click.
+type NewSessionRequest struct {
+	UserID    string `json:"user_id"`
+	UserAgent string `json:"user_agent"`
+	Consent   bool   `json:"consent"`
+}
+
+// NewSessionResponse carries the issued session token.
+type NewSessionResponse struct {
+	SessionID string `json:"session_id"`
+	Token     string `json:"token"`
+}
+
+func (s *Server) handleNewSession(w http.ResponseWriter, r *http.Request) {
+	if !s.limiter.allow(clientIP(r)) {
+		s.metrics.rateLimited.Add(1)
+		writeErr(w, http.StatusTooManyRequests, "session creation rate limit exceeded")
+		return
+	}
+	var req NewSessionRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if !req.Consent {
+		writeErr(w, http.StatusForbidden, "consent is required before collection")
+		return
+	}
+	if req.UserID == "" {
+		writeErr(w, http.StatusBadRequest, "user_id is required")
+		return
+	}
+	tok, err := newToken()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "token generation failed")
+		return
+	}
+	now := s.cfg.Now()
+	sess := &session{
+		id: "s-" + tok[:12], userID: req.UserID, userAgent: req.UserAgent,
+		created: now, lastSeen: now,
+	}
+	s.mu.Lock()
+	s.gcLocked(now)
+	s.sessions[tok] = sess
+	s.mu.Unlock()
+	s.metrics.sessionsCreated.Add(1)
+	writeJSON(w, http.StatusCreated, NewSessionResponse{SessionID: sess.id, Token: tok})
+}
+
+// SubmitRequest is one fingerprint batch.
+type SubmitRequest struct {
+	Token   string     `json:"token"`
+	Records []FPRecord `json:"records"`
+}
+
+// FPRecord is the wire form of one elementary fingerprint.
+type FPRecord struct {
+	Vector    string            `json:"vector"`
+	Iteration int               `json:"iteration"`
+	Hash      string            `json:"hash"`
+	Sum       float64           `json:"sum,omitempty"`
+	Surfaces  map[string]string `json:"surfaces,omitempty"`
+}
+
+// SubmitResponse acknowledges an accepted batch.
+type SubmitResponse struct {
+	Accepted int `json:"accepted"`
+	Total    int `json:"total_for_session"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(req.Records) == 0 {
+		writeErr(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(req.Records) > s.cfg.MaxBatch {
+		writeErr(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d exceeds limit %d", len(req.Records), s.cfg.MaxBatch))
+		return
+	}
+
+	now := s.cfg.Now()
+	s.mu.Lock()
+	sess, ok := s.sessions[req.Token]
+	if ok && now.Sub(sess.lastSeen) > s.cfg.SessionTTL {
+		delete(s.sessions, req.Token)
+		ok = false
+	}
+	if !ok {
+		s.mu.Unlock()
+		writeErr(w, http.StatusUnauthorized, "unknown or expired session token")
+		return
+	}
+	if sess.records+len(req.Records) > s.cfg.MaxRecordsPerSession {
+		s.mu.Unlock()
+		writeErr(w, http.StatusTooManyRequests, "session record quota exceeded")
+		return
+	}
+	sess.lastSeen = now
+	sess.records += len(req.Records)
+	userID, sessionID, ua := sess.userID, sess.id, sess.userAgent
+	total := sess.records
+	s.mu.Unlock()
+
+	recs := make([]storage.Record, 0, len(req.Records))
+	for _, fr := range req.Records {
+		if err := validateFPRecord(fr, s.cfg.MaxIterations); err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, err.Error())
+			return
+		}
+		recs = append(recs, storage.Record{
+			SessionID: sessionID, UserID: userID, Vector: fr.Vector,
+			Iteration: fr.Iteration, Hash: fr.Hash, Sum: fr.Sum,
+			UserAgent: ua, Surfaces: fr.Surfaces, ReceivedAt: now.UTC(),
+		})
+	}
+	if err := s.cfg.Store.Append(recs...); err != nil {
+		writeErr(w, http.StatusInternalServerError, "storage failure")
+		return
+	}
+	s.metrics.recordsAccepted.Add(int64(len(recs)))
+	writeJSON(w, http.StatusAccepted, SubmitResponse{Accepted: len(recs), Total: total})
+}
+
+func validateFPRecord(fr FPRecord, maxIter int) error {
+	if _, err := vectors.ParseID(fr.Vector); err != nil && fr.Vector != "MathJS" &&
+		fr.Vector != "Canvas" && fr.Vector != "Fonts" && fr.Vector != "UserAgent" {
+		return fmt.Errorf("unknown vector %q", fr.Vector)
+	}
+	if fr.Iteration < 0 || fr.Iteration >= maxIter {
+		return fmt.Errorf("iteration %d out of range [0,%d)", fr.Iteration, maxIter)
+	}
+	if len(fr.Hash) == 0 || len(fr.Hash) > 128 {
+		return fmt.Errorf("hash length %d out of range", len(fr.Hash))
+	}
+	for _, c := range fr.Hash {
+		if !strings.ContainsRune("0123456789abcdef", c) {
+			return fmt.Errorf("hash is not lowercase hex")
+		}
+	}
+	return nil
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	recs, err := s.cfg.Store.All()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "storage failure")
+		return
+	}
+	perVector := map[string]int{}
+	users := map[string]struct{}{}
+	for _, r := range recs {
+		perVector[r.Vector]++
+		users[r.UserID] = struct{}{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"records":    len(recs),
+		"users":      len(users),
+		"per_vector": perVector,
+	})
+}
+
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.AdminToken == "" {
+		writeErr(w, http.StatusForbidden, "export disabled")
+		return
+	}
+	got := r.Header.Get("Authorization")
+	want := "Bearer " + s.cfg.AdminToken
+	if subtle.ConstantTimeCompare([]byte(got), []byte(want)) != 1 {
+		writeErr(w, http.StatusUnauthorized, "bad admin token")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if _, err := s.cfg.Store.WriteTo(w); err != nil && s.cfg.Logger != nil {
+		s.cfg.Logger.Printf("export: %v", err)
+	}
+}
+
+// gcLocked drops expired sessions; caller holds s.mu.
+func (s *Server) gcLocked(now time.Time) {
+	for tok, sess := range s.sessions {
+		if now.Sub(sess.lastSeen) > s.cfg.SessionTTL {
+			delete(s.sessions, tok)
+		}
+	}
+}
+
+// ActiveSessions reports the live session count (monitoring).
+func (s *Server) ActiveSessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+func newToken() (string, error) {
+	var b [24]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+func decodeJSON(r *http.Request, dst any) error {
+	if ct := r.Header.Get("Content-Type"); ct != "" && !strings.HasPrefix(ct, "application/json") {
+		return fmt.Errorf("unsupported content type %q", ct)
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("invalid JSON body: %v", err)
+	}
+	if dec.More() {
+		return errors.New("trailing data after JSON body")
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

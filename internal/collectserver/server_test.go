@@ -1,0 +1,341 @@
+package collectserver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/storage"
+)
+
+type fixture struct {
+	srv   *Server
+	ts    *httptest.Server
+	store *storage.Store
+	now   time.Time
+}
+
+func newFixture(t *testing.T, mutate func(*Config)) *fixture {
+	t.Helper()
+	st, err := storage.Open(filepath.Join(t.TempDir(), "fp.ndjson"), storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fixture{store: st, now: time.Unix(1616284800, 0)} // study start
+	cfg := Config{
+		Store:      st,
+		AdminToken: "admin-secret",
+		Now:        func() time.Time { return f.now },
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.srv = srv
+	f.ts = httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { f.ts.Close(); st.Close() })
+	return f
+}
+
+func (f *fixture) post(t *testing.T, path string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(f.ts.URL+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func (f *fixture) startSession(t *testing.T, user string) string {
+	t.Helper()
+	resp, body := f.post(t, "/api/v1/sessions",
+		NewSessionRequest{UserID: user, UserAgent: "TestUA/1.0", Consent: true})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("session create: %d %s", resp.StatusCode, body)
+	}
+	var out NewSessionResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	return out.Token
+}
+
+func validRecord(it int) FPRecord {
+	return FPRecord{Vector: "DC", Iteration: it, Hash: "deadbeef00", Sum: 12.5}
+}
+
+func TestHealthAndStudy(t *testing.T) {
+	f := newFixture(t, nil)
+	resp, err := http.Get(f.ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("healthz: %v %v", resp, err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(f.ts.URL + "/api/v1/study")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info StudyInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(info.Vectors) != 7 || info.Iterations != 30 {
+		t.Errorf("study info = %+v", info)
+	}
+	if !strings.Contains(info.Consent, "consent") {
+		t.Error("consent text missing")
+	}
+}
+
+func TestConsentRequired(t *testing.T) {
+	f := newFixture(t, nil)
+	resp, body := f.post(t, "/api/v1/sessions",
+		NewSessionRequest{UserID: "u1", Consent: false})
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("no-consent session: %d %s", resp.StatusCode, body)
+	}
+	resp, _ = f.post(t, "/api/v1/sessions", NewSessionRequest{Consent: true})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing user_id: %d", resp.StatusCode)
+	}
+}
+
+func TestSubmitFlow(t *testing.T) {
+	f := newFixture(t, nil)
+	tok := f.startSession(t, "u1")
+
+	recs := []FPRecord{validRecord(0), {Vector: "FFT", Iteration: 0, Hash: "cafe01"}}
+	resp, body := f.post(t, "/api/v1/fingerprints", SubmitRequest{Token: tok, Records: recs})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var out SubmitResponse
+	json.Unmarshal(body, &out)
+	if out.Accepted != 2 || out.Total != 2 {
+		t.Errorf("submit response = %+v", out)
+	}
+
+	stored, err := f.store.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stored) != 2 {
+		t.Fatalf("stored %d records", len(stored))
+	}
+	if stored[0].UserID != "u1" || stored[0].UserAgent != "TestUA/1.0" {
+		t.Errorf("record enrichment wrong: %+v", stored[0])
+	}
+	if !stored[0].ReceivedAt.Equal(f.now.UTC()) {
+		t.Errorf("timestamp = %v, want %v", stored[0].ReceivedAt, f.now.UTC())
+	}
+}
+
+func TestSubmitRejectsBadInput(t *testing.T) {
+	f := newFixture(t, func(c *Config) { c.MaxBatch = 3; c.MaxIterations = 30 })
+	tok := f.startSession(t, "u1")
+
+	cases := []struct {
+		name string
+		req  SubmitRequest
+		code int
+	}{
+		{"bad token", SubmitRequest{Token: "nope", Records: []FPRecord{validRecord(0)}}, http.StatusUnauthorized},
+		{"empty batch", SubmitRequest{Token: tok}, http.StatusBadRequest},
+		{"oversized batch", SubmitRequest{Token: tok, Records: []FPRecord{
+			validRecord(0), validRecord(1), validRecord(2), validRecord(3)}}, http.StatusRequestEntityTooLarge},
+		{"unknown vector", SubmitRequest{Token: tok, Records: []FPRecord{
+			{Vector: "Telepathy", Iteration: 0, Hash: "aa"}}}, http.StatusUnprocessableEntity},
+		{"iteration out of range", SubmitRequest{Token: tok, Records: []FPRecord{
+			{Vector: "DC", Iteration: 30, Hash: "aa"}}}, http.StatusUnprocessableEntity},
+		{"non-hex hash", SubmitRequest{Token: tok, Records: []FPRecord{
+			{Vector: "DC", Iteration: 0, Hash: "XYZ!"}}}, http.StatusUnprocessableEntity},
+	}
+	for _, c := range cases {
+		resp, body := f.post(t, "/api/v1/fingerprints", c.req)
+		if resp.StatusCode != c.code {
+			t.Errorf("%s: got %d (%s), want %d", c.name, resp.StatusCode, body, c.code)
+		}
+	}
+	if f.store.Count() != 0 {
+		t.Errorf("rejected submissions persisted: %d", f.store.Count())
+	}
+}
+
+func TestAuxiliaryVectorNamesAccepted(t *testing.T) {
+	f := newFixture(t, nil)
+	tok := f.startSession(t, "u1")
+	for _, v := range []string{"MathJS", "Canvas", "Fonts", "UserAgent", "Hybrid", "Merged Signals"} {
+		resp, body := f.post(t, "/api/v1/fingerprints", SubmitRequest{
+			Token: tok, Records: []FPRecord{{Vector: v, Iteration: 0, Hash: "00ff"}}})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Errorf("vector %q rejected: %d %s", v, resp.StatusCode, body)
+		}
+	}
+}
+
+func TestSessionExpiry(t *testing.T) {
+	f := newFixture(t, func(c *Config) { c.SessionTTL = time.Minute })
+	tok := f.startSession(t, "u1")
+	f.now = f.now.Add(2 * time.Minute)
+	resp, _ := f.post(t, "/api/v1/fingerprints",
+		SubmitRequest{Token: tok, Records: []FPRecord{validRecord(0)}})
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("expired session accepted: %d", resp.StatusCode)
+	}
+}
+
+func TestSessionQuota(t *testing.T) {
+	f := newFixture(t, func(c *Config) { c.MaxRecordsPerSession = 2 })
+	tok := f.startSession(t, "u1")
+	resp, _ := f.post(t, "/api/v1/fingerprints",
+		SubmitRequest{Token: tok, Records: []FPRecord{validRecord(0), validRecord(1)}})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %d", resp.StatusCode)
+	}
+	resp, _ = f.post(t, "/api/v1/fingerprints",
+		SubmitRequest{Token: tok, Records: []FPRecord{validRecord(2)}})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("quota not enforced: %d", resp.StatusCode)
+	}
+}
+
+func TestStats(t *testing.T) {
+	f := newFixture(t, nil)
+	tok := f.startSession(t, "u1")
+	f.post(t, "/api/v1/fingerprints", SubmitRequest{Token: tok, Records: []FPRecord{
+		validRecord(0), {Vector: "FFT", Iteration: 0, Hash: "aa"}, {Vector: "FFT", Iteration: 1, Hash: "ab"},
+	}})
+	resp, err := http.Get(f.ts.URL + "/api/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Records   int            `json:"records"`
+		Users     int            `json:"users"`
+		PerVector map[string]int `json:"per_vector"`
+	}
+	json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if stats.Records != 3 || stats.Users != 1 || stats.PerVector["FFT"] != 2 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestExportAuth(t *testing.T) {
+	f := newFixture(t, nil)
+	tok := f.startSession(t, "u1")
+	f.post(t, "/api/v1/fingerprints", SubmitRequest{Token: tok, Records: []FPRecord{validRecord(0)}})
+
+	// No token.
+	resp, err := http.Get(f.ts.URL + "/api/v1/export")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("unauthenticated export: %d", resp.StatusCode)
+	}
+
+	// Wrong token.
+	req, _ := http.NewRequest(http.MethodGet, f.ts.URL+"/api/v1/export", nil)
+	req.Header.Set("Authorization", "Bearer wrong")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("wrong-token export: %d", resp.StatusCode)
+	}
+
+	// Right token streams NDJSON.
+	req.Header.Set("Authorization", "Bearer admin-secret")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("export: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("export content type %q", ct)
+	}
+	if !strings.Contains(buf.String(), `"user_id":"u1"`) {
+		t.Errorf("export missing record: %q", buf.String())
+	}
+}
+
+func TestExportDisabledWithoutAdminToken(t *testing.T) {
+	f := newFixture(t, func(c *Config) { c.AdminToken = "" })
+	resp, err := http.Get(f.ts.URL + "/api/v1/export")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("export without admin token configured: %d", resp.StatusCode)
+	}
+}
+
+func TestMalformedJSONRejected(t *testing.T) {
+	f := newFixture(t, nil)
+	resp, err := http.Post(f.ts.URL+"/api/v1/sessions", "application/json",
+		strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: %d", resp.StatusCode)
+	}
+	resp, err = http.Post(f.ts.URL+"/api/v1/sessions", "text/plain", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("wrong content type: %d", resp.StatusCode)
+	}
+}
+
+func TestSessionGC(t *testing.T) {
+	f := newFixture(t, func(c *Config) { c.SessionTTL = time.Minute })
+	for i := 0; i < 5; i++ {
+		f.startSession(t, fmt.Sprintf("u%d", i))
+	}
+	if got := f.srv.ActiveSessions(); got != 5 {
+		t.Fatalf("active sessions = %d", got)
+	}
+	f.now = f.now.Add(3 * time.Minute)
+	f.startSession(t, "u-new") // triggers GC
+	if got := f.srv.ActiveSessions(); got != 1 {
+		t.Errorf("after GC: %d sessions, want 1", got)
+	}
+}
+
+func TestNewRequiresStore(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("New without store succeeded")
+	}
+}

@@ -1,0 +1,69 @@
+package dsp
+
+import "math"
+
+// Goertzel evaluates the DFT magnitude of samples at a single target
+// frequency (Hz) for the given sample rate — the cheap way to ask "how much
+// energy does this buffer hold at f?" without a full FFT. Used by engine
+// tests and the tooling that verifies oscillator frequencies.
+func Goertzel(samples []float32, targetHz, sampleRate float64) float64 {
+	n := len(samples)
+	if n == 0 {
+		return 0
+	}
+	k := math.Round(float64(n) * targetHz / sampleRate)
+	w := 2 * math.Pi * k / float64(n)
+	coeff := 2 * math.Cos(w)
+	var s0, s1, s2 float64
+	for _, x := range samples {
+		s0 = float64(x) + coeff*s1 - s2
+		s2 = s1
+		s1 = s0
+	}
+	power := s1*s1 + s2*s2 - coeff*s1*s2
+	if power < 0 {
+		power = 0
+	}
+	return math.Sqrt(power)
+}
+
+// ResampleLinear converts samples from srcRate to dstRate with linear
+// interpolation — the quality class of the cheap resamplers real audio
+// stacks insert when a 44.1 kHz stream meets 48 kHz hardware.
+func ResampleLinear(samples []float32, srcRate, dstRate float64) []float32 {
+	if len(samples) == 0 || srcRate <= 0 || dstRate <= 0 {
+		return nil
+	}
+	if srcRate == dstRate {
+		return append([]float32(nil), samples...)
+	}
+	ratio := srcRate / dstRate
+	outLen := int(float64(len(samples)) / ratio)
+	if outLen < 1 {
+		outLen = 1
+	}
+	out := make([]float32, outLen)
+	for i := range out {
+		pos := float64(i) * ratio
+		idx := int(pos)
+		if idx >= len(samples)-1 {
+			out[i] = samples[len(samples)-1]
+			continue
+		}
+		frac := float32(pos - float64(idx))
+		out[i] = samples[idx] + (samples[idx+1]-samples[idx])*frac
+	}
+	return out
+}
+
+// RMS returns the root-mean-square level of samples, 0 for an empty slice.
+func RMS(samples []float32) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range samples {
+		sum += float64(v) * float64(v)
+	}
+	return math.Sqrt(sum / float64(len(samples)))
+}

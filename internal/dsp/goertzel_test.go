@@ -1,0 +1,121 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func tone(freq, rate float64, n int) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = float32(math.Sin(2 * math.Pi * freq * float64(i) / rate))
+	}
+	return out
+}
+
+func TestGoertzelDetectsTargetTone(t *testing.T) {
+	const rate = 44100
+	buf := tone(1000, rate, 4410)
+	at := Goertzel(buf, 1000, rate)
+	off := Goertzel(buf, 3000, rate)
+	if at < 100*off {
+		t.Errorf("on-bin %g not dominant over off-bin %g", at, off)
+	}
+	if Goertzel(nil, 1000, rate) != 0 {
+		t.Error("empty buffer nonzero")
+	}
+}
+
+func TestGoertzelMatchesFFTBin(t *testing.T) {
+	const n = 2048
+	const rate = 44100
+	// Exact-bin frequency so both methods agree tightly.
+	freq := 10 * rate / float64(n)
+	buf := tone(freq, rate, n)
+
+	f, _ := NewFFT(n, nil)
+	re := make([]float64, n)
+	im := make([]float64, n)
+	for i, v := range buf {
+		re[i] = float64(v)
+	}
+	f.Transform(re, im)
+	fftMag := math.Hypot(re[10], im[10])
+	gz := Goertzel(buf, freq, rate)
+	if math.Abs(fftMag-gz)/fftMag > 1e-6 {
+		t.Errorf("Goertzel %g vs FFT bin %g", gz, fftMag)
+	}
+}
+
+func TestResampleLinearLengthAndContent(t *testing.T) {
+	const src = 44100.0
+	const dst = 48000.0
+	buf := tone(1000, src, 4410) // 100 ms
+	out := ResampleLinear(buf, src, dst)
+	wantLen := int(4410 * dst / src)
+	if len(out) != wantLen {
+		t.Fatalf("resampled length %d, want %d", len(out), wantLen)
+	}
+	// The tone is still at 1000 Hz at the new rate.
+	at := Goertzel(out, 1000, dst)
+	off := Goertzel(out, 2500, dst)
+	if at < 50*off {
+		t.Errorf("resampled tone smeared: on %g, off %g", at, off)
+	}
+}
+
+func TestResampleLinearIdentityAndEdgeCases(t *testing.T) {
+	buf := []float32{1, 2, 3}
+	same := ResampleLinear(buf, 48000, 48000)
+	if len(same) != 3 || same[0] != 1 || same[2] != 3 {
+		t.Errorf("identity resample = %v", same)
+	}
+	// The copy is independent.
+	same[0] = 99
+	if buf[0] != 1 {
+		t.Error("identity resample aliases input")
+	}
+	if ResampleLinear(nil, 44100, 48000) != nil {
+		t.Error("nil input should give nil")
+	}
+	if ResampleLinear(buf, 0, 48000) != nil || ResampleLinear(buf, 44100, -1) != nil {
+		t.Error("invalid rates should give nil")
+	}
+}
+
+// TestResampleRoundTripEnergy: 44.1k → 48k → 44.1k roughly preserves RMS.
+func TestResampleRoundTripEnergy(t *testing.T) {
+	prop := func(seed int64) bool {
+		freq := 100 + float64(seed%97)*40
+		buf := tone(freq, 44100, 4410)
+		up := ResampleLinear(buf, 44100, 48000)
+		down := ResampleLinear(up, 48000, 44100)
+		r0, r1 := RMS(buf), RMS(down)
+		return math.Abs(r0-r1) < 0.05*r0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRMS(t *testing.T) {
+	if RMS(nil) != 0 {
+		t.Error("RMS(nil) != 0")
+	}
+	if got := RMS([]float32{3, 4, 3, 4}); math.Abs(got-3.5355) > 1e-3 {
+		t.Errorf("RMS = %g", got)
+	}
+	// Full-scale sine has RMS 1/√2.
+	if got := RMS(tone(441, 44100, 44100)); math.Abs(got-1/math.Sqrt2) > 1e-3 {
+		t.Errorf("sine RMS = %g, want %g", got, 1/math.Sqrt2)
+	}
+}
+
+func BenchmarkGoertzel(b *testing.B) {
+	buf := tone(1000, 44100, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Goertzel(buf, 1000, 44100)
+	}
+}

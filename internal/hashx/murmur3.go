@@ -1,0 +1,136 @@
+// Package hashx implements MurmurHash3 x64/128 — the non-cryptographic hash
+// FingerprintJS computes browser fingerprints with. The paper's vectors
+// (taken from the FingerprintJS lineage) hash buffers with it in the wild;
+// this port lets the vectors package produce wire-compatible fingerprint
+// strings alongside the default SHA-256.
+package hashx
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"math/bits"
+)
+
+const (
+	c1 = 0x87c37b91114253d5
+	c2 = 0x4cf5ad432745937f
+)
+
+// Sum128 returns the 128-bit MurmurHash3 (x64 variant) of data with the
+// given seed, as two 64-bit halves — a faithful port of Austin Appleby's
+// MurmurHash3_x64_128.
+func Sum128(data []byte, seed uint64) (h1, h2 uint64) {
+	h1, h2 = seed, seed
+	n := len(data)
+
+	// Body: 16-byte blocks.
+	blocks := n / 16
+	for b := 0; b < blocks; b++ {
+		k1 := binary.LittleEndian.Uint64(data[b*16:])
+		k2 := binary.LittleEndian.Uint64(data[b*16+8:])
+
+		k1 *= c1
+		k1 = bits.RotateLeft64(k1, 31)
+		k1 *= c2
+		h1 ^= k1
+		h1 = bits.RotateLeft64(h1, 27)
+		h1 += h2
+		h1 = h1*5 + 0x52dce729
+
+		k2 *= c2
+		k2 = bits.RotateLeft64(k2, 33)
+		k2 *= c1
+		h2 ^= k2
+		h2 = bits.RotateLeft64(h2, 31)
+		h2 += h1
+		h2 = h2*5 + 0x38495ab5
+	}
+
+	// Tail.
+	tail := data[blocks*16:]
+	var k1, k2 uint64
+	switch len(tail) & 15 {
+	case 15:
+		k2 ^= uint64(tail[14]) << 48
+		fallthrough
+	case 14:
+		k2 ^= uint64(tail[13]) << 40
+		fallthrough
+	case 13:
+		k2 ^= uint64(tail[12]) << 32
+		fallthrough
+	case 12:
+		k2 ^= uint64(tail[11]) << 24
+		fallthrough
+	case 11:
+		k2 ^= uint64(tail[10]) << 16
+		fallthrough
+	case 10:
+		k2 ^= uint64(tail[9]) << 8
+		fallthrough
+	case 9:
+		k2 ^= uint64(tail[8])
+		k2 *= c2
+		k2 = bits.RotateLeft64(k2, 33)
+		k2 *= c1
+		h2 ^= k2
+		fallthrough
+	case 8:
+		k1 ^= uint64(tail[7]) << 56
+		fallthrough
+	case 7:
+		k1 ^= uint64(tail[6]) << 48
+		fallthrough
+	case 6:
+		k1 ^= uint64(tail[5]) << 40
+		fallthrough
+	case 5:
+		k1 ^= uint64(tail[4]) << 32
+		fallthrough
+	case 4:
+		k1 ^= uint64(tail[3]) << 24
+		fallthrough
+	case 3:
+		k1 ^= uint64(tail[2]) << 16
+		fallthrough
+	case 2:
+		k1 ^= uint64(tail[1]) << 8
+		fallthrough
+	case 1:
+		k1 ^= uint64(tail[0])
+		k1 *= c1
+		k1 = bits.RotateLeft64(k1, 31)
+		k1 *= c2
+		h1 ^= k1
+	}
+
+	// Finalization.
+	h1 ^= uint64(n)
+	h2 ^= uint64(n)
+	h1 += h2
+	h2 += h1
+	h1 = fmix64(h1)
+	h2 = fmix64(h2)
+	h1 += h2
+	h2 += h1
+	return h1, h2
+}
+
+func fmix64(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	k ^= k >> 33
+	return k
+}
+
+// HexDigest returns the canonical 32-hex-character digest (big-endian
+// rendering of the two halves, as FingerprintJS prints it).
+func HexDigest(data []byte, seed uint64) string {
+	h1, h2 := Sum128(data, seed)
+	var out [16]byte
+	binary.BigEndian.PutUint64(out[:8], h1)
+	binary.BigEndian.PutUint64(out[8:], h2)
+	return hex.EncodeToString(out[:])
+}

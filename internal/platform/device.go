@@ -1,0 +1,246 @@
+package platform
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/mathx"
+	"repro/internal/webaudio"
+)
+
+// Device is one simulated study participant's machine/browser pair. All
+// fingerprinting surfaces derive deterministically from these attributes.
+type Device struct {
+	// ID is the participant identifier.
+	ID string
+	// Country is the ISO code of the participant's country.
+	Country string
+	// OS and OSVersion describe the operating system (detailed build key;
+	// the UA renders a coarser form).
+	OS        OSFamily
+	OSVersion string
+	// Browser and its version components.
+	Browser Browser
+	Major   int
+	Build   int
+	Patch   int
+	// AudioHW labels the audio-stack hardware tier: "win" (uniform),
+	// "mac:<model>", "soc:<chip>" or "libm:<tier>".
+	AudioHW string
+	// SIMD is the CPU SIMD generation the FFT library dispatches on.
+	SIMD string
+	// SampleRate is the device's native audio rate (Hz); live contexts
+	// inherit it, the DC vector's forced-44100 offline context does not.
+	SampleRate float64
+	// GPU identifies the graphics stack (canvas surface).
+	GPU string
+	// GPUDriverQuirk is non-empty for machines whose driver version
+	// produces idiosyncratic canvas raster output (a uniquifying salt).
+	GPUDriverQuirk string
+	// Model is the device model (Android UA component; empty elsewhere).
+	Model string
+	// FontPacks are extra installed font packs, sorted.
+	FontPacks []string
+	// Load is the machine's load level λ ∈ [0,1] driving capture jitter.
+	Load float64
+	// Era selects the audio-stack generation: "" or "2021" for the study
+	// window, "2016" for the pre-standardization era the paper's §6
+	// compares against (entropy 0.38 in [9] vs 0.244 in 2021 — engines have
+	// since unified their math paths).
+	Era string
+}
+
+// Engine returns the device browser's engine lineage.
+func (d *Device) Engine() Engine { return EngineOf(d.Browser) }
+
+// Platform returns the "OS/Browser" key used by the paper's Table 5.
+func (d *Device) Platform() string {
+	return string(d.OS) + "/" + string(d.Browser)
+}
+
+// oscKernel returns the math kernel of the device's oscillator/compressor
+// path: per engine lineage on desktop, per SoC DSP family on Android, per
+// libm tier on Linux.
+func (d *Device) oscKernel() mathx.Kernel {
+	switch d.OS {
+	case Android:
+		// SoCs group into DSP-library families; several SoCs share one.
+		fams := []mathx.Kernel{
+			mathx.Lut1024, mathx.Lut4096, mathx.Poly7,
+			mathx.Fdlib, mathx.Libm,
+			mathx.Perturbed(mathx.Libm, "android-dsp-ne10", 2.1e-7),
+		}
+		return fams[int(derive(d.socGroup(), 0)%uint64(len(fams)))]
+	case Linux:
+		eps := float64(1+derive(d.AudioHW, 0)%900) * 3e-7
+		if d.Engine() == Gecko {
+			return mathx.Perturbed(mathx.Fdlib, "lx-gecko-"+d.AudioHW, eps)
+		}
+		return mathx.Perturbed(mathx.Libm, "lx-blink-"+d.AudioHW, eps)
+	default: // Windows, macOS: uniform per engine lineage
+		if d.Era == "2016" {
+			// Pre-standardization engines leaned on per-OS-build math
+			// libraries, splintering even the desktop stacks (the larger
+			// 2016-era fingerprinting surface of §6).
+			eps := float64(1+derive("era2016:"+string(d.OS)+":"+d.OSVersion, 5)%900) * 3e-7
+			if d.Engine() == Gecko {
+				return mathx.Perturbed(mathx.Fdlib, "gk16:"+string(d.OS)+":"+d.OSVersion, eps)
+			}
+			return mathx.Perturbed(mathx.Libm, "bl16:"+string(d.OS)+":"+d.OSVersion, eps)
+		}
+		if d.Engine() == Gecko {
+			return mathx.Fdlib
+		}
+		return mathx.Libm
+	}
+}
+
+// socGroup coarsens Android SoCs into audio-stack groups: vendors reuse one
+// audio DSP build across several chips, so distinct SoCs frequently share a
+// DC fingerprint (Table 5 finds only 5 DC classes among 21 Android users).
+func (d *Device) socGroup() string {
+	h := derive(d.AudioHW, 7)
+	return fmt.Sprintf("socgrp:%d-%d", h%6, (h>>8)%2)
+}
+
+// fftRev buckets the browser major version into FFT-library revisions:
+// engines periodically swap or retune their FFT backend, which shifts FFT
+// fingerprints across versions without touching the compressor path.
+func (d *Device) fftRev() string {
+	// The revision boundaries coincide with major engine releases — the
+	// same releases that bump the canvas paint generation — so version-
+	// driven audio changes are largely *predictable from* canvas changes,
+	// as the paper's small additive value implies.
+	cut := 89 // Blink revision boundary within the study window
+	if d.Engine() == Gecko {
+		cut = 79
+	}
+	// Non-Chrome Chromium browsers version independently; map to the
+	// underlying Chromium major first.
+	major := d.chromiumMajor()
+	if major >= cut {
+		return "r2"
+	}
+	return "r1"
+}
+
+// chromiumMajor maps the browser's product version to its Chromium base
+// (identity for Chrome/Edge/Silk; fixed mapping for the rebadged browsers).
+func (d *Device) chromiumMajor() int {
+	switch d.Browser {
+	case Opera:
+		return d.Major + 15 // Opera 75 ≈ Chromium 90
+	case SamsungInternet:
+		return 75 + d.Major // Samsung 14 ≈ Chromium 89
+	case Yandex:
+		return 88 + (d.Major - 20) // Yandex 21 ≈ Chromium 89
+	default:
+		return d.Major
+	}
+}
+
+// fftKernel returns the kernel behind the AnalyserNode FFT. Its identity is
+// tied to the same hardware tier that shapes the compressor (macOS model,
+// Android SoC group, Linux libm tier): FFT libraries select codelets per
+// CPU, so the FFT partition largely *refines* the DC partition, as in the
+// paper (FFT 73 vs DC 59 distinct, Hybrid joint only 84). Two mild
+// cross-cutting axes remain — SIMD dispatch on the homogeneous Windows
+// stack, and the engine's FFT-library revision (browser version) — which is
+// what pushes the Hybrid joint slightly past the FFT marginal.
+func (d *Device) fftKernel() mathx.Kernel {
+	base := mathx.Libm
+	lineage := "pffft"
+	if d.Engine() == Gecko {
+		base = mathx.Fdlib
+		lineage = "gkfft"
+	}
+	var label string
+	switch d.OS {
+	case Windows:
+		// Homogeneous hardware population: the engine-bundled FFT library
+		// (per SIMD dispatch and per browser revision) is what varies.
+		label = lineage + ":win:" + d.SIMD + ":" + d.fftRev()
+	case Android:
+		label = lineage + ":" + d.socGroup()
+	default:
+		label = lineage + ":" + d.AudioHW
+	}
+	eps := float64(1+derive(label, 1)%900) * 3e-7
+	return mathx.Perturbed(base, label, eps)
+}
+
+// AudioTraits derives the webaudio engine configuration of this device.
+func (d *Device) AudioTraits() webaudio.Traits {
+	tr := webaudio.DefaultTraits()
+	tr.Kernel = d.oscKernel()
+	tr.FFTKernel = d.fftKernel()
+
+	// Compressor knobs: uniform on Windows (one stack per engine — the
+	// Table 5 signature), per hardware tier elsewhere (Android tiers are
+	// SoC groups: vendors share DSP builds across chips). The 2016-era
+	// stacks additionally fragment per browser major (compressor constants
+	// were still in flux before the spec stabilized).
+	if d.OS != Windows {
+		tier := d.AudioHW
+		if d.OS == Android {
+			tier = d.socGroup()
+		}
+		tr.CompressorKneeEps = float64(1+derive(tier, 2)%4000) * 2e-6
+		tr.CompressorPreDelay = 256 + int(derive(tier, 3)%6)
+	}
+	if d.Era == "2016" {
+		tr.CompressorKneeEps += float64(1+derive(fmt.Sprintf("knee16:%d", d.Major/2), 6)%50) * 4e-5
+	}
+	if d.Engine() == Gecko {
+		// Gecko's compressor constants differ from Blink's across the board.
+		tr.CompressorKneeEps += 9e-4
+		tr.CompressorPreDelay += 8
+	}
+
+	// Older Chromium majors mixed multi-input busses in float32.
+	if d.chromiumMajor() <= 83 && d.Engine() == Blink {
+		tr.MixPrecision = webaudio.Mix32
+	}
+	// Table-based Android DSP families ship FTZ builds.
+	if k := tr.Kernel.Name(); k == "lut1024" || k == "lut4096" {
+		tr.FlushDenormals = true
+	}
+	return tr
+}
+
+// AudioStackKey canonically identifies every trait- and rate-derived aspect
+// of the device's audio identity; devices with equal keys render identical
+// fingerprints (and may therefore share vector-cache entries).
+func (d *Device) AudioStackKey() string {
+	tr := d.AudioTraits()
+	return fmt.Sprintf("%s|%s|%g|%d|%d|%t|%g",
+		tr.Kernel.Name(), tr.FFTKernel.Name(), tr.CompressorKneeEps,
+		tr.CompressorPreDelay, tr.MixPrecision, tr.FlushDenormals, d.SampleRate)
+}
+
+// DCStackKey identifies only the attributes the offline DC vector can see:
+// no FFT kernel, no sample rate, and no mixing precision (the DC graph is a
+// single-input chain, where summing width is irrelevant). Used by tests and
+// diagnostics.
+func (d *Device) DCStackKey() string {
+	tr := d.AudioTraits()
+	return fmt.Sprintf("%s|%g|%d|%t",
+		tr.Kernel.Name(), tr.CompressorKneeEps, tr.CompressorPreDelay,
+		tr.FlushDenormals)
+}
+
+// Version returns the full product version string of the browser.
+func (d *Device) Version() string {
+	switch d.Browser {
+	case SamsungInternet:
+		return fmt.Sprintf("%d.%d", d.Major, d.Patch%3)
+	case Silk:
+		return fmt.Sprintf("%d.%d.%d", d.Major, 2+d.Patch%3, d.Patch%7)
+	case Yandex:
+		return fmt.Sprintf("%d.%d.%d", d.Major, 1+d.Patch%5, d.Build)
+	case Firefox:
+		return strconv.Itoa(d.Major) + ".0"
+	default:
+		return fmt.Sprintf("%d.0.%d.%d", d.Major, d.Build, d.Patch)
+	}
+}

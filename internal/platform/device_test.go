@@ -1,0 +1,222 @@
+package platform_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/population"
+	"repro/internal/vectors"
+)
+
+func sampleDevices(t *testing.T, n int) []*platform.Device {
+	t.Helper()
+	return population.Sample(population.Config{Seed: 20220325, N: n})
+}
+
+func TestUserAgentFormats(t *testing.T) {
+	devs := sampleDevices(t, 600)
+	for _, d := range devs {
+		ua := d.UserAgent()
+		if !strings.HasPrefix(ua, "Mozilla/5.0 (") {
+			t.Fatalf("UA missing prefix: %q", ua)
+		}
+		switch d.Browser {
+		case platform.Firefox:
+			if !strings.Contains(ua, "Gecko/20100101 Firefox/") {
+				t.Fatalf("Firefox UA malformed: %q", ua)
+			}
+			if strings.Contains(ua, "Chrome/") {
+				t.Fatalf("Firefox UA contains Chrome token: %q", ua)
+			}
+		case platform.Edge:
+			if !strings.Contains(ua, " Edg/") {
+				t.Fatalf("Edge UA missing Edg token: %q", ua)
+			}
+		case platform.Opera:
+			if !strings.Contains(ua, " OPR/") {
+				t.Fatalf("Opera UA missing OPR token: %q", ua)
+			}
+		case platform.SamsungInternet:
+			if !strings.Contains(ua, "SamsungBrowser/") {
+				t.Fatalf("Samsung UA malformed: %q", ua)
+			}
+		}
+		switch d.OS {
+		case platform.Windows:
+			if !strings.Contains(ua, "Windows NT") {
+				t.Fatalf("Windows UA missing platform: %q", ua)
+			}
+		case platform.Android:
+			if !strings.Contains(ua, "Android "+d.OSVersion) || !strings.Contains(ua, d.Model) {
+				t.Fatalf("Android UA missing version/model: %q", ua)
+			}
+			if !strings.Contains(ua, "Mobile") && d.Browser != platform.Firefox {
+				t.Fatalf("Android UA not mobile: %q", ua)
+			}
+		case platform.MacOS:
+			if !strings.Contains(ua, "Macintosh; Intel Mac OS X") {
+				t.Fatalf("macOS UA missing platform: %q", ua)
+			}
+		}
+	}
+}
+
+func TestEngineOf(t *testing.T) {
+	if platform.EngineOf(platform.Firefox) != platform.Gecko {
+		t.Error("Firefox should be Gecko")
+	}
+	for _, b := range []platform.Browser{platform.Chrome, platform.Edge, platform.Opera,
+		platform.SamsungInternet, platform.Silk, platform.Yandex} {
+		if platform.EngineOf(b) != platform.Blink {
+			t.Errorf("%s should be Blink", b)
+		}
+	}
+}
+
+func TestSurfaceDeterminism(t *testing.T) {
+	devs := sampleDevices(t, 50)
+	for _, d := range devs {
+		if d.CanvasFingerprint() != d.CanvasFingerprint() ||
+			d.FontsFingerprint() != d.FontsFingerprint() ||
+			d.MathJSFingerprint() != d.MathJSFingerprint() ||
+			d.AudioStackKey() != d.AudioStackKey() {
+			t.Fatalf("device %s surfaces nondeterministic", d.ID)
+		}
+	}
+}
+
+func TestWindowsBlinkSharesOneDCStack(t *testing.T) {
+	devs := sampleDevices(t, 2093)
+	keys := map[string]struct{}{}
+	for _, d := range devs {
+		if d.OS == platform.Windows && d.Engine() == platform.Blink {
+			keys[d.DCStackKey()] = struct{}{}
+		}
+	}
+	if len(keys) != 1 {
+		t.Errorf("Windows/Blink DC stacks = %d, want exactly 1 (Table 5)", len(keys))
+	}
+}
+
+// TestDistinctStackKeysRenderDistinctFingerprints is the linchpin: the
+// population's platform classes must be *physically* distinguishable by the
+// vectors, not just nominally labeled. Every distinct DC stack key must
+// produce a distinct DC hash, and every distinct audio stack key a distinct
+// 7-vector fingerprint tuple.
+func TestDistinctStackKeysRenderDistinctFingerprints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rendering sweep skipped in -short mode")
+	}
+	devs := sampleDevices(t, 2093)
+
+	// One representative device per audio stack key.
+	reps := map[string]*platform.Device{}
+	for _, d := range devs {
+		if _, ok := reps[d.AudioStackKey()]; !ok {
+			reps[d.AudioStackKey()] = d
+		}
+	}
+	t.Logf("%d distinct audio stacks to render", len(reps))
+
+	dcByKey := map[string]string{}   // DCStackKey -> DC hash
+	comboSeen := map[string]string{} // combined tuple -> stack key
+	for key, d := range reps {
+		r := vectors.NewRunner(d.AudioTraits(), d.SampleRate)
+		fps, err := r.RunAll(0)
+		if err != nil {
+			t.Fatalf("stack %s: %v", key, err)
+		}
+		// DC uniqueness per DC stack key.
+		dcKey := d.DCStackKey()
+		if prev, ok := dcByKey[dcKey]; ok {
+			if prev != fps[0].Hash {
+				t.Errorf("same DC stack %q produced two DC hashes", dcKey)
+			}
+		} else {
+			for k2, h := range dcByKey {
+				if h == fps[0].Hash && k2 != dcKey {
+					t.Errorf("DC stacks %q and %q collide on DC hash", k2, dcKey)
+				}
+			}
+			dcByKey[dcKey] = fps[0].Hash
+		}
+		// Combined tuple uniqueness per audio stack key.
+		var sb strings.Builder
+		for _, fp := range fps {
+			sb.WriteString(fp.Hash)
+		}
+		if prev, dup := comboSeen[sb.String()]; dup {
+			t.Errorf("audio stacks %q and %q render identical 7-vector tuples", prev, key)
+		}
+		comboSeen[sb.String()] = key
+	}
+}
+
+func TestJitterModelShape(t *testing.T) {
+	m := platform.DefaultJitter()
+	rng := rand.New(rand.NewSource(1))
+
+	// DC never jitters, at any load.
+	for i := 0; i < 100; i++ {
+		if m.Offset(rng, 1.0, vectors.DC) != 0 {
+			t.Fatal("DC produced a nonzero capture offset")
+		}
+	}
+	// Zero load never jitters.
+	for _, v := range vectors.FFTBased {
+		for i := 0; i < 100; i++ {
+			if m.Offset(rng, 0, v) != 0 {
+				t.Fatalf("%v jittered at zero load", v)
+			}
+		}
+	}
+	// Offsets stay inside the per-vector state pool.
+	for _, v := range vectors.FFTBased {
+		maxSeen := 0
+		for i := 0; i < 20000; i++ {
+			off := m.Offset(rng, 1.0, v)
+			if off > maxSeen {
+				maxSeen = off
+			}
+		}
+		if maxSeen >= m.MaxStates[v] {
+			t.Errorf("%v offset %d ≥ pool size %d", v, maxSeen, m.MaxStates[v])
+		}
+		if maxSeen == 0 {
+			t.Errorf("%v never jittered at full load", v)
+		}
+	}
+	// Sensitivity ordering: AM/FM > Merged > Hybrid ≥ FFT (Table 1 means).
+	s := m.Sensitivity
+	if !(s[vectors.AM] > s[vectors.MergedSignals] &&
+		s[vectors.MergedSignals] > s[vectors.Hybrid] &&
+		s[vectors.Hybrid] >= s[vectors.FFT]) {
+		t.Errorf("sensitivity ordering wrong: %v", s)
+	}
+}
+
+func TestSampleLoadDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	zero, sum := 0, 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		l := platform.SampleLoad(rng)
+		if l < 0 || l > 1 {
+			t.Fatalf("load %g out of [0,1]", l)
+		}
+		if l == 0 {
+			zero++
+		}
+		sum += l
+	}
+	zfrac := float64(zero) / n
+	if zfrac < 0.25 || zfrac > 0.35 {
+		t.Errorf("idle fraction = %.3f, want ≈ 0.30", zfrac)
+	}
+	mean := sum / n
+	if mean < 0.15 || mean > 0.32 {
+		t.Errorf("mean load = %.3f, want ≈ 0.23", mean)
+	}
+}

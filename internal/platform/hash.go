@@ -1,0 +1,51 @@
+// Package platform models the device/browser population of the paper's user
+// study. It is the substitution substrate for the 2093 human participants we
+// cannot re-recruit (see DESIGN.md): each Device carries the attributes a
+// real participant's machine would have — OS and version, browser and
+// version, audio hardware tier, CPU SIMD generation, native sample rate,
+// GPU, installed fonts, machine load — and derives from them, fully
+// deterministically, the webaudio engine traits, the User-Agent string, and
+// the Canvas / Font / Math-JS fingerprinting surfaces.
+//
+// The derivations encode the causal structure the paper reports:
+//
+//   - Windows browsers share one audio stack per engine lineage (Table 5:
+//     393 Windows/Chrome users, one DC fingerprint) while macOS and Android
+//     audio stacks vary per hardware model (5 DC fingerprints in 30 and 21
+//     users respectively).
+//   - The FFT path varies along axes the compressor path does not see (FFT
+//     library SIMD dispatch, device sample rate) and vice versa (compressor
+//     knee/pre-delay per hardware tier), so neither partition refines the
+//     other — the reason Hybrid has more distinct values than either.
+//   - Math-JS fingerprints depend on the JS engine, not the audio stack:
+//     V8 is uniform everywhere, SpiderMonkey varies by version and OS libm.
+package platform
+
+import "hash/fnv"
+
+// hash64 returns the FNV-1a hash of s, the deterministic root of all
+// label-derived parameters.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// splitmix64 advances the SplitMix64 generator; used to derive independent
+// sub-seeds from one label hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// derive returns the n-th independent 64-bit value derived from label.
+func derive(label string, n int) uint64 {
+	x := hash64(label)
+	for i := 0; i <= n; i++ {
+		x = splitmix64(x)
+	}
+	return x
+}

@@ -1,0 +1,185 @@
+package platform
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// UserAgent renders the device's User-Agent header, the comparison vector of
+// the paper's Table 3 and §4 W3C analysis.
+func (d *Device) UserAgent() string {
+	switch d.OS {
+	case Windows:
+		nt := "10.0"
+		if strings.HasPrefix(d.OSVersion, "6.") {
+			nt = d.OSVersion[:3]
+		}
+		platform := fmt.Sprintf("Windows NT %s; Win64; x64", nt)
+		return d.uaForPlatform(platform, false)
+	case MacOS:
+		platform := "Macintosh; Intel Mac OS X " + d.OSVersion
+		return d.uaForPlatform(platform, false)
+	case Linux:
+		platform := "X11; Linux " + strings.SplitN(d.OSVersion, "-", 2)[0]
+		if d.Browser == Firefox {
+			platform = "X11; Linux x86_64"
+		}
+		return d.uaForPlatform(platform, false)
+	default: // Android
+		platform := fmt.Sprintf("Linux; Android %s; %s", d.OSVersion, d.Model)
+		return d.uaForPlatform(platform, true)
+	}
+}
+
+func (d *Device) uaForPlatform(platform string, mobile bool) string {
+	if d.Browser == Firefox {
+		return fmt.Sprintf("Mozilla/5.0 (%s; rv:%d.0) Gecko/20100101 Firefox/%d.0",
+			platform, d.Major, d.Major)
+	}
+	chromiumVer := fmt.Sprintf("%d.0.%d.%d", d.chromiumMajor(), 4000+d.Build%1000, d.Patch)
+	if d.Browser == Chrome || d.Browser == Edge || d.Browser == Opera {
+		chromiumVer = fmt.Sprintf("%d.0.%d.%d", d.chromiumMajor(), d.Build, d.Patch)
+	}
+	tail := "Safari/537.36"
+	if mobile {
+		tail = "Mobile Safari/537.36"
+	}
+	ua := fmt.Sprintf("Mozilla/5.0 (%s) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/%s %s",
+		platform, chromiumVer, tail)
+	switch d.Browser {
+	case Edge:
+		ua += " Edg/" + d.Version()
+	case Opera:
+		ua += " OPR/" + d.Version()
+	case Yandex:
+		ua += " YaBrowser/" + d.Version() + " Yowser/2.5"
+	case SamsungInternet:
+		// Samsung places its token before the Chrome token; approximate by
+		// appending (identity content is equivalent).
+		ua += " SamsungBrowser/" + d.Version()
+	case Silk:
+		ua += " Silk/" + d.Version()
+	}
+	return ua
+}
+
+// CanvasFingerprint returns the hash a FingerprintJS-style canvas probe
+// would produce: it depends on the GPU/driver raster path, the OS build's
+// text rasterizer, the browser's paint generation, and — for a minority of
+// machines — a driver-version quirk that makes the raster output unique
+// (the long singleton tail the paper's Table 3 shows: 224 of 352 canvas
+// values were unique).
+func (d *Device) CanvasFingerprint() string {
+	return surfaceHash("canvas",
+		string(d.OS), d.canvasOSBucket(), d.GPU, d.GPUDriverQuirk,
+		string(d.Engine()), d.paintGeneration(),
+	)
+}
+
+// canvasOSBucket coarsens the OS build into text-rasterizer generations:
+// canvas text output shifts at major OS releases, not at every patch build.
+func (d *Device) canvasOSBucket() string {
+	switch d.OS {
+	case Windows:
+		if strings.HasPrefix(d.OSVersion, "6.") {
+			return "win-legacy"
+		}
+		return "win10"
+	case MacOS:
+		return "mac-" + strings.SplitN(d.OSVersion, "_", 2)[0]
+	case Android:
+		return "android-" + d.OSVersion
+	default:
+		return "linux"
+	}
+}
+
+// paintGeneration buckets the engine version into paint-pipeline
+// generations: canvas raster output changes across engine releases, but far
+// less often than the version number does.
+func (d *Device) paintGeneration() string {
+	if d.Engine() == Gecko {
+		if d.Major <= 78 {
+			return "gk1"
+		}
+		return "gk2"
+	}
+	switch m := d.chromiumMajor(); {
+	case m <= 85:
+		return "bl1"
+	case m <= 88:
+		return "bl2"
+	default:
+		return "bl3"
+	}
+}
+
+// FontsFingerprint returns the JS font-probe hash: the OS build's base font
+// set plus every detected extra pack.
+func (d *Device) FontsFingerprint() string {
+	parts := []string{"fonts", string(d.OS), baseFontSet(d.OS, d.OSVersion)}
+	packs := append([]string(nil), d.FontPacks...)
+	sort.Strings(packs)
+	parts = append(parts, packs...)
+	return surfaceHash(parts[0], parts[1:]...)
+}
+
+// baseFontSet buckets OS builds into base-font generations.
+func baseFontSet(os OSFamily, version string) string {
+	switch os {
+	case Windows:
+		if strings.HasPrefix(version, "6.") {
+			return "win-legacy"
+		}
+		return "win10-" + version[strings.LastIndex(version, ".")+1:]
+	case MacOS:
+		return "mac-" + strings.SplitN(version, "_", 2)[0]
+	case Android:
+		return "android-" + version
+	default:
+		return "linux-" + version
+	}
+}
+
+// MathJSFingerprint returns the Math-object fingerprint (Saito et al.) the
+// paper's §5 follow-up compares against: the outputs of JS Math functions on
+// probe constants. V8 ships its own fdlibm port, identical on every OS;
+// SpiderMonkey historically leaned on the system libm, so it varies by
+// version *and* OS — the structure of Table 5.
+func (d *Device) MathJSFingerprint() string {
+	if d.Engine() == Blink {
+		// V8 standardized its Math implementation (its own fdlibm port)
+		// well before the study window: one class on every OS.
+		return surfaceHash("mathjs", "v8")
+	}
+	bucket := "fx-88"
+	switch {
+	case d.Major <= 78:
+		bucket = "fx-esr"
+	case d.Major <= 86:
+		bucket = "fx-86"
+	case d.Major == 87:
+		bucket = "fx-87"
+	}
+	// SpiderMonkey bundles its own math on Windows/macOS but leans on the
+	// system libm on Linux builds.
+	libm := "bundled"
+	if d.OS == Linux {
+		libm = "system"
+	}
+	return surfaceHash("mathjs", "gecko", bucket, libm)
+}
+
+// surfaceHash hashes a labeled tuple into a fingerprint string.
+func surfaceHash(kind string, parts ...string) string {
+	h := sha256.New()
+	h.Write([]byte(kind))
+	for _, p := range parts {
+		h.Write([]byte{0x1f})
+		h.Write([]byte(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))[:32]
+}

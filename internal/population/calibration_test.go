@@ -1,0 +1,200 @@
+package population
+
+import (
+	"testing"
+
+	"repro/internal/diversity"
+	"repro/internal/platform"
+)
+
+// drawMain samples the main-study population (N=2093) deterministically.
+func drawMain(t *testing.T) []*platform.Device {
+	t.Helper()
+	return Sample(Config{Seed: 20220325, N: 2093})
+}
+
+// TestDemographicsMatchPaper checks the §2.3 marginals: browser-engine split
+// 90.4/9.6 and the OS mix, within sampling tolerance.
+func TestDemographicsMatchPaper(t *testing.T) {
+	devs := drawMain(t)
+	n := float64(len(devs))
+	osCount := map[platform.OSFamily]int{}
+	firefox := 0
+	countries := map[string]int{}
+	for _, d := range devs {
+		osCount[d.OS]++
+		if d.Browser == platform.Firefox {
+			firefox++
+		}
+		countries[d.Country]++
+	}
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+		tol  float64
+	}{
+		{"Firefox share", float64(firefox) / n, 0.096, 0.02},
+		{"Windows share", float64(osCount[platform.Windows]) / n, 0.785, 0.03},
+		{"macOS share", float64(osCount[platform.MacOS]) / n, 0.094, 0.02},
+		{"Android share", float64(osCount[platform.Android]) / n, 0.069, 0.02},
+		{"Linux share", float64(osCount[platform.Linux]) / n, 0.052, 0.02},
+	}
+	for _, c := range checks {
+		if c.got < c.want-c.tol || c.got > c.want+c.tol {
+			t.Errorf("%s = %.3f, want %.3f ± %.3f", c.name, c.got, c.want, c.tol)
+		}
+	}
+	// Country coverage: many countries, top-4 each ≥ 100 users (paper).
+	if len(countries) < 40 {
+		t.Errorf("only %d countries represented, want ≥ 40", len(countries))
+	}
+	for _, cc := range []string{"US", "IN", "BR", "IT"} {
+		if countries[cc] < 100 {
+			t.Errorf("country %s has %d users, want ≥ 100", cc, countries[cc])
+		}
+	}
+}
+
+// TestSurfaceDiversityCalibration reports and bounds the diversity of the
+// non-audio surfaces against the paper's Table 3 and the audio *stack-class*
+// counts that upper-bound Table 2 (collation makes fingerprint classes equal
+// stack classes). Tolerances are generous — this is a different (simulated)
+// population — but the ordering and rough magnitudes must match.
+func TestSurfaceDiversityCalibration(t *testing.T) {
+	devs := drawMain(t)
+	ua := make([]string, len(devs))
+	canvas := make([]string, len(devs))
+	fonts := make([]string, len(devs))
+	dcStack := make([]string, len(devs))
+	audioStack := make([]string, len(devs))
+	for i, d := range devs {
+		ua[i] = d.UserAgent()
+		canvas[i] = d.CanvasFingerprint()
+		fonts[i] = d.FontsFingerprint()
+		dcStack[i] = d.DCStackKey()
+		audioStack[i] = d.AudioStackKey()
+	}
+	report := func(name string, s diversity.Summary, wantDistinct int, wantEntropy float64) {
+		t.Logf("%-12s distinct=%4d unique=%4d entropy=%.3f norm=%.3f (paper: distinct≈%d, entropy≈%.3f)",
+			name, s.Distinct, s.Unique, s.EntropyBits, s.Normalized, wantDistinct, wantEntropy)
+	}
+	sUA := diversity.Summarize(ua)
+	sCanvas := diversity.Summarize(canvas)
+	sFonts := diversity.Summarize(fonts)
+	sDC := diversity.Summarize(dcStack)
+	sAudio := diversity.Summarize(audioStack)
+	report("UA", sUA, 427, 6.466)
+	report("Canvas", sCanvas, 352, 6.109)
+	report("Fonts", sFonts, 690, 7.146)
+	report("DC-stack", sDC, 59, 1.935)
+	report("Audio-stack", sAudio, 95, 2.803)
+
+	// Paper-shape assertions (generous bands).
+	if sDC.Distinct < 40 || sDC.Distinct > 80 {
+		t.Errorf("DC stack classes = %d, want ≈ 59", sDC.Distinct)
+	}
+	if sAudio.Distinct < 70 || sAudio.Distinct > 145 {
+		t.Errorf("audio stack classes = %d, want ≈ 95", sAudio.Distinct)
+	}
+	if sCanvas.Distinct < 250 || sCanvas.Distinct > 460 {
+		t.Errorf("canvas distinct = %d, want ≈ 352", sCanvas.Distinct)
+	}
+	if sUA.Distinct < 300 || sUA.Distinct > 560 {
+		t.Errorf("UA distinct = %d, want ≈ 427", sUA.Distinct)
+	}
+	if sFonts.Distinct < 520 || sFonts.Distinct > 860 {
+		t.Errorf("fonts distinct = %d, want ≈ 690", sFonts.Distinct)
+	}
+	// Ordering: audio ≪ canvas < UA < fonts in entropy (Tables 2–3).
+	if !(sAudio.EntropyBits < sCanvas.EntropyBits &&
+		sCanvas.EntropyBits < sUA.EntropyBits &&
+		sUA.EntropyBits < sFonts.EntropyBits) {
+		t.Errorf("entropy ordering violated: audio=%.2f canvas=%.2f ua=%.2f fonts=%.2f",
+			sAudio.EntropyBits, sCanvas.EntropyBits, sUA.EntropyBits, sFonts.EntropyBits)
+	}
+}
+
+// TestFollowUpMathJS reproduces the structure of Tables 4 and 5: few
+// Math-JS classes (V8 uniform; Gecko split by version/OS), more DC stack
+// classes, with the per-platform pattern (Windows/Chrome: 1 DC & 1 MathJS;
+// macOS & Android Chrome: several DC, 1 MathJS; Windows/Firefox: 1 DC,
+// several MathJS).
+func TestFollowUpMathJS(t *testing.T) {
+	devs := Sample(Config{Seed: 20210601, N: 528, Mix: FollowUpMix(), IDPrefix: "f"})
+	mathjs := make([]string, len(devs))
+	dc := make([]string, len(devs))
+	plat := make([]string, len(devs))
+	for i, d := range devs {
+		mathjs[i] = d.MathJSFingerprint()
+		dc[i] = d.DCStackKey()
+		plat[i] = d.Platform()
+	}
+	sM := diversity.Summarize(mathjs)
+	sD := diversity.Summarize(dc)
+	t.Logf("follow-up: MathJS distinct=%d entropy=%.3f (paper 7, 0.416); DC distinct=%d entropy=%.3f (paper 16, 1.301)",
+		sM.Distinct, sM.EntropyBits, sD.Distinct, sD.EntropyBits)
+	if sM.Distinct < 4 || sM.Distinct > 12 {
+		t.Errorf("MathJS distinct = %d, want ≈ 7", sM.Distinct)
+	}
+	if sD.Distinct < 10 || sD.Distinct > 34 {
+		t.Errorf("DC distinct = %d, want ≈ 16", sD.Distinct)
+	}
+	if sM.EntropyBits >= sD.EntropyBits {
+		t.Errorf("MathJS entropy %.3f ≥ DC entropy %.3f — audio must exceed MathJS",
+			sM.EntropyBits, sD.EntropyBits)
+	}
+
+	perPlatDC, err := diversity.DistinctPerGroup(plat, dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perPlatM, err := diversity.DistinctPerGroup(plat, mathjs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := diversity.GroupSizes(plat)
+	for _, p := range []string{"Windows/Chrome", "macOS/Chrome", "Windows/Edge", "Windows/Firefox", "Android/Chrome"} {
+		t.Logf("platform %-17s users=%3d DC=%d MathJS=%d", p, sizes[p], perPlatDC[p], perPlatM[p])
+	}
+	if perPlatDC["Windows/Chrome"] != 1 || perPlatM["Windows/Chrome"] != 1 {
+		t.Errorf("Windows/Chrome: DC=%d MathJS=%d, want 1/1 (Table 5)",
+			perPlatDC["Windows/Chrome"], perPlatM["Windows/Chrome"])
+	}
+	if perPlatDC["macOS/Chrome"] < 3 {
+		t.Errorf("macOS/Chrome DC classes = %d, want ≥ 3 (Table 5: 5)", perPlatDC["macOS/Chrome"])
+	}
+	if perPlatM["macOS/Chrome"] != 1 {
+		t.Errorf("macOS/Chrome MathJS = %d, want 1", perPlatM["macOS/Chrome"])
+	}
+	if perPlatDC["Android/Chrome"] < 3 {
+		t.Errorf("Android/Chrome DC classes = %d, want ≥ 3 (Table 5: 5)", perPlatDC["Android/Chrome"])
+	}
+	if perPlatM["Windows/Firefox"] < 2 {
+		t.Errorf("Windows/Firefox MathJS = %d, want ≥ 2 (Table 5: 3)", perPlatM["Windows/Firefox"])
+	}
+	if perPlatDC["Windows/Firefox"] != 1 {
+		t.Errorf("Windows/Firefox DC = %d, want 1", perPlatDC["Windows/Firefox"])
+	}
+}
+
+// TestDeterministicSampling: equal configs yield identical populations.
+func TestDeterministicSampling(t *testing.T) {
+	a := Sample(Config{Seed: 7, N: 50})
+	b := Sample(Config{Seed: 7, N: 50})
+	for i := range a {
+		if a[i].UserAgent() != b[i].UserAgent() || a[i].AudioStackKey() != b[i].AudioStackKey() {
+			t.Fatalf("sampling not deterministic at device %d", i)
+		}
+	}
+	c := Sample(Config{Seed: 8, N: 50})
+	same := 0
+	for i := range a {
+		if a[i].AudioStackKey() == c[i].AudioStackKey() {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical populations")
+	}
+}

@@ -1,0 +1,171 @@
+// Package population samples simulated study populations whose demographic
+// mix matches the paper's §2.3: 2093 participants over 57 countries (US,
+// India, Brazil, Italy each ≥ 100), 90.4% Chromium-family browsers and 9.6%
+// Firefox, and an OS mix of Windows 78.5%, macOS 9.4%, Android 6.9%, Linux
+// 5.2% — plus the §5 follow-up population (528 users, 74% Windows/Chrome,
+// Table 5's platform mix).
+package population
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/platform"
+)
+
+// Mix parameterizes the OS and per-OS browser distribution of a population.
+type Mix struct {
+	// OS maps each family to its sampling weight.
+	OS map[platform.OSFamily]float64
+	// Browser maps each family to its browser weights.
+	Browser map[platform.OSFamily]map[platform.Browser]float64
+}
+
+// MainStudyMix reproduces §2.3's demographics. The per-OS browser weights
+// are chosen so the Firefox marginal lands at 9.6%.
+func MainStudyMix() Mix {
+	return Mix{
+		OS: map[platform.OSFamily]float64{
+			platform.Windows: 0.785,
+			platform.MacOS:   0.094,
+			platform.Android: 0.069,
+			platform.Linux:   0.052,
+		},
+		Browser: map[platform.OSFamily]map[platform.Browser]float64{
+			platform.Windows: {
+				platform.Chrome: 0.795, platform.Edge: 0.075,
+				platform.Firefox: 0.095, platform.Opera: 0.025,
+				platform.Yandex: 0.010,
+			},
+			platform.MacOS: {
+				platform.Chrome: 0.85, platform.Firefox: 0.12, platform.Opera: 0.03,
+			},
+			platform.Android: {
+				platform.Chrome: 0.72, platform.SamsungInternet: 0.22,
+				platform.Silk: 0.04, platform.Yandex: 0.02,
+			},
+			platform.Linux: {
+				platform.Chrome: 0.52, platform.Firefox: 0.42, platform.Opera: 0.06,
+			},
+		},
+	}
+}
+
+// FollowUpMix reproduces the §5 follow-up study's platform shares
+// (Table 5: Windows/Chrome 74%, macOS/Chrome 5.7%, Windows/Edge 5.1%,
+// Windows/Firefox 4.7%, Android/Chrome 4%).
+func FollowUpMix() Mix {
+	return Mix{
+		OS: map[platform.OSFamily]float64{
+			platform.Windows: 0.85,
+			platform.MacOS:   0.07,
+			platform.Android: 0.05,
+			platform.Linux:   0.03,
+		},
+		Browser: map[platform.OSFamily]map[platform.Browser]float64{
+			platform.Windows: {
+				platform.Chrome: 0.875, platform.Edge: 0.06,
+				platform.Firefox: 0.055, platform.Opera: 0.01,
+			},
+			platform.MacOS: {
+				platform.Chrome: 0.82, platform.Firefox: 0.15, platform.Opera: 0.03,
+			},
+			platform.Android: {
+				platform.Chrome: 0.80, platform.SamsungInternet: 0.20,
+			},
+			platform.Linux: {
+				platform.Chrome: 0.60, platform.Firefox: 0.40,
+			},
+		},
+	}
+}
+
+// Config controls a population draw.
+type Config struct {
+	// Seed is the master seed; equal configs sample identical populations.
+	Seed int64
+	// N is the number of participants.
+	N int
+	// Mix selects the demographic mix; zero value means MainStudyMix.
+	Mix Mix
+	// IDPrefix prefixes participant IDs (default "u").
+	IDPrefix string
+	// Era selects the audio-stack generation ("" / "2021" = study window,
+	// "2016" = the §6 pre-standardization comparison era).
+	Era string
+}
+
+// Sample draws a population of N devices.
+func Sample(cfg Config) []*platform.Device {
+	if cfg.Mix.OS == nil {
+		cfg.Mix = MainStudyMix()
+	}
+	if cfg.IDPrefix == "" {
+		cfg.IDPrefix = "u"
+	}
+	master := rand.New(rand.NewSource(cfg.Seed))
+	devices := make([]*platform.Device, cfg.N)
+	for i := range devices {
+		devices[i] = sampleDevice(rand.New(rand.NewSource(master.Int63())), cfg.Mix,
+			fmt.Sprintf("%s%05d", cfg.IDPrefix, i))
+		devices[i].Era = cfg.Era
+	}
+	return devices
+}
+
+func sampleDevice(rng *rand.Rand, mix Mix, id string) *platform.Device {
+	d := &platform.Device{ID: id}
+	d.OS = sampleOS(rng, mix.OS)
+	d.Browser = sampleBrowser(rng, mix.Browser[d.OS])
+	d.Country = platform.SampleCountry(rng)
+	d.OSVersion = platform.SampleOSVersion(rng, d.OS)
+	d.Major, d.Build, d.Patch = platform.SampleBrowserVersion(rng, d.Browser)
+	d.AudioHW, d.Model = platform.SampleAudioHardware(rng, d.OS)
+	d.SampleRate = platform.SampleRateFor(rng, d.OS)
+	d.GPU = platform.GPUFor(rng, d.OS, d.AudioHW)
+	d.SIMD = platform.SIMDFor(d.OS, d.AudioHW, d.GPU)
+	if rng.Float64() < 0.05 {
+		d.GPUDriverQuirk = "drv-" + id
+	}
+	d.FontPacks = platform.SampleFontPacks(rng)
+	d.Load = platform.SampleLoad(rng)
+	return d
+}
+
+func sampleOS(rng *rand.Rand, weights map[platform.OSFamily]float64) platform.OSFamily {
+	order := []platform.OSFamily{platform.Windows, platform.MacOS, platform.Android, platform.Linux}
+	var total float64
+	for _, os := range order {
+		total += weights[os]
+	}
+	f := rng.Float64() * total
+	for _, os := range order {
+		if f < weights[os] {
+			return os
+		}
+		f -= weights[os]
+	}
+	return order[len(order)-1]
+}
+
+func sampleBrowser(rng *rand.Rand, weights map[platform.Browser]float64) platform.Browser {
+	order := []platform.Browser{
+		platform.Chrome, platform.Edge, platform.Opera,
+		platform.SamsungInternet, platform.Silk, platform.Yandex, platform.Firefox,
+	}
+	var total float64
+	for _, b := range order {
+		total += weights[b]
+	}
+	if total == 0 {
+		return platform.Chrome
+	}
+	f := rng.Float64() * total
+	for _, b := range order {
+		if f < weights[b] {
+			return b
+		}
+		f -= weights[b]
+	}
+	return platform.Chrome
+}

@@ -1,0 +1,47 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// JSON renders the table as a JSON array of objects keyed by the headers —
+// the machine-readable form downstream plotting pipelines consume. Cells
+// that parse as numbers are emitted as numbers.
+func (t *Table) JSON() ([]byte, error) {
+	rows := make([]map[string]any, 0, len(t.rows))
+	for _, row := range t.rows {
+		obj := make(map[string]any, len(t.headers))
+		for i, h := range t.headers {
+			if i >= len(row) {
+				break
+			}
+			obj[h] = parseCell(row[i])
+		}
+		rows = append(rows, obj)
+	}
+	doc := map[string]any{"title": t.title, "rows": rows}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// WriteJSON writes the JSON form to w.
+func (t *Table) WriteJSON(w io.Writer) error {
+	b, err := t.JSON()
+	if err != nil {
+		return fmt.Errorf("report: marshal table: %w", err)
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}
+
+func parseCell(s string) any {
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return i
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f
+	}
+	return s
+}

@@ -1,0 +1,43 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzStoreScan feeds arbitrary bytes as a store file: Open must never
+// panic, must count only valid records, and All must agree with Count.
+func FuzzStoreScan(f *testing.F) {
+	f.Add([]byte(`{"session_id":"s","user_id":"u","vector":"DC","iteration":0,"hash":"aa","received_at":"2021-03-01T00:00:00Z"}`))
+	f.Add([]byte("not json at all\n{{{{"))
+	f.Add([]byte("{\"user_id\":\"u\"}\n\x00\x01\x02"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.ndjson")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		s, err := Open(path, Options{})
+		if err != nil {
+			return // I/O-level failure is acceptable; panics are not
+		}
+		defer s.Close()
+		recs, err := s.All()
+		if err != nil {
+			return
+		}
+		if len(recs) != s.Count() {
+			t.Fatalf("All() returned %d records, Count() = %d", len(recs), s.Count())
+		}
+		for _, r := range recs {
+			if r.Validate() != nil {
+				t.Fatalf("invalid record surfaced from scan: %+v", r)
+			}
+		}
+		// The store must remain appendable after ingesting garbage.
+		if err := s.Append(Record{UserID: "u", Vector: "DC", Hash: "aa"}); err != nil {
+			t.Fatalf("append after fuzz data: %v", err)
+		}
+	})
+}

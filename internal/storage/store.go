@@ -1,0 +1,195 @@
+// Package storage persists collected fingerprint observations as an
+// append-only NDJSON log — the role Cloud Firebase played for the paper's
+// collection site. One JSON object per line, fsync-able, safely readable
+// while being appended, tolerant of a truncated final line after a crash.
+package storage
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Record is one collected elementary fingerprint observation.
+type Record struct {
+	// SessionID identifies the collection session that produced the record.
+	SessionID string `json:"session_id"`
+	// UserID is the participant identifier.
+	UserID string `json:"user_id"`
+	// Vector is the fingerprinting vector name (vectors.ID.String form).
+	Vector string `json:"vector"`
+	// Iteration is the 0-based repetition index.
+	Iteration int `json:"iteration"`
+	// Hash is the elementary fingerprint (hex digest).
+	Hash string `json:"hash"`
+	// Sum is the scalar summary reported alongside the hash.
+	Sum float64 `json:"sum,omitempty"`
+	// UserAgent is the submitting browser's UA header.
+	UserAgent string `json:"user_agent,omitempty"`
+	// Surfaces carries auxiliary fingerprints (canvas, fonts, mathjs, …).
+	Surfaces map[string]string `json:"surfaces,omitempty"`
+	// ReceivedAt is the server receive time (UTC).
+	ReceivedAt time.Time `json:"received_at"`
+}
+
+// Validate reports whether the record is well-formed enough to store.
+func (r *Record) Validate() error {
+	switch {
+	case r.UserID == "":
+		return errors.New("storage: record missing user_id")
+	case r.Vector == "":
+		return errors.New("storage: record missing vector")
+	case r.Hash == "":
+		return errors.New("storage: record missing hash")
+	case r.Iteration < 0:
+		return fmt.Errorf("storage: negative iteration %d", r.Iteration)
+	}
+	return nil
+}
+
+// Store is an append-only NDJSON record log. Safe for concurrent use.
+type Store struct {
+	mu    sync.Mutex
+	f     *os.File
+	w     *bufio.Writer
+	path  string
+	count int
+	sync  bool
+}
+
+// Options configures Open.
+type Options struct {
+	// SyncEveryAppend fsyncs after every Append batch (durable, slower).
+	SyncEveryAppend bool
+}
+
+// Open opens (creating if needed) the store at path and counts existing
+// records. A trailing partial line (crash artifact) is tolerated and
+// ignored.
+func Open(path string, opts Options) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open %s: %w", path, err)
+	}
+	s := &Store{f: f, w: bufio.NewWriter(f), path: path, sync: opts.SyncEveryAppend}
+	if err := s.scan(func(Record) error { s.count++; return nil }); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Path returns the backing file path.
+func (s *Store) Path() string { return s.path }
+
+// Count returns the number of records (excluding any corrupt lines).
+func (s *Store) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// Append validates and persists records atomically with respect to other
+// Append calls.
+func (s *Store) Append(recs ...Record) error {
+	for i := range recs {
+		if err := recs[i].Validate(); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range recs {
+		line, err := json.Marshal(&recs[i])
+		if err != nil {
+			return fmt.Errorf("storage: marshal: %w", err)
+		}
+		if _, err := s.w.Write(line); err != nil {
+			return fmt.Errorf("storage: write: %w", err)
+		}
+		if err := s.w.WriteByte('\n'); err != nil {
+			return fmt.Errorf("storage: write: %w", err)
+		}
+	}
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("storage: flush: %w", err)
+	}
+	if s.sync {
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("storage: sync: %w", err)
+		}
+	}
+	s.count += len(recs)
+	return nil
+}
+
+// scan streams every valid record from disk through fn. Corrupt or partial
+// lines are skipped. Caller must hold no lock; scan opens its own handle so
+// it can run during appends.
+func (s *Store) scan(fn func(Record) error) error {
+	rf, err := os.Open(s.path)
+	if err != nil {
+		return fmt.Errorf("storage: reopen %s: %w", s.path, err)
+	}
+	defer rf.Close()
+	sc := bufio.NewScanner(rf)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	for sc.Scan() {
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			continue // tolerate torn/corrupt lines
+		}
+		if rec.Validate() != nil {
+			continue
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// All loads every record from disk.
+func (s *Store) All() ([]Record, error) {
+	s.mu.Lock()
+	if err := s.w.Flush(); err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	s.mu.Unlock()
+	var out []Record
+	err := s.scan(func(r Record) error { out = append(out, r); return nil })
+	return out, err
+}
+
+// WriteTo streams the raw NDJSON log to w (the export endpoint's body).
+func (s *Store) WriteTo(w io.Writer) (int64, error) {
+	s.mu.Lock()
+	if err := s.w.Flush(); err != nil {
+		s.mu.Unlock()
+		return 0, err
+	}
+	s.mu.Unlock()
+	rf, err := os.Open(s.path)
+	if err != nil {
+		return 0, err
+	}
+	defer rf.Close()
+	return io.Copy(w, rf)
+}
+
+// Close flushes and closes the backing file.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.w.Flush(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}

@@ -1,0 +1,474 @@
+package study
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/collate"
+	"repro/internal/diversity"
+	"repro/internal/vectors"
+)
+
+// ---------------------------------------------------------------------------
+// Table 1 — stability: distinct fingerprints per user over k iterations.
+
+// StabilityRow is one column of the paper's Table 1.
+type StabilityRow struct {
+	Vector vectors.ID
+	Min    int
+	Max    int
+	Mean   float64
+}
+
+// DistinctPerUser returns, for vector v, how many distinct elementary
+// fingerprints each user emitted across all iterations.
+func (ds *Dataset) DistinctPerUser(v vectors.ID) []int {
+	obs := ds.Obs[v]
+	out := make([]int, len(obs))
+	for ui, row := range obs {
+		seen := make(map[string]struct{}, 4)
+		for _, h := range row {
+			seen[h] = struct{}{}
+		}
+		out[ui] = len(seen)
+	}
+	return out
+}
+
+// Table1 computes the per-vector Min/Max/Mean of distinct fingerprints per
+// user (paper Table 1).
+func (ds *Dataset) Table1() []StabilityRow {
+	rows := make([]StabilityRow, 0, len(vectors.All))
+	for _, v := range vectors.All {
+		counts := ds.DistinctPerUser(v)
+		row := StabilityRow{Vector: v, Min: counts[0], Max: counts[0]}
+		sum := 0
+		for _, c := range counts {
+			if c < row.Min {
+				row.Min = c
+			}
+			if c > row.Max {
+				row.Max = c
+			}
+			sum += c
+		}
+		row.Mean = float64(sum) / float64(len(counts))
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Figure3 returns the bar/CDF data of the distinct-fingerprint distribution
+// for one vector (the paper plots Hybrid).
+func (ds *Dataset) Figure3(v vectors.ID) diversity.Histogram {
+	return diversity.NewHistogram(ds.DistinctPerUser(v))
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5 — cluster agreement across disjoint iteration subsets.
+
+// AgreementPoint is one (vector, subset size) mean-AMI measurement.
+type AgreementPoint struct {
+	Vector  vectors.ID
+	S       int
+	MeanAMI float64
+	Pairs   int
+}
+
+// AgreementScores computes, for each vector and subset size s, the mean
+// pairwise AMI between the user clusterings produced by the ⌊k/s⌋ disjoint
+// iteration subsets (paper §3.3, Fig. 5).
+func (ds *Dataset) AgreementScores(sValues []int) ([]AgreementPoint, error) {
+	users := ds.UserIDs()
+	var out []AgreementPoint
+	for _, v := range vectors.All {
+		for _, s := range sValues {
+			subs := subsetIterations(ds.Iterations, s)
+			if len(subs) < 2 {
+				continue
+			}
+			labelings := make([][]int, len(subs))
+			for i, iters := range subs {
+				labelings[i] = ds.Graph(v, iters).Labels(users)
+			}
+			var sum float64
+			pairs := 0
+			for i := 0; i < len(labelings); i++ {
+				for j := i + 1; j < len(labelings); j++ {
+					ami, err := cluster.AMI(labelings[i], labelings[j])
+					if err != nil {
+						return nil, fmt.Errorf("study: AMI(%v, s=%d): %w", v, s, err)
+					}
+					sum += ami
+					pairs++
+				}
+			}
+			out = append(out, AgreementPoint{Vector: v, S: s, MeanAMI: sum / float64(pairs), Pairs: pairs})
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Table 6 — fingerprint match scores.
+
+// MatchScoreRow reports, for one vector and subset size, the fraction of
+// held-out user subsets that point uniquely back to the user's training
+// cluster.
+type MatchScoreRow struct {
+	Vector vectors.ID
+	S      int
+	Score  float64
+	Trials int
+}
+
+// MatchScores implements §3.3's match-score measurement: the first size-s
+// subset trains a collation graph; every remaining subset of every user is
+// matched against it without insertion.
+func (ds *Dataset) MatchScores(sValues []int) []MatchScoreRow {
+	var out []MatchScoreRow
+	for _, v := range vectors.All {
+		for _, s := range sValues {
+			subs := subsetIterations(ds.Iterations, s)
+			if len(subs) < 2 {
+				continue
+			}
+			training := ds.Graph(v, subs[0])
+			success, trials := 0, 0
+			for ui, user := range ds.Users {
+				want, ok := training.ClusterOf(user)
+				if !ok {
+					continue
+				}
+				for _, iters := range subs[1:] {
+					hashes := make([]string, len(iters))
+					for k, it := range iters {
+						hashes[k] = ds.Obs[v][ui][it]
+					}
+					got, res := training.Match(hashes)
+					trials++
+					if res == collate.MatchUnique && got == want {
+						success++
+					}
+				}
+			}
+			out = append(out, MatchScoreRow{
+				Vector: v, S: s,
+				Score:  float64(success) / float64(trials),
+				Trials: trials,
+			})
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Tables 2 & 3 — diversity.
+
+// DiversityRow is one row of the paper's diversity tables.
+type DiversityRow struct {
+	Name string
+	diversity.Summary
+}
+
+// CombinedLabels returns each user's tuple of collated cluster labels
+// across all seven vectors — the "Combined" row of Table 2.
+func (ds *Dataset) CombinedLabels() []string {
+	parts := make([][]int, len(vectors.All))
+	for i, v := range vectors.All {
+		parts[i] = ds.Labels(v)
+	}
+	combined, err := diversity.Combine(parts...)
+	if err != nil {
+		panic(err) // impossible: all slices share Devices length
+	}
+	return combined
+}
+
+// Table2 computes the diversity of the 7 collated audio vectors plus their
+// combination (paper Table 2).
+func (ds *Dataset) Table2() []DiversityRow {
+	rows := make([]DiversityRow, 0, len(vectors.All)+1)
+	for _, v := range vectors.All {
+		g := ds.FullGraph(v)
+		sum := diversity.Summarize(ds.Labels(v))
+		// Distinct/Unique per the paper are cluster counts in the graph.
+		sum.Distinct = g.NumClusters()
+		sum.Unique = g.UniqueClusters()
+		rows = append(rows, DiversityRow{Name: v.String(), Summary: sum})
+	}
+	rows = append(rows, DiversityRow{Name: "Combined", Summary: diversity.Summarize(ds.CombinedLabels())})
+	return rows
+}
+
+// Table3 computes the diversity of the Canvas, Fonts and User-Agent vectors
+// (paper Table 3).
+func (ds *Dataset) Table3() []DiversityRow {
+	return []DiversityRow{
+		{Name: "Canvas", Summary: diversity.Summarize(ds.Canvas)},
+		{Name: "Fonts", Summary: diversity.Summarize(ds.Fonts)},
+		{Name: "User-Agent", Summary: diversity.Summarize(ds.UA)},
+	}
+}
+
+// ---------------------------------------------------------------------------
+// §4 — User-Agent span analysis (the W3C contradiction).
+
+// UASpanResult quantifies how often one UA string hides several audio
+// fingerprints, refuting the W3C claim that Web Audio merely reveals
+// UA-derivable information.
+type UASpanResult struct {
+	// Vector is the audio vector whose clusters were compared.
+	Vector vectors.ID
+	// MultiUserUAs is the number of UA strings shared by ≥ 2 users.
+	MultiUserUAs int
+	// MultiUserUAUsers is how many users those UAs cover.
+	MultiUserUAUsers int
+	// SpanningUAs is how many multi-user UAs span ≥ 2 audio clusters.
+	SpanningUAs int
+	// SpanningUAUsers is how many users the spanning UAs cover.
+	SpanningUAUsers int
+	// MaxClustersPerUA is the largest number of audio clusters observed
+	// under a single UA string.
+	MaxClustersPerUA int
+	// UAsWith5Plus counts UAs associated with ≥ 5 distinct clusters.
+	UAsWith5Plus int
+}
+
+// UASpan computes the §4 analysis for vector v.
+func (ds *Dataset) UASpan(v vectors.ID) UASpanResult {
+	labels := ds.Labels(v)
+	byUA := make(map[string][]int)
+	for i := range ds.Users {
+		byUA[ds.UA[i]] = append(byUA[ds.UA[i]], labels[i])
+	}
+	res := UASpanResult{Vector: v}
+	for _, ls := range byUA {
+		if len(ls) < 2 {
+			continue
+		}
+		res.MultiUserUAs++
+		res.MultiUserUAUsers += len(ls)
+		distinct := make(map[int]struct{}, len(ls))
+		for _, l := range ls {
+			distinct[l] = struct{}{}
+		}
+		if len(distinct) >= 2 {
+			res.SpanningUAs++
+			res.SpanningUAUsers += len(ls)
+		}
+		if len(distinct) >= 5 {
+			res.UAsWith5Plus++
+		}
+		if len(distinct) > res.MaxClustersPerUA {
+			res.MaxClustersPerUA = len(distinct)
+		}
+	}
+	return res
+}
+
+// ---------------------------------------------------------------------------
+// §4 — additive value of audio fingerprinting.
+
+// AdditiveResult quantifies the entropy a fingerprinting surface gains when
+// the combined audio fingerprint is appended to it.
+type AdditiveResult struct {
+	Name         string
+	Base         diversity.Summary
+	WithAudio    diversity.Summary
+	NormIncrease float64 // (e'_norm − e_norm) / e_norm
+}
+
+// AdditiveValue measures the combined-audio uplift over a base surface
+// (per-user values aligned with Users).
+func (ds *Dataset) AdditiveValue(name string, base []string) AdditiveResult {
+	audio := ds.CombinedLabels()
+	joint, err := diversity.Combine(base, audio)
+	if err != nil {
+		panic(err)
+	}
+	b := diversity.Summarize(base)
+	w := diversity.Summarize(joint)
+	res := AdditiveResult{Name: name, Base: b, WithAudio: w}
+	if b.Normalized > 0 {
+		res.NormIncrease = (w.Normalized - b.Normalized) / b.Normalized
+	}
+	return res
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9 — cross-vector cluster agreement heatmap.
+
+// PairwiseVectorAMI returns the AMI between the collated clusterings of all
+// seven vectors, in vectors.All order.
+func (ds *Dataset) PairwiseVectorAMI() ([][]float64, error) {
+	labelings := make([][]int, len(vectors.All))
+	for i, v := range vectors.All {
+		labelings[i] = ds.Labels(v)
+	}
+	return cluster.PairwiseAMI(labelings)
+}
+
+// ---------------------------------------------------------------------------
+// §5 — ranking robustness across user subsets.
+
+// RankingResult reports the e_norm ranking of the 9 vectors (7 audio
+// collated + Canvas + Fonts + UA) per user subset.
+type RankingResult struct {
+	// Rankings[i] is subset i's vector names, most diverse first.
+	Rankings [][]string
+	// Consistent is true when every subset produced the same order.
+	Consistent bool
+}
+
+// SubsetRanking divides users into `parts` disjoint equal subsets, computes
+// each fingerprinting vector's normalized entropy within each subset, and
+// checks whether the induced rankings agree (paper §5).
+func (ds *Dataset) SubsetRanking(parts int) RankingResult {
+	type namedValues struct {
+		name   string
+		values []string
+	}
+	all := make([]namedValues, 0, 10)
+	for _, v := range vectors.All {
+		labels := ds.Labels(v)
+		vals := make([]string, len(labels))
+		for i, l := range labels {
+			vals[i] = fmt.Sprint(l)
+		}
+		all = append(all, namedValues{v.String(), vals})
+	}
+	all = append(all,
+		namedValues{"Canvas", ds.Canvas},
+		namedValues{"Fonts", ds.Fonts},
+		namedValues{"User-Agent", ds.UA},
+	)
+
+	n := len(ds.Users)
+	res := RankingResult{Consistent: true}
+	for p := 0; p < parts; p++ {
+		lo, hi := p*n/parts, (p+1)*n/parts
+		type scored struct {
+			name string
+			e    float64
+		}
+		scores := make([]scored, 0, len(all))
+		for _, nv := range all {
+			scores = append(scores, scored{nv.name, diversity.NormalizedEntropy(nv.values[lo:hi])})
+		}
+		sort.SliceStable(scores, func(i, j int) bool { return scores[i].e > scores[j].e })
+		rank := make([]string, len(scores))
+		for i, s := range scores {
+			rank[i] = s.name
+		}
+		res.Rankings = append(res.Rankings, rank)
+		if p > 0 {
+			for i := range rank {
+				if rank[i] != res.Rankings[0][i] {
+					res.Consistent = false
+				}
+			}
+		}
+	}
+	return res
+}
+
+// ---------------------------------------------------------------------------
+// Tables 4 & 5 — the Math-JS follow-up (run on a follow-up dataset).
+
+// Table4 computes the diversity of DC, FFT, Hybrid (collated) and Math-JS
+// on this dataset (the paper runs it on the 528-user follow-up population).
+func (ds *Dataset) Table4() []DiversityRow {
+	rows := make([]DiversityRow, 0, 4)
+	for _, v := range []vectors.ID{vectors.DC, vectors.FFT, vectors.Hybrid} {
+		g := ds.FullGraph(v)
+		sum := diversity.Summarize(ds.Labels(v))
+		sum.Distinct = g.NumClusters()
+		sum.Unique = g.UniqueClusters()
+		rows = append(rows, DiversityRow{Name: v.String(), Summary: sum})
+	}
+	rows = append(rows, DiversityRow{
+		Name:    "Math JS",
+		Summary: diversity.Summarize(ds.MathJS),
+	})
+	return rows
+}
+
+// Table5Row compares distinct DC and Math-JS fingerprints on one platform.
+type Table5Row struct {
+	Platform string
+	Users    int
+	DC       int
+	MathJS   int
+}
+
+// Table5 computes the per-platform DC vs Math-JS comparison, for platforms
+// with at least minUsers participants, ordered by descending user count.
+func (ds *Dataset) Table5(minUsers int) []Table5Row {
+	plats := ds.Platforms
+	mjs := ds.MathJS
+	dcLabels := ds.Labels(vectors.DC)
+	dc := make([]string, len(dcLabels))
+	for i, l := range dcLabels {
+		dc[i] = fmt.Sprint(l)
+	}
+	sizes := diversity.GroupSizes(plats)
+	perDC, _ := diversity.DistinctPerGroup(plats, dc)
+	perMJS, _ := diversity.DistinctPerGroup(plats, mjs)
+
+	var rows []Table5Row
+	for p, n := range sizes {
+		if n < minUsers {
+			continue
+		}
+		rows = append(rows, Table5Row{Platform: p, Users: n, DC: perDC[p], MathJS: perMJS[p]})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Users != rows[j].Users {
+			return rows[i].Users > rows[j].Users
+		}
+		return rows[i].Platform < rows[j].Platform
+	})
+	return rows
+}
+
+// ---------------------------------------------------------------------------
+// Ablation — naive exact-hash identity vs graph collation.
+
+// NaiveMatchScores is the ablation baseline for MatchScores: the
+// fingerprinter keys each user on the single elementary fingerprint from
+// the first training iteration and recognizes a return visit only when the
+// held-out subset contains that exact hash. No collation graph. For the
+// perfectly stable DC vector this matches the graph method; for every
+// fickle vector it shows why the paper's §3.2 collation is necessary.
+func (ds *Dataset) NaiveMatchScores(sValues []int) []MatchScoreRow {
+	var out []MatchScoreRow
+	for _, v := range vectors.All {
+		for _, s := range sValues {
+			subs := subsetIterations(ds.Iterations, s)
+			if len(subs) < 2 {
+				continue
+			}
+			success, trials := 0, 0
+			for ui := range ds.Users {
+				key := ds.Obs[v][ui][subs[0][0]]
+				for _, iters := range subs[1:] {
+					trials++
+					for _, it := range iters {
+						if ds.Obs[v][ui][it] == key {
+							success++
+							break
+						}
+					}
+				}
+			}
+			out = append(out, MatchScoreRow{
+				Vector: v, S: s,
+				Score:  float64(success) / float64(trials),
+				Trials: trials,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package study
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/population"
+)
+
+var (
+	fuOnce sync.Once
+	fuDS   *Dataset
+	fuErr  error
+)
+
+// followUpDataset simulates the §5 follow-up campaign: 528 users, Table 5's
+// platform mix, rendered fingerprints (not stack-key proxies).
+func followUpDataset(t *testing.T) *Dataset {
+	t.Helper()
+	fuOnce.Do(func() {
+		fuDS, fuErr = Run(Config{
+			Seed: 20210601, Users: 528, Iterations: 30,
+			Mix: population.FollowUpMix(), IDPrefix: "f",
+		})
+	})
+	if fuErr != nil {
+		t.Fatalf("follow-up run: %v", fuErr)
+	}
+	return fuDS
+}
+
+// TestTable4FollowUp reproduces Table 4's shape: Math-JS is far less
+// diverse than any Web Audio vector — audio fingerprinting goes beyond
+// Math-JS fingerprinting.
+func TestTable4FollowUp(t *testing.T) {
+	ds := followUpDataset(t)
+	rows := ds.Table4()
+	byName := map[string]DiversityRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+		t.Logf("Table4 %-8s distinct=%2d unique=%2d entropy=%.3f norm=%.3f",
+			r.Name, r.Distinct, r.Unique, r.EntropyBits, r.Normalized)
+	}
+	mjs := byName["Math JS"]
+	dc := byName["DC"]
+	fft := byName["FFT"]
+	if mjs.Distinct < 3 || mjs.Distinct > 12 {
+		t.Errorf("MathJS distinct = %d, want ≈ 7", mjs.Distinct)
+	}
+	if dc.Distinct < 10 || dc.Distinct > 40 {
+		t.Errorf("DC distinct = %d, want ≈ 16", dc.Distinct)
+	}
+	if mjs.Distinct >= dc.Distinct {
+		t.Errorf("MathJS distinct %d ≥ DC distinct %d", mjs.Distinct, dc.Distinct)
+	}
+	if mjs.EntropyBits >= dc.EntropyBits {
+		t.Errorf("MathJS entropy %.3f ≥ DC entropy %.3f", mjs.EntropyBits, dc.EntropyBits)
+	}
+	if fft.EntropyBits <= dc.EntropyBits {
+		t.Errorf("FFT entropy %.3f ≤ DC entropy %.3f", fft.EntropyBits, dc.EntropyBits)
+	}
+}
+
+// TestTable5FollowUp reproduces the per-platform DC vs Math-JS pattern:
+// Windows platforms look uniform on both, macOS and Android hide hardware
+// diversity that only the audio path reveals, and Firefox splits on
+// Math-JS instead.
+func TestTable5FollowUp(t *testing.T) {
+	ds := followUpDataset(t)
+	rows := ds.Table5(10)
+	byPlat := map[string]Table5Row{}
+	for _, r := range rows {
+		byPlat[r.Platform] = r
+		t.Logf("Table5 %-18s users=%3d DC=%2d MathJS=%d", r.Platform, r.Users, r.DC, r.MathJS)
+	}
+	wc, ok := byPlat["Windows/Chrome"]
+	if !ok || wc.Users < 300 {
+		t.Fatalf("Windows/Chrome row missing or tiny: %+v", wc)
+	}
+	if wc.DC != 1 || wc.MathJS != 1 {
+		t.Errorf("Windows/Chrome DC/MathJS = %d/%d, want 1/1", wc.DC, wc.MathJS)
+	}
+	if mc, ok := byPlat["macOS/Chrome"]; ok {
+		if mc.DC < 3 {
+			t.Errorf("macOS/Chrome DC = %d, want ≥ 3 (Table 5: 5)", mc.DC)
+		}
+		if mc.MathJS != 1 {
+			t.Errorf("macOS/Chrome MathJS = %d, want 1", mc.MathJS)
+		}
+	}
+	if ac, ok := byPlat["Android/Chrome"]; ok {
+		if ac.DC < 3 {
+			t.Errorf("Android/Chrome DC = %d, want ≥ 3 (Table 5: 5)", ac.DC)
+		}
+		if ac.MathJS != 1 {
+			t.Errorf("Android/Chrome MathJS = %d, want 1", ac.MathJS)
+		}
+	}
+	if wf, ok := byPlat["Windows/Firefox"]; ok {
+		if wf.DC != 1 {
+			t.Errorf("Windows/Firefox DC = %d, want 1", wf.DC)
+		}
+		if wf.MathJS < 2 {
+			t.Errorf("Windows/Firefox MathJS = %d, want ≥ 2 (Table 5: 3)", wf.MathJS)
+		}
+	}
+	// Rows are sorted by descending user count.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Users > rows[i-1].Users {
+			t.Errorf("Table 5 rows out of order at %d", i)
+		}
+	}
+}

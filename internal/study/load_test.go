@@ -1,0 +1,141 @@
+package study
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/storage"
+	"repro/internal/vectors"
+)
+
+// TestRecordsRoundTrip: export → import preserves every analysis input.
+func TestRecordsRoundTrip(t *testing.T) {
+	ds, err := Run(Config{Seed: 13, Users: 60, Iterations: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := ds.ToRecords(time.Unix(1616284800, 0).UTC())
+	wantRecs := 60 * 8 * len(vectors.All)
+	if len(recs) != wantRecs {
+		t.Fatalf("exported %d records, want %d", len(recs), wantRecs)
+	}
+	for _, r := range recs {
+		if err := r.Validate(); err != nil {
+			t.Fatalf("exported record invalid: %v", err)
+		}
+	}
+
+	back, err := FromRecords(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Users) != len(ds.Users) || back.Iterations != ds.Iterations {
+		t.Fatalf("loaded %d users / %d iterations", len(back.Users), back.Iterations)
+	}
+	for i, u := range ds.Users {
+		if back.Users[i] != u {
+			t.Fatalf("user order differs at %d", i)
+		}
+		if back.UA[i] != ds.UA[i] || back.Canvas[i] != ds.Canvas[i] ||
+			back.Fonts[i] != ds.Fonts[i] || back.MathJS[i] != ds.MathJS[i] ||
+			back.Platforms[i] != ds.Platforms[i] {
+			t.Fatalf("surfaces differ for user %s", u)
+		}
+	}
+	for _, v := range vectors.All {
+		for ui := range ds.Users {
+			for it := 0; it < ds.Iterations; it++ {
+				if ds.Obs[v][ui][it] != back.Obs[v][ui][it] {
+					t.Fatalf("%v user %d iter %d differs", v, ui, it)
+				}
+			}
+		}
+	}
+
+	// Analyses agree on both datasets (entropy compared with a float
+	// tolerance: map iteration order permutes the summation).
+	a := ds.Table2()
+	b := back.Table2()
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Distinct != b[i].Distinct ||
+			a[i].Unique != b[i].Unique ||
+			math.Abs(a[i].EntropyBits-b[i].EntropyBits) > 1e-9 {
+			t.Errorf("Table2 row %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestRecordsRoundTripViaStore: the full path through the NDJSON store.
+func TestRecordsRoundTripViaStore(t *testing.T) {
+	ds, err := Run(Config{Seed: 14, Users: 20, Iterations: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := storage.Open(t.TempDir()+"/fp.ndjson", storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Append(ds.ToRecords(time.Now().UTC())...); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := st.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromRecords(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := ds.Table1()
+	bt := back.Table1()
+	for i := range at {
+		if at[i] != bt[i] {
+			t.Errorf("Table1 row %d differs after store round trip", i)
+		}
+	}
+}
+
+func TestFromRecordsValidation(t *testing.T) {
+	if _, err := FromRecords(nil); err == nil {
+		t.Error("empty records accepted")
+	}
+	// A user missing a whole vector is rejected.
+	recs := []storage.Record{
+		{UserID: "u1", Vector: "DC", Iteration: 0, Hash: "aa", ReceivedAt: time.Now()},
+	}
+	if _, err := FromRecords(recs); err == nil {
+		t.Error("records missing vectors accepted")
+	}
+}
+
+// TestFromRecordsToleratesSparseIterations: ragged per-user coverage is
+// compacted to the common minimum.
+func TestFromRecordsToleratesSparseIterations(t *testing.T) {
+	var recs []storage.Record
+	add := func(user, vec string, it int, h string) {
+		recs = append(recs, storage.Record{
+			UserID: user, Vector: vec, Iteration: it, Hash: h,
+			ReceivedAt: time.Now(),
+		})
+	}
+	for _, v := range vectors.All {
+		// u1 has 3 iterations; u2 only 2 (and with a gap).
+		add("u1", v.String(), 0, "a0")
+		add("u1", v.String(), 1, "a1")
+		add("u1", v.String(), 2, "a2")
+		add("u2", v.String(), 0, "b0")
+		add("u2", v.String(), 5, "b5")
+	}
+	ds, err := FromRecords(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Iterations != 2 {
+		t.Fatalf("iterations = %d, want 2 (common minimum)", ds.Iterations)
+	}
+	if ds.Obs[vectors.DC][1][1] != "b5" {
+		t.Errorf("gap not compacted: %q", ds.Obs[vectors.DC][1][1])
+	}
+}

@@ -1,0 +1,140 @@
+package study
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/collate"
+	"repro/internal/platform"
+	"repro/internal/population"
+	"repro/internal/vectors"
+)
+
+// Longitudinal tracking: the paper's related work (FP-STALKER, Vastel et
+// al.) studies how fingerprints *evolve* as browsers update and whether a
+// tracker can ride through the changes. This module simulates a population
+// over a sequence of epochs in which browsers occasionally upgrade their
+// major version — which can shift the engine's FFT-library revision and
+// mixing behaviour, and with them the audio fingerprint — and measures how
+// well graph collation re-identifies users across epochs.
+
+// LongitudinalConfig parameterizes a tracking simulation.
+type LongitudinalConfig struct {
+	// Seed drives population sampling, upgrades and jitter.
+	Seed int64
+	// Users is the tracked population size.
+	Users int
+	// Epochs is the number of observation rounds (e.g. weeks).
+	Epochs int
+	// UpgradeProb is each user's per-epoch probability of a browser major
+	// upgrade.
+	UpgradeProb float64
+	// SamplesPerEpoch is how many times the vector runs per user per epoch.
+	SamplesPerEpoch int
+	// Vector is the fingerprinting vector tracked (default Hybrid).
+	Vector vectors.ID
+}
+
+// LongitudinalResult summarizes a tracking simulation.
+type LongitudinalResult struct {
+	Users  int
+	Epochs int
+	// Upgrades counts browser-major upgrade events.
+	Upgrades int
+	// FingerprintShifts counts upgrades that changed the user's audio
+	// stack (and therefore their elementary fingerprints).
+	FingerprintShifts int
+	// EpochAccuracy[e] is the fraction of users correctly re-identified at
+	// epoch e ≥ 1 against the graph built from epochs < e.
+	EpochAccuracy []float64
+	// MeanAccuracy averages EpochAccuracy.
+	MeanAccuracy float64
+}
+
+// String renders a one-line summary.
+func (r LongitudinalResult) String() string {
+	return fmt.Sprintf("users=%d epochs=%d upgrades=%d shifts=%d mean-accuracy=%.4f",
+		r.Users, r.Epochs, r.Upgrades, r.FingerprintShifts, r.MeanAccuracy)
+}
+
+// Longitudinal runs the simulation.
+func Longitudinal(cfg LongitudinalConfig) (LongitudinalResult, error) {
+	if cfg.Users <= 0 || cfg.Epochs < 2 {
+		return LongitudinalResult{}, fmt.Errorf("study: need ≥1 user and ≥2 epochs (got %d, %d)",
+			cfg.Users, cfg.Epochs)
+	}
+	if cfg.SamplesPerEpoch <= 0 {
+		cfg.SamplesPerEpoch = 3
+	}
+	if cfg.Vector == 0 {
+		cfg.Vector = vectors.Hybrid
+	}
+
+	devs := population.Sample(population.Config{Seed: cfg.Seed, N: cfg.Users})
+	jitter := platform.DefaultJitter()
+	cache := vectors.NewCache()
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x4c4f4e47))
+
+	res := LongitudinalResult{Users: cfg.Users, Epochs: cfg.Epochs}
+	graph := collate.NewGraph()
+
+	collect := func(d *platform.Device) ([]string, error) {
+		runner := vectors.NewRunner(d.AudioTraits(), d.SampleRate)
+		stack := d.AudioStackKey()
+		out := make([]string, cfg.SamplesPerEpoch)
+		for i := range out {
+			fp, err := cache.Run(stack, runner, cfg.Vector, jitter.Offset(rng, d.Load, cfg.Vector))
+			if err != nil {
+				return nil, err
+			}
+			out[i] = fp.Hash
+		}
+		return out, nil
+	}
+
+	// Epoch 0: enrollment.
+	for _, d := range devs {
+		hashes, err := collect(d)
+		if err != nil {
+			return res, err
+		}
+		for _, h := range hashes {
+			graph.AddObservation(d.ID, h)
+		}
+	}
+
+	for e := 1; e < cfg.Epochs; e++ {
+		correct := 0
+		for _, d := range devs {
+			// Possible browser upgrade between epochs.
+			if rng.Float64() < cfg.UpgradeProb {
+				res.Upgrades++
+				before := d.AudioStackKey()
+				d.Major++
+				if after := d.AudioStackKey(); after != before {
+					res.FingerprintShifts++
+				}
+			}
+			hashes, err := collect(d)
+			if err != nil {
+				return res, err
+			}
+			want, known := graph.ClusterOf(d.ID)
+			got, m := graph.Match(hashes)
+			if known && m == collate.MatchUnique && got == want {
+				correct++
+			}
+			// The tracker records what it saw regardless.
+			for _, h := range hashes {
+				graph.AddObservation(d.ID, h)
+			}
+		}
+		res.EpochAccuracy = append(res.EpochAccuracy, float64(correct)/float64(len(devs)))
+	}
+	var sum float64
+	for _, a := range res.EpochAccuracy {
+		sum += a
+	}
+	res.MeanAccuracy = sum / float64(len(res.EpochAccuracy))
+	return res, nil
+}

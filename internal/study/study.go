@@ -1,0 +1,240 @@
+// Package study orchestrates the paper's measurement methodology end to
+// end: it runs the seven fingerprinting vectors k times against every
+// (simulated) participant, collates elementary fingerprints with the
+// bipartite-graph method of §3.2, and implements every analysis in the
+// evaluation — stability (Table 1, Fig. 3), cluster agreement (Fig. 5),
+// match scores (Table 6), diversity (Tables 2–3), the UA/W3C analysis and
+// additive-value computation (§4), the Math-JS follow-up (Tables 4–5),
+// cross-vector agreement (Fig. 9) and the §5 subset-ranking robustness
+// check.
+package study
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/collate"
+	"repro/internal/platform"
+	"repro/internal/population"
+	"repro/internal/vectors"
+)
+
+// Config controls a simulated study run.
+type Config struct {
+	// Seed drives population sampling and per-iteration jitter draws.
+	Seed int64
+	// Users is the participant count (paper: 2093 main, 528 follow-up).
+	Users int
+	// Iterations is the per-vector repetition count k (paper: 30).
+	Iterations int
+	// Mix selects the demographic mix; zero value = main-study mix.
+	Mix population.Mix
+	// Jitter models load-induced capture offsets; nil = DefaultJitter.
+	Jitter *platform.JitterModel
+	// Parallelism bounds worker goroutines; 0 = GOMAXPROCS.
+	Parallelism int
+	// IDPrefix prefixes participant IDs.
+	IDPrefix string
+	// Era selects the audio-stack generation (see population.Config.Era).
+	Era string
+}
+
+// Dataset is the raw outcome of a study: the participants, their non-audio
+// fingerprinting surfaces, and every elementary audio fingerprint each
+// user's browser emitted. Datasets come from two places — simulated runs
+// (Run) and loaded collection exports (FromRecords) — and every analysis
+// works identically on both.
+type Dataset struct {
+	// Devices holds the simulated participants, in stable order. Nil for
+	// datasets loaded from a collection export.
+	Devices []*platform.Device
+	// Users holds the participant IDs, in stable order.
+	Users []string
+	// Iterations is the per-vector repetition count.
+	Iterations int
+	// Obs maps vector → user index → iteration → elementary fingerprint
+	// hash.
+	Obs map[vectors.ID][][]string
+	// UA, Canvas, Fonts, MathJS and Platforms are per-user surface values
+	// aligned with Users.
+	UA        []string
+	Canvas    []string
+	Fonts     []string
+	MathJS    []string
+	Platforms []string
+
+	// fullGraphs caches the all-iterations collation graph per vector.
+	mu         sync.Mutex
+	fullGraphs map[vectors.ID]*collate.Graph
+}
+
+// UserIDs returns the participant IDs in dataset order.
+func (ds *Dataset) UserIDs() []string { return ds.Users }
+
+// Run simulates the full study: every user runs every vector Iterations
+// times. Rendering is memoized per (audio stack, vector, capture offset), so
+// cost scales with platform diversity rather than population size. The
+// result is deterministic for a given Config, independent of Parallelism.
+func Run(cfg Config) (*Dataset, error) {
+	if cfg.Users <= 0 || cfg.Iterations <= 0 {
+		return nil, fmt.Errorf("study: Users and Iterations must be positive (got %d, %d)",
+			cfg.Users, cfg.Iterations)
+	}
+	jitter := cfg.Jitter
+	if jitter == nil {
+		jitter = platform.DefaultJitter()
+	}
+	devs := population.Sample(population.Config{
+		Seed: cfg.Seed, N: cfg.Users, Mix: cfg.Mix, IDPrefix: cfg.IDPrefix,
+		Era: cfg.Era,
+	})
+
+	ds := &Dataset{
+		Devices:    devs,
+		Users:      make([]string, len(devs)),
+		Iterations: cfg.Iterations,
+		Obs:        make(map[vectors.ID][][]string, len(vectors.All)),
+		UA:         make([]string, len(devs)),
+		Canvas:     make([]string, len(devs)),
+		Fonts:      make([]string, len(devs)),
+		MathJS:     make([]string, len(devs)),
+		Platforms:  make([]string, len(devs)),
+		fullGraphs: make(map[vectors.ID]*collate.Graph),
+	}
+	for i, d := range devs {
+		ds.Users[i] = d.ID
+		ds.UA[i] = d.UserAgent()
+		ds.Canvas[i] = d.CanvasFingerprint()
+		ds.Fonts[i] = d.FontsFingerprint()
+		ds.MathJS[i] = d.MathJSFingerprint()
+		ds.Platforms[i] = d.Platform()
+	}
+	for _, v := range vectors.All {
+		obs := make([][]string, len(devs))
+		for i := range obs {
+			obs[i] = make([]string, cfg.Iterations)
+		}
+		ds.Obs[v] = obs
+	}
+
+	// Pre-derive per-user jitter seeds so results don't depend on worker
+	// scheduling.
+	seedRng := rand.New(rand.NewSource(cfg.Seed ^ 0x6a75747465726d6c))
+	userSeeds := make([]int64, len(devs))
+	for i := range userSeeds {
+		userSeeds[i] = seedRng.Int63()
+	}
+
+	cache := vectors.NewCache()
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	type job struct{ userIdx int }
+	jobs := make(chan job)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if err := runUser(ds, cache, jitter, j.userIdx, userSeeds[j.userIdx]); err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	for i := range devs {
+		jobs <- job{userIdx: i}
+	}
+	close(jobs)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	return ds, nil
+}
+
+// runUser executes all iterations of all vectors for one participant.
+func runUser(ds *Dataset, cache *vectors.Cache, jitter *platform.JitterModel, idx int, seed int64) error {
+	d := ds.Devices[idx]
+	runner := vectors.NewRunner(d.AudioTraits(), d.SampleRate)
+	stack := d.AudioStackKey()
+	rng := rand.New(rand.NewSource(seed))
+	for it := 0; it < ds.Iterations; it++ {
+		for _, v := range vectors.All {
+			off := jitter.Offset(rng, d.Load, v)
+			fp, err := cache.Run(stack, runner, v, off)
+			if err != nil {
+				return fmt.Errorf("user %s vector %v: %w", d.ID, v, err)
+			}
+			ds.Obs[v][idx][it] = fp.Hash
+		}
+	}
+	return nil
+}
+
+// Graph builds the collation graph of vector v restricted to the given
+// iteration indices (nil = all iterations).
+func (ds *Dataset) Graph(v vectors.ID, iters []int) *collate.Graph {
+	g := collate.NewGraph()
+	obs := ds.Obs[v]
+	for ui, user := range ds.Users {
+		if iters == nil {
+			for _, h := range obs[ui] {
+				g.AddObservation(user, h)
+			}
+			continue
+		}
+		for _, it := range iters {
+			g.AddObservation(user, obs[ui][it])
+		}
+	}
+	return g
+}
+
+// FullGraph returns (and caches) the all-iterations collation graph of v.
+func (ds *Dataset) FullGraph(v vectors.ID) *collate.Graph {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if g, ok := ds.fullGraphs[v]; ok {
+		return g
+	}
+	g := ds.Graph(v, nil)
+	ds.fullGraphs[v] = g
+	return g
+}
+
+// Labels returns each user's collated-fingerprint cluster label for v,
+// aligned with Users order.
+func (ds *Dataset) Labels(v vectors.ID) []int {
+	return ds.FullGraph(v).Labels(ds.UserIDs())
+}
+
+// subsetIterations splits iterations 0..k−1 into ⌊k/s⌋ disjoint subsets of
+// size s, dropping the remainder — the paper's §3.3 construction.
+func subsetIterations(k, s int) [][]int {
+	if s <= 0 || s > k {
+		return nil
+	}
+	n := k / s
+	out := make([][]int, n)
+	for i := 0; i < n; i++ {
+		sub := make([]int, s)
+		for j := 0; j < s; j++ {
+			sub[j] = i*s + j
+		}
+		out[i] = sub
+	}
+	return out
+}

@@ -1,0 +1,406 @@
+package study
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/diversity"
+	"repro/internal/vectors"
+)
+
+// The package-level fixture: one full-scale main-study run (N=2093, k=30)
+// shared by every test, mirroring the paper's primary dataset.
+var (
+	mainOnce sync.Once
+	mainDS   *Dataset
+	mainErr  error
+)
+
+func mainDataset(t *testing.T) *Dataset {
+	t.Helper()
+	mainOnce.Do(func() {
+		mainDS, mainErr = Run(Config{Seed: 20220325, Users: 2093, Iterations: 30})
+	})
+	if mainErr != nil {
+		t.Fatalf("study run: %v", mainErr)
+	}
+	return mainDS
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{Users: 0, Iterations: 30}); err == nil {
+		t.Error("zero users accepted")
+	}
+	if _, err := Run(Config{Users: 5, Iterations: 0}); err == nil {
+		t.Error("zero iterations accepted")
+	}
+}
+
+// TestRunDeterministicAcrossParallelism: results must not depend on worker
+// scheduling.
+func TestRunDeterministicAcrossParallelism(t *testing.T) {
+	a, err := Run(Config{Seed: 99, Users: 40, Iterations: 6, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{Seed: 99, Users: 40, Iterations: 6, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vectors.All {
+		for ui := range a.Obs[v] {
+			for it := range a.Obs[v][ui] {
+				if a.Obs[v][ui][it] != b.Obs[v][ui][it] {
+					t.Fatalf("%v user %d iter %d differs across parallelism", v, ui, it)
+				}
+			}
+		}
+	}
+}
+
+// TestTable1Stability reproduces Table 1's structure: DC perfectly stable
+// (exactly one fingerprint for every user), every FFT-path vector fickle
+// with min 1, a bounded max, and means ordered FFT ≤ Hybrid ≈ Custom <
+// Merged < AM ≈ FM.
+func TestTable1Stability(t *testing.T) {
+	ds := mainDataset(t)
+	rows := ds.Table1()
+	byVec := map[vectors.ID]StabilityRow{}
+	for _, r := range rows {
+		byVec[r.Vector] = r
+		t.Logf("Table1 %-14s min=%d max=%2d mean=%.2f", r.Vector, r.Min, r.Max, r.Mean)
+	}
+
+	dc := byVec[vectors.DC]
+	if dc.Min != 1 || dc.Max != 1 || dc.Mean != 1.0 {
+		t.Errorf("DC row = %+v, want exactly 1/1/1.0", dc)
+	}
+	paperMeans := map[vectors.ID]float64{
+		vectors.FFT:           1.81,
+		vectors.Hybrid:        2.08,
+		vectors.CustomSignal:  2.08,
+		vectors.MergedSignals: 2.92,
+		vectors.AM:            4.28,
+		vectors.FM:            4.33,
+	}
+	for v, want := range paperMeans {
+		r := byVec[v]
+		if r.Min != 1 {
+			t.Errorf("%v min = %d, want 1 (some users are perfectly stable)", v, r.Min)
+		}
+		if r.Max < 6 {
+			t.Errorf("%v max = %d — no heavy-load tail", v, r.Max)
+		}
+		if r.Max >= 30 {
+			t.Errorf("%v max = %d — pool must stay below the iteration count", v, r.Max)
+		}
+		if math.Abs(r.Mean-want) > 0.75 {
+			t.Errorf("%v mean = %.2f, want ≈ %.2f (paper)", v, r.Mean, want)
+		}
+	}
+	if !(byVec[vectors.FFT].Mean <= byVec[vectors.Hybrid].Mean+0.1 &&
+		byVec[vectors.Hybrid].Mean < byVec[vectors.MergedSignals].Mean &&
+		byVec[vectors.MergedSignals].Mean < byVec[vectors.AM].Mean) {
+		t.Error("Table 1 mean ordering violated")
+	}
+}
+
+// TestFigure3Shape: most users leave only one or two distinct Hybrid
+// fingerprints (the paper's bar plot: 938 + 524 of 2093 in the first two
+// bins).
+func TestFigure3Shape(t *testing.T) {
+	ds := mainDataset(t)
+	h := ds.Figure3(vectors.Hybrid)
+	n := len(ds.Devices)
+	oneOrTwo := h.Bins[1] + h.Bins[2]
+	t.Logf("Figure3 Hybrid: %d users with 1 fp, %d with 2, %d with 1-2 of %d total",
+		h.Bins[1], h.Bins[2], oneOrTwo, n)
+	if frac := float64(h.Bins[1]) / float64(n); frac < 0.30 || frac > 0.62 {
+		t.Errorf("users with exactly 1 fingerprint = %.2f, want ≈ 0.45 (938/2093)", frac)
+	}
+	if frac := float64(oneOrTwo) / float64(n); frac < 0.55 {
+		t.Errorf("users with ≤ 2 fingerprints = %.2f, want ≥ 0.55", frac)
+	}
+	// CDF ends at 1.
+	_, cdf := h.CDF()
+	if math.Abs(cdf[len(cdf)-1]-1) > 1e-12 {
+		t.Error("CDF does not reach 1")
+	}
+}
+
+// TestFigure5Agreement: collation yields near-perfect cluster agreement for
+// s ≥ 2 (paper: ≥ 0.986 at s=4, ≥ 0.997 at s=15).
+func TestFigure5Agreement(t *testing.T) {
+	ds := mainDataset(t)
+	points, err := ds.AgreementScores([]int{1, 2, 4, 10, 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		t.Logf("Fig5 %-14s s=%2d meanAMI=%.4f (%d pairs)", p.Vector, p.S, p.MeanAMI, p.Pairs)
+		switch {
+		case p.S >= 4:
+			if p.MeanAMI < 0.97 {
+				t.Errorf("%v s=%d: mean AMI %.4f < 0.97", p.Vector, p.S, p.MeanAMI)
+			}
+		case p.S >= 2:
+			if p.MeanAMI < 0.93 {
+				t.Errorf("%v s=%d: mean AMI %.4f < 0.93", p.Vector, p.S, p.MeanAMI)
+			}
+		default: // s = 1 may degrade, but must stay high overall
+			if p.MeanAMI < 0.75 {
+				t.Errorf("%v s=1: mean AMI %.4f < 0.75", p.Vector, p.MeanAMI)
+			}
+		}
+	}
+}
+
+// TestTable6MatchScores: returning visitors resolve to their original
+// cluster ≥ 98% of the time even from 3 iterations (paper: worst 0.9899).
+func TestTable6MatchScores(t *testing.T) {
+	ds := mainDataset(t)
+	rows := ds.MatchScores([]int{3, 10, 15})
+	for _, r := range rows {
+		t.Logf("Table6 %-14s s=%2d score=%.4f (%d trials)", r.Vector, r.S, r.Score, r.Trials)
+		if r.Score < 0.98 {
+			t.Errorf("%v s=%d match score %.4f < 0.98", r.Vector, r.S, r.Score)
+		}
+		if r.Score > 1 {
+			t.Errorf("%v s=%d match score %.4f > 1", r.Vector, r.S, r.Score)
+		}
+	}
+	// DC matches perfectly at any s.
+	for _, r := range rows {
+		if r.Vector == vectors.DC && r.Score != 1.0 {
+			t.Errorf("DC s=%d match score %.4f, want 1.0", r.S, r.Score)
+		}
+	}
+}
+
+// TestTable2Diversity reproduces the audio-diversity table's shape: DC the
+// least diverse, the FFT-family close together and above DC, Combined the
+// largest, with distinct/unique counts near the paper's.
+func TestTable2Diversity(t *testing.T) {
+	ds := mainDataset(t)
+	rows := ds.Table2()
+	byName := map[string]DiversityRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+		t.Logf("Table2 %-14s distinct=%3d unique=%3d entropy=%.3f norm=%.3f",
+			r.Name, r.Distinct, r.Unique, r.EntropyBits, r.Normalized)
+	}
+	dc := byName["DC"]
+	fft := byName["FFT"]
+	hybrid := byName["Hybrid"]
+	combined := byName["Combined"]
+
+	if dc.Distinct < 40 || dc.Distinct > 80 {
+		t.Errorf("DC distinct = %d, want ≈ 59", dc.Distinct)
+	}
+	if fft.Distinct <= dc.Distinct {
+		t.Errorf("FFT distinct %d ≤ DC distinct %d — FFT must be more diverse", fft.Distinct, dc.Distinct)
+	}
+	if hybrid.Distinct < fft.Distinct {
+		t.Errorf("Hybrid distinct %d < FFT distinct %d — joint must dominate", hybrid.Distinct, fft.Distinct)
+	}
+	if combined.Distinct < hybrid.Distinct {
+		t.Errorf("Combined distinct %d < Hybrid %d", combined.Distinct, hybrid.Distinct)
+	}
+	if combined.Distinct < 70 || combined.Distinct > 150 {
+		t.Errorf("Combined distinct = %d, want ≈ 95", combined.Distinct)
+	}
+	if dc.EntropyBits >= fft.EntropyBits {
+		t.Errorf("DC entropy %.3f ≥ FFT entropy %.3f", dc.EntropyBits, fft.EntropyBits)
+	}
+	// FFT-family entropies cluster together (paper: all within ~0.2 bits).
+	for _, name := range []string{"Hybrid", "Custom Signal", "Merged Signals", "AM", "FM"} {
+		if d := math.Abs(byName[name].EntropyBits - fft.EntropyBits); d > 0.8 {
+			t.Errorf("%s entropy deviates from FFT by %.2f bits", name, d)
+		}
+	}
+}
+
+// TestTable3VsTable2: audio is far less diverse than Canvas, Fonts and UA
+// (the paper's headline comparison).
+func TestTable3VsTable2(t *testing.T) {
+	ds := mainDataset(t)
+	t3 := ds.Table3()
+	combined := diversity.Summarize(ds.CombinedLabels())
+	for _, r := range t3 {
+		t.Logf("Table3 %-10s distinct=%3d unique=%3d entropy=%.3f norm=%.3f",
+			r.Name, r.Distinct, r.Unique, r.EntropyBits, r.Normalized)
+		if r.EntropyBits <= combined.EntropyBits {
+			t.Errorf("%s entropy %.3f ≤ combined audio %.3f — audio must be least diverse",
+				r.Name, r.EntropyBits, combined.EntropyBits)
+		}
+		if r.Distinct <= combined.Distinct {
+			t.Errorf("%s distinct %d ≤ combined audio %d", r.Name, r.Distinct, combined.Distinct)
+		}
+	}
+}
+
+// TestUASpan reproduces §4's W3C refutation: a large fraction of multi-user
+// UA strings span several FFT-cluster fingerprints (paper: 90 of 143 UAs,
+// covering ~1610 of 1950 users; one UA with 10 clusters).
+func TestUASpan(t *testing.T) {
+	ds := mainDataset(t)
+	res := ds.UASpan(vectors.MergedSignals)
+	t.Logf("UASpan: %d multi-user UAs (%d users); %d spanning (%d users); max clusters/UA=%d; ≥5 clusters: %d",
+		res.MultiUserUAs, res.MultiUserUAUsers, res.SpanningUAs, res.SpanningUAUsers,
+		res.MaxClustersPerUA, res.UAsWith5Plus)
+	if res.MultiUserUAs < 80 {
+		t.Errorf("multi-user UAs = %d, want ≥ 80 (paper: 143)", res.MultiUserUAs)
+	}
+	if frac := float64(res.SpanningUAs) / float64(res.MultiUserUAs); frac < 0.35 {
+		t.Errorf("spanning UA fraction = %.2f, want ≥ 0.35 (paper: 90/143 ≈ 0.63)", frac)
+	}
+	if res.MaxClustersPerUA < 4 {
+		t.Errorf("max clusters per UA = %d, want ≥ 4 (paper: 10)", res.MaxClustersPerUA)
+	}
+	// The same must hold for every FFT-based vector (paper footnote 3).
+	for _, v := range []vectors.ID{vectors.FFT, vectors.Hybrid} {
+		if r := ds.UASpan(v); r.SpanningUAs == 0 {
+			t.Errorf("%v: no spanning UAs", v)
+		}
+	}
+}
+
+// TestAdditiveValue reproduces §4's additive-value result: appending the
+// combined audio fingerprint raises Canvas and UA normalized entropy by a
+// meaningful margin (paper: +9.6% and +9.7%).
+func TestAdditiveValue(t *testing.T) {
+	ds := mainDataset(t)
+	canvas := ds.AdditiveValue("Canvas", ds.Canvas)
+	ua := ds.AdditiveValue("User-Agent", ds.UA)
+	for _, r := range []AdditiveResult{canvas, ua} {
+		t.Logf("Additive %-10s base=%.3f with-audio=%.3f (+%.1f%%)",
+			r.Name, r.Base.EntropyBits, r.WithAudio.EntropyBits, 100*r.NormIncrease)
+		if r.NormIncrease < 0.03 {
+			t.Errorf("%s: audio adds only %.1f%%, want ≥ 3%% (paper ≈ 9.6%%)", r.Name, 100*r.NormIncrease)
+		}
+		if r.WithAudio.EntropyBits < r.Base.EntropyBits {
+			t.Errorf("%s: entropy decreased when adding audio", r.Name)
+		}
+	}
+}
+
+// TestFigure9CrossVectorAMI: the FFT-family vectors agree with one another
+// far more than DC agrees with them.
+func TestFigure9CrossVectorAMI(t *testing.T) {
+	ds := mainDataset(t)
+	m, err := ds.PairwiseVectorAMI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := map[vectors.ID]int{}
+	for i, v := range vectors.All {
+		idx[v] = i
+	}
+	var fftPairs, dcPairs []float64
+	for i := 1; i < len(vectors.All); i++ {
+		dcPairs = append(dcPairs, m[0][i])
+		for j := i + 1; j < len(vectors.All); j++ {
+			fftPairs = append(fftPairs, m[i][j])
+		}
+	}
+	mean := func(xs []float64) float64 {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	fftMean, dcMean := mean(fftPairs), mean(dcPairs)
+	t.Logf("Fig9: FFT-family mean AMI=%.3f, DC-vs-family mean AMI=%.3f", fftMean, dcMean)
+	if fftMean < 0.80 {
+		t.Errorf("FFT-family mean AMI = %.3f, want ≥ 0.80", fftMean)
+	}
+	if dcMean >= fftMean {
+		t.Errorf("DC agrees with the family (%.3f) as much as it agrees internally (%.3f)", dcMean, fftMean)
+	}
+	for i := range m {
+		if m[i][i] != 1 {
+			t.Errorf("diagonal [%d] = %g", i, m[i][i])
+		}
+	}
+}
+
+// TestSubsetRanking reproduces §5's robustness check: dividing users into 4
+// disjoint subsets preserves the diversity ranking's key structure — the
+// non-audio vectors always dominate every audio vector, and DC is always
+// the weakest.
+func TestSubsetRanking(t *testing.T) {
+	ds := mainDataset(t)
+	res := ds.SubsetRanking(4)
+	for i, r := range res.Rankings {
+		t.Logf("subset %d ranking: %v", i, r)
+	}
+	audio := map[string]bool{}
+	for _, v := range vectors.All {
+		audio[v.String()] = true
+	}
+	for i, rank := range res.Rankings {
+		// First three places: the non-audio surfaces.
+		for p := 0; p < 3; p++ {
+			if audio[rank[p]] {
+				t.Errorf("subset %d: audio vector %q ranked %d, above a non-audio surface", i, rank[p], p)
+			}
+		}
+		if rank[len(rank)-1] != "DC" {
+			t.Errorf("subset %d: weakest vector is %q, want DC", i, rank[len(rank)-1])
+		}
+	}
+}
+
+// TestNaiveAblation: the graph-collation match scores must dominate the
+// naive exact-hash baseline for every fickle vector and tie it on DC — the
+// quantitative case for the paper's §3.2 method.
+func TestNaiveAblation(t *testing.T) {
+	ds := mainDataset(t)
+	byVec := func(rows []MatchScoreRow) map[vectors.ID]float64 {
+		m := map[vectors.ID]float64{}
+		for _, r := range rows {
+			m[r.Vector] = r.Score
+		}
+		return m
+	}
+	graph := byVec(ds.MatchScores([]int{3}))
+	naive := byVec(ds.NaiveMatchScores([]int{3}))
+	for _, v := range vectors.All {
+		t.Logf("ablation s=3 %-14s graph=%.4f naive=%.4f", v, graph[v], naive[v])
+	}
+	if naive[vectors.DC] != 1.0 || graph[vectors.DC] != 1.0 {
+		t.Errorf("DC should be perfect under both schemes")
+	}
+	for _, v := range []vectors.ID{vectors.AM, vectors.FM, vectors.MergedSignals} {
+		if graph[v] < naive[v]+0.02 {
+			t.Errorf("%v: graph %.4f does not clearly beat naive %.4f", v, graph[v], naive[v])
+		}
+	}
+}
+
+// TestFootnote2DistributionsSimilar: the paper's footnote 2 says the
+// distinct-fingerprint distributions of the five other FFT-based vectors
+// "are very similar" to Hybrid's. Check the non-modulated family members
+// share Hybrid's shape (majority in bin 1, monotone-ish decay), and that
+// even AM/FM keep the L-shape with a heavier tail.
+func TestFootnote2DistributionsSimilar(t *testing.T) {
+	ds := mainDataset(t)
+	n := float64(len(ds.Devices))
+	hyb := ds.Figure3(vectors.Hybrid)
+	hybOne := float64(hyb.Bins[1]) / n
+	for _, v := range []vectors.ID{vectors.FFT, vectors.CustomSignal} {
+		h := ds.Figure3(v)
+		one := float64(h.Bins[1]) / n
+		if diff := one - hybOne; diff > 0.12 || diff < -0.12 {
+			t.Errorf("%v: P(1 fingerprint) = %.3f vs Hybrid %.3f — footnote 2 violated", v, one, hybOne)
+		}
+	}
+	for _, v := range vectors.FFTBased {
+		h := ds.Figure3(v)
+		if h.Bins[1] < h.Bins[3] {
+			t.Errorf("%v: bin1 %d < bin3 %d — not L-shaped", v, h.Bins[1], h.Bins[3])
+		}
+	}
+}

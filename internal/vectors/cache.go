@@ -1,0 +1,53 @@
+package vectors
+
+import "sync"
+
+// Cache memoizes fingerprints by (audio-stack key, vector, capture offset).
+// Rendering is bit-deterministic given those three inputs (asserted by the
+// engine's tests), so memoization is exact: a study over thousands of users
+// re-renders only once per distinct platform class and capture state,
+// turning an O(users × iterations) rendering bill into O(platform classes ×
+// offsets). Safe for concurrent use.
+type Cache struct {
+	mu sync.RWMutex
+	m  map[cacheKey]Fingerprint
+}
+
+type cacheKey struct {
+	stack  string
+	vector ID
+	offset int
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{m: make(map[cacheKey]Fingerprint)}
+}
+
+// Len reports the number of memoized renders.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// Run returns the fingerprint for (stackKey, id, offset), rendering through
+// r on a cache miss. stackKey must uniquely identify r's traits: two runners
+// with different traits must never share a key.
+func (c *Cache) Run(stackKey string, r *Runner, id ID, offset int) (Fingerprint, error) {
+	k := cacheKey{stack: stackKey, vector: id, offset: offset}
+	c.mu.RLock()
+	fp, ok := c.m[k]
+	c.mu.RUnlock()
+	if ok {
+		return fp, nil
+	}
+	fp, err := r.Run(id, offset)
+	if err != nil {
+		return Fingerprint{}, err
+	}
+	c.mu.Lock()
+	c.m[k] = fp
+	c.mu.Unlock()
+	return fp, nil
+}

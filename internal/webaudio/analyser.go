@@ -1,0 +1,132 @@
+package webaudio
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dsp"
+)
+
+// AnalyserNode passes audio through unchanged while exposing FFT analysis of
+// the most recent fftSize time-domain frames, per the Web Audio spec:
+// Blackman window → FFT → magnitude scaled by 1/fftSize → smoothing over
+// time (constant 0.8) → dB. The FFT twiddles and window are built with the
+// platform kernel, so GetFloatFrequencyData output is platform-identifying —
+// the paper's evidence points to exactly this path ("it is likely that FFT
+// calculations are what are causing this apparent instability").
+type AnalyserNode struct {
+	nodeBase
+	fftSize   int
+	smoothing float64
+	minDB     float64
+	maxDB     float64
+
+	ring     []float32
+	ringPos  int
+	filled   int
+	fft      *dsp.FFT
+	window   []float64
+	smoothed []float64
+	haveData bool
+}
+
+// NewAnalyser creates an analyser with the given fftSize (a power of two in
+// [32, 32768]; 2048 is both the spec default and what fingerprint scripts
+// use).
+func (c *Context) NewAnalyser(fftSize int) (*AnalyserNode, error) {
+	if fftSize < 32 || fftSize > 32768 || fftSize&(fftSize-1) != 0 {
+		return nil, fmt.Errorf("webaudio: invalid fftSize %d", fftSize)
+	}
+	k := c.traits.FFTKernel
+	if k == nil {
+		k = c.traits.Kernel
+	}
+	fft, err := dsp.NewFFT(fftSize, k.Sin)
+	if err != nil {
+		return nil, err
+	}
+	a := &AnalyserNode{
+		nodeBase:  nodeBase{ctx: c, label: "analyser"},
+		fftSize:   fftSize,
+		smoothing: 0.8,
+		minDB:     -100,
+		maxDB:     -30,
+		ring:      make([]float32, fftSize),
+		fft:       fft,
+		window:    dsp.BlackmanWindow(fftSize, k.Sin),
+		smoothed:  make([]float64, fftSize/2),
+	}
+	c.register(a)
+	return a, nil
+}
+
+// FrequencyBinCount returns fftSize/2, the length GetFloatFrequencyData
+// fills.
+func (a *AnalyserNode) FrequencyBinCount() int { return a.fftSize / 2 }
+
+// SetSmoothingTimeConstant sets the inter-capture smoothing factor τ ∈ [0,1].
+func (a *AnalyserNode) SetSmoothingTimeConstant(tau float64) error {
+	if tau < 0 || tau > 1 {
+		return fmt.Errorf("webaudio: smoothingTimeConstant %v out of [0,1]", tau)
+	}
+	a.smoothing = tau
+	return nil
+}
+
+func (a *AnalyserNode) process(frameTime int64) {
+	tr := a.ctx.traits
+	for i := 0; i < RenderQuantum; i++ {
+		v := tr.round32(a.sumInputs(i))
+		a.output[i] = v
+		a.ring[a.ringPos] = v
+		a.ringPos = (a.ringPos + 1) % a.fftSize
+	}
+	if a.filled < a.fftSize {
+		a.filled += RenderQuantum
+	}
+}
+
+// GetFloatFrequencyData computes the dB spectrum of the most recent fftSize
+// frames into dst (length ≥ FrequencyBinCount). Bins with zero magnitude
+// come out as float32(-Inf), as in browsers. Each call advances the
+// smoothing state, mirroring successive captures in a live context.
+func (a *AnalyserNode) GetFloatFrequencyData(dst []float32) error {
+	half := a.fftSize / 2
+	if len(dst) < half {
+		return fmt.Errorf("webaudio: destination length %d < frequencyBinCount %d", len(dst), half)
+	}
+	re := make([]float64, a.fftSize)
+	im := make([]float64, a.fftSize)
+	// Unroll the ring into time order: oldest first.
+	for i := 0; i < a.fftSize; i++ {
+		re[i] = float64(a.ring[(a.ringPos+i)%a.fftSize])
+	}
+	dsp.ApplyWindow(re, a.window)
+	a.fft.Transform(re, im)
+
+	scale := 1 / float64(a.fftSize)
+	tau := a.smoothing
+	if !a.haveData {
+		tau = 0
+		a.haveData = true
+	}
+	for k := 0; k < half; k++ {
+		mag := math.Hypot(re[k], im[k]) * scale
+		a.smoothed[k] = tau*a.smoothed[k] + (1-tau)*mag
+		dst[k] = float32(dsp.LinearToDecibels(a.smoothed[k]))
+	}
+	a.ctx.traits.Farble.farbleInPlace(dst[:half])
+	return nil
+}
+
+// GetFloatTimeDomainData copies the most recent fftSize frames into dst
+// (length ≥ fftSize), oldest first.
+func (a *AnalyserNode) GetFloatTimeDomainData(dst []float32) error {
+	if len(dst) < a.fftSize {
+		return fmt.Errorf("webaudio: destination length %d < fftSize %d", len(dst), a.fftSize)
+	}
+	for i := 0; i < a.fftSize; i++ {
+		dst[i] = a.ring[(a.ringPos+i)%a.fftSize]
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+package webaudio
+
+import "math"
+
+// DynamicsCompressorNode implements the Web Audio dynamics compressor with
+// its spec defaults: threshold −24 dB, knee 30 dB, ratio 12:1, attack 3 ms,
+// release 250 ms, plus automatic makeup gain and a short look-ahead
+// pre-delay. The gain computer's soft-knee polynomial and the attack/release
+// exponentials run through the platform math kernel, and the knee
+// coefficient carries a trait-level perturbation — together these are the
+// cross-platform differences the DC fingerprinting vector harvests.
+type DynamicsCompressorNode struct {
+	nodeBase
+	// Threshold in dB above which compression starts. Default −24.
+	Threshold *AudioParam
+	// Knee width in dB of the soft transition region. Default 30.
+	Knee *AudioParam
+	// Ratio of input-dB change to output-dB change. Default 12.
+	Ratio *AudioParam
+	// Attack time in seconds. Default 0.003.
+	Attack *AudioParam
+	// Release time in seconds. Default 0.25.
+	Release *AudioParam
+
+	env        float64   // detector envelope (linear)
+	reduction  float64   // last gain reduction in dB (the .reduction attribute)
+	delay      []float32 // look-ahead delay line
+	delayPos   int
+	makeup     float64
+	haveMakeup bool
+}
+
+// NewDynamicsCompressor creates a compressor with spec defaults.
+func (c *Context) NewDynamicsCompressor() *DynamicsCompressorNode {
+	d := &DynamicsCompressorNode{nodeBase: nodeBase{ctx: c, label: "compressor"}}
+	d.Threshold = newParam(c, "threshold", -24, -100, 0)
+	d.Knee = newParam(c, "knee", 30, 0, 40)
+	d.Ratio = newParam(c, "ratio", 12, 1, 20)
+	d.Attack = newParam(c, "attack", 0.003, 0, 1)
+	d.Release = newParam(c, "release", 0.25, 0, 1)
+	n := c.traits.CompressorPreDelay
+	if n < 0 {
+		n = 0
+	}
+	d.delay = make([]float32, n+1)
+	c.register(d)
+	return d
+}
+
+// Reduction returns the current gain reduction in dB (≤ 0), mirroring the
+// read-only attribute of the real node.
+func (d *DynamicsCompressorNode) Reduction() float64 { return d.reduction }
+
+func (d *DynamicsCompressorNode) params() []*AudioParam {
+	return []*AudioParam{d.Threshold, d.Knee, d.Ratio, d.Attack, d.Release}
+}
+
+// curveDB maps an input level (dB) to the compressed output level (dB):
+// identity below threshold, a quadratic soft knee across [T, T+K], constant
+// slope 1/R above. kneeEps perturbs the knee interpolation the way
+// different implementations' polynomial fits differ.
+func (d *DynamicsCompressorNode) curveDB(x, threshold, knee, ratio float64) float64 {
+	kneeEps := d.ctx.traits.CompressorKneeEps
+	switch {
+	case x < threshold:
+		return x
+	case knee > 0 && x < threshold+knee:
+		t := x - threshold
+		return x + (1/ratio-1)*t*t/(2*knee)*(1+kneeEps)
+	default:
+		kneeEnd := threshold + knee + (1/ratio-1)*knee/2*(1+kneeEps)
+		return kneeEnd + (x-threshold-knee)/ratio
+	}
+}
+
+func (d *DynamicsCompressorNode) process(frameTime int64) {
+	tr := d.ctx.traits
+	k := tr.Kernel
+	sr := d.ctx.sampleRate
+
+	threshold := d.Threshold.sampleAt(frameTime, 0)
+	knee := d.Knee.sampleAt(frameTime, 0)
+	ratio := d.Ratio.sampleAt(frameTime, 0)
+	attack := d.Attack.sampleAt(frameTime, 0)
+	release := d.Release.sampleAt(frameTime, 0)
+
+	// One-pole detector coefficients via the kernel's exp.
+	aAtt := 1.0
+	if attack > 0 {
+		aAtt = 1 - k.Exp(-1/(sr*attack))
+	}
+	aRel := 1.0
+	if release > 0 {
+		aRel = 1 - k.Exp(-1/(sr*release))
+	}
+
+	if !d.haveMakeup {
+		// Makeup per Blink: (1 / curve(0dB)_linear)^0.6.
+		fullDB := d.curveDB(0, threshold, knee, ratio)
+		fullLin := k.Pow(10, fullDB/20)
+		if fullLin > 0 {
+			d.makeup = k.Pow(1/fullLin, 0.6)
+		} else {
+			d.makeup = 1
+		}
+		d.haveMakeup = true
+	}
+
+	for i := 0; i < RenderQuantum; i++ {
+		in := d.sumInputs(i)
+
+		// Detector: envelope of |x|.
+		a := math.Abs(in)
+		coeff := aRel
+		if a > d.env {
+			coeff = aAtt
+		}
+		d.env += (a - d.env) * coeff
+
+		// Gain computer in the log domain.
+		var gainDB float64
+		if d.env > 1e-10 {
+			levelDB := 20 * (k.Log(d.env) / math.Ln10)
+			outDB := d.curveDB(levelDB, threshold, knee, ratio)
+			gainDB = outDB - levelDB
+		}
+		d.reduction = gainDB
+		gainLin := k.Pow(10, gainDB/20) * d.makeup
+
+		// Look-ahead: gain computed from the present, applied to the
+		// pre-delayed signal.
+		d.delay[d.delayPos] = float32(in)
+		d.delayPos = (d.delayPos + 1) % len(d.delay)
+		delayed := float64(d.delay[d.delayPos])
+
+		d.output[i] = tr.round32(delayed * gainLin)
+	}
+}

@@ -1,0 +1,61 @@
+package webaudio
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteDOT renders the audio graph in Graphviz DOT form — the debugging
+// view for fingerprinting-vector wiring (compare against the paper's
+// Figs. 1, 2, 6, 7, 8). Audio connections are solid edges; parameter
+// modulation connections are dashed and labeled with the parameter name.
+func (c *Context) WriteDOT(w io.Writer) error {
+	ids := make(map[Node]int, len(c.nodes))
+	for i, n := range c.nodes {
+		ids[n] = i
+	}
+	var b []byte
+	out := func(format string, args ...any) {
+		b = append(b, fmt.Sprintf(format, args...)...)
+	}
+	out("digraph audiograph {\n  rankdir=LR;\n  node [shape=box, fontname=\"Helvetica\"];\n")
+	for i, n := range c.nodes {
+		out("  n%d [label=%q];\n", i, n.base().label)
+	}
+	type edge struct {
+		from, to int
+		label    string
+	}
+	var edges []edge
+	for _, n := range c.nodes {
+		to := ids[n]
+		for _, in := range n.base().inputs {
+			edges = append(edges, edge{ids[in], to, ""})
+		}
+		for _, p := range paramsOf(n) {
+			for _, in := range p.inputs {
+				edges = append(edges, edge{ids[in], to, p.name})
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		if edges[i].to != edges[j].to {
+			return edges[i].to < edges[j].to
+		}
+		return edges[i].label < edges[j].label
+	})
+	for _, e := range edges {
+		if e.label == "" {
+			out("  n%d -> n%d;\n", e.from, e.to)
+		} else {
+			out("  n%d -> n%d [style=dashed, label=%q];\n", e.from, e.to, e.label)
+		}
+	}
+	out("}\n")
+	_, err := w.Write(b)
+	return err
+}

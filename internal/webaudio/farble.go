@@ -1,0 +1,43 @@
+package webaudio
+
+// Farbling: Brave-style audio fingerprinting defense (the mitigation the
+// paper's §4 discusses, per Brave's "Fingerprinting 2.0: Web Audio" work).
+// The engine's DSP output is left untouched — web audio keeps working — but
+// every surface a script can *read* (the offline rendered buffer, analyser
+// frequency data, script-processor input buffers) is perturbed by a tiny
+// deterministic multiplicative noise keyed by a session seed. Within a
+// session the noise is stable (sites don't break, repeated reads agree);
+// across sessions the seed changes and every fingerprint with it.
+
+// FarbleConfig enables read-point randomization.
+type FarbleConfig struct {
+	// Seed keys the noise; a browser derives it per (session, origin).
+	Seed uint64
+	// Epsilon is the relative noise amplitude (Brave uses ~1e-4 scale
+	// perturbations; anything above float32 resolution defeats hashing).
+	Epsilon float64
+}
+
+// farbleNoise returns the deterministic noise factor for sample index i.
+func (f *FarbleConfig) farbleNoise(i int) float32 {
+	x := f.Seed + uint64(i)*0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	// Map to [-1, 1).
+	r := float64(z>>11)/(1<<52) - 1
+	return float32(1 + f.Epsilon*r)
+}
+
+// farbleInPlace perturbs a readable buffer. Non-finite values (e.g. -Inf dB
+// bins) pass through untouched, as multiplying them would still leak
+// nothing distinguishable.
+func (f *FarbleConfig) farbleInPlace(buf []float32) {
+	if f == nil || f.Epsilon == 0 {
+		return
+	}
+	for i := range buf {
+		buf[i] *= f.farbleNoise(i)
+	}
+}

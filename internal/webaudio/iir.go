@@ -1,0 +1,75 @@
+package webaudio
+
+import "fmt"
+
+// IIRFilterNode is the spec's general IIR filter: caller-supplied
+// feedforward (b) and feedback (a) coefficients, up to order 20, in
+// direct form 1:
+//
+//	a[0]·y[n] = Σ b[k]·x[n−k] − Σ_{k≥1} a[k]·y[n−k]
+type IIRFilterNode struct {
+	nodeBase
+	ff []float64 // feedforward, normalized by a[0]
+	fb []float64 // feedback a[1..], normalized by a[0]
+	x  []float64 // input history, x[0] most recent
+	y  []float64 // output history
+}
+
+// NewIIRFilter creates an IIR filter from feedforward and feedback
+// coefficient slices (both 1..20 long; feedback[0] must be non-zero).
+func (c *Context) NewIIRFilter(feedforward, feedback []float64) (*IIRFilterNode, error) {
+	if len(feedforward) == 0 || len(feedforward) > 20 {
+		return nil, fmt.Errorf("webaudio: feedforward length %d out of [1,20]", len(feedforward))
+	}
+	if len(feedback) == 0 || len(feedback) > 20 {
+		return nil, fmt.Errorf("webaudio: feedback length %d out of [1,20]", len(feedback))
+	}
+	if feedback[0] == 0 {
+		return nil, fmt.Errorf("webaudio: feedback[0] must be non-zero")
+	}
+	allZero := true
+	for _, v := range feedforward {
+		if v != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		return nil, fmt.Errorf("webaudio: feedforward coefficients all zero")
+	}
+	inv := 1 / feedback[0]
+	n := &IIRFilterNode{nodeBase: nodeBase{ctx: c, label: "iirfilter"}}
+	n.ff = make([]float64, len(feedforward))
+	for i, v := range feedforward {
+		n.ff[i] = v * inv
+	}
+	n.fb = make([]float64, len(feedback)-1)
+	for i, v := range feedback[1:] {
+		n.fb[i] = v * inv
+	}
+	n.x = make([]float64, len(n.ff))
+	n.y = make([]float64, len(n.fb))
+	c.register(n)
+	return n, nil
+}
+
+func (n *IIRFilterNode) process(frameTime int64) {
+	tr := n.ctx.traits
+	for i := 0; i < RenderQuantum; i++ {
+		// Shift histories (small orders; simple shifting beats ring math).
+		copy(n.x[1:], n.x)
+		n.x[0] = n.sumInputs(i)
+		out := 0.0
+		for k, b := range n.ff {
+			out += b * n.x[k]
+		}
+		for k, a := range n.fb {
+			out -= a * n.y[k]
+		}
+		if len(n.y) > 0 {
+			copy(n.y[1:], n.y)
+			n.y[0] = out
+		}
+		n.output[i] = tr.round32(out)
+	}
+}

@@ -1,0 +1,76 @@
+package webaudio
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIIRFilterValidation(t *testing.T) {
+	ctx := defaultCtx()
+	cases := []struct {
+		ff, fb []float64
+	}{
+		{nil, []float64{1}},
+		{[]float64{1}, nil},
+		{make([]float64, 21), []float64{1}},
+		{[]float64{1}, make([]float64, 21)},
+		{[]float64{1}, []float64{0, 0.5}},
+		{[]float64{0, 0}, []float64{1}},
+	}
+	for i, c := range cases {
+		if _, err := ctx.NewIIRFilter(c.ff, c.fb); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+// TestIIRMatchesBiquad: the generic filter fed a biquad's normalized
+// lowpass coefficients must behave like a lowpass.
+func TestIIRMatchesBiquad(t *testing.T) {
+	ctx := defaultCtx()
+	// RBJ lowpass at 1 kHz, Q=1, 44.1 kHz (precomputed with math.Cos/Sin).
+	w0 := 2 * math.Pi * 1000 / 44100
+	alpha := math.Sin(w0) / 2
+	cosw0 := math.Cos(w0)
+	ff := []float64{(1 - cosw0) / 2, 1 - cosw0, (1 - cosw0) / 2}
+	fb := []float64{1 + alpha, -2 * cosw0, 1 - alpha}
+	iir, err := ctx.NewIIRFilter(ff, fb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := ctx.NewOscillator(Sine, 300)
+	hi := ctx.NewOscillator(Sine, 9000)
+	lo.Start(0)
+	hi.Start(0)
+	Connect(lo, iir)
+	Connect(hi, iir)
+	spec := spectrumOf(t, ctx, iir, 64)
+	if spec[binFor(300)]-spec[binFor(9000)] < 20 {
+		t.Errorf("IIR lowpass rejection too small: pass %.1f, stop %.1f dB",
+			spec[binFor(300)], spec[binFor(9000)])
+	}
+}
+
+// TestIIRFIRMode: with a single feedback coefficient the node is a pure FIR
+// — a 2-tap averager halves a Nyquist-rate alternation.
+func TestIIRFIRMode(t *testing.T) {
+	ctx := defaultCtx()
+	fir, err := ctx.NewIIRFilter([]float64{0.5, 0.5}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive with a constant: moving average passes DC exactly.
+	src := ctx.NewConstantSource(0.8)
+	src.Start(0)
+	Connect(src, fir)
+	Connect(fir, ctx.Destination())
+	buf, err := ctx.RenderFrames(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 2; i < len(buf); i++ {
+		if math.Abs(float64(buf[i])-0.8) > 1e-6 {
+			t.Fatalf("FIR DC gain wrong at %d: %g", i, buf[i])
+		}
+	}
+}

@@ -1,0 +1,421 @@
+package webaudio
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+// spectrumOf renders a graph tail through an analyser and returns the dB
+// spectrum after warmup.
+func spectrumOf(t *testing.T, ctx *Context, src Node, quanta int) []float32 {
+	t.Helper()
+	an, err := ctx.NewAnalyser(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Connect(src, an)
+	Connect(an, ctx.Destination())
+	if err := ctx.RenderQuanta(quanta); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float32, an.FrequencyBinCount())
+	if err := an.GetFloatFrequencyData(out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func binFor(hz float64) int { return int(hz * 2048 / testRate) }
+
+func TestBiquadLowpassAttenuatesHighs(t *testing.T) {
+	ctx := defaultCtx()
+	// Two tones: 500 Hz (pass) and 8 kHz (stop) through a 1 kHz lowpass.
+	lo := ctx.NewOscillator(Sine, 500)
+	hi := ctx.NewOscillator(Sine, 8000)
+	lo.Start(0)
+	hi.Start(0)
+	f := ctx.NewBiquadFilter(Lowpass)
+	f.Frequency.SetValue(1000)
+	Connect(lo, f)
+	Connect(hi, f)
+	spec := spectrumOf(t, ctx, f, 64)
+	passDB := spec[binFor(500)]
+	stopDB := spec[binFor(8000)]
+	if passDB-stopDB < 20 {
+		t.Errorf("lowpass rejection only %.1f dB (pass %.1f, stop %.1f)", passDB-stopDB, passDB, stopDB)
+	}
+}
+
+func TestBiquadHighpassAttenuatesLows(t *testing.T) {
+	ctx := defaultCtx()
+	lo := ctx.NewOscillator(Sine, 200)
+	hi := ctx.NewOscillator(Sine, 8000)
+	lo.Start(0)
+	hi.Start(0)
+	f := ctx.NewBiquadFilter(Highpass)
+	f.Frequency.SetValue(2000)
+	Connect(lo, f)
+	Connect(hi, f)
+	spec := spectrumOf(t, ctx, f, 64)
+	if spec[binFor(8000)]-spec[binFor(200)] < 20 {
+		t.Errorf("highpass rejection too small: hi %.1f dB, lo %.1f dB",
+			spec[binFor(8000)], spec[binFor(200)])
+	}
+}
+
+func TestBiquadPeakingBoosts(t *testing.T) {
+	render := func(gain float64) float32 {
+		ctx := defaultCtx()
+		osc := ctx.NewOscillator(Sine, 1000)
+		osc.Start(0)
+		f := ctx.NewBiquadFilter(Peaking)
+		f.Frequency.SetValue(1000)
+		f.Gain.SetValue(gain)
+		Connect(osc, f)
+		spec := spectrumOf(t, ctx, f, 64)
+		return spec[binFor(1000)]
+	}
+	flat := render(0)
+	boosted := render(12)
+	if float64(boosted-flat) < 9 {
+		t.Errorf("peaking +12 dB boost measured %.1f dB", boosted-flat)
+	}
+}
+
+func TestBiquadTypesAllStable(t *testing.T) {
+	for _, typ := range []BiquadFilterType{Lowpass, Highpass, Bandpass, Notch,
+		Allpass, Peaking, Lowshelf, Highshelf} {
+		ctx := defaultCtx()
+		osc := ctx.NewOscillator(Sawtooth, 440)
+		osc.Start(0)
+		f := ctx.NewBiquadFilter(typ)
+		f.Gain.SetValue(6)
+		Connect(osc, f)
+		Connect(f, ctx.Destination())
+		buf, err := ctx.RenderFrames(8192)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range buf {
+			if math.IsNaN(float64(v)) || math.Abs(float64(v)) > 100 {
+				t.Fatalf("%v: unstable output %g at sample %d", typ, v, i)
+			}
+		}
+	}
+}
+
+// TestBiquadKernelIdentity: the filter's trig coefficients go through the
+// platform kernel, so it is fingerprintable like the rest of the engine.
+func TestBiquadKernelIdentity(t *testing.T) {
+	render := func(tr Traits) []float32 {
+		ctx := NewContext(testRate, tr)
+		osc := ctx.NewOscillator(Triangle, 2000)
+		osc.Start(0)
+		f := ctx.NewBiquadFilter(Lowpass)
+		f.Frequency.SetValue(3000)
+		Connect(osc, f)
+		Connect(f, ctx.Destination())
+		buf, err := ctx.RenderFrames(4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+	a := render(DefaultTraits())
+	tr := DefaultTraits()
+	tr.Kernel = mathx.Poly7
+	b := render(tr)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("biquad output identical across kernels")
+	}
+}
+
+func TestWaveShaperCurve(t *testing.T) {
+	ctx := defaultCtx()
+	ws := ctx.NewWaveShaper()
+	// Hard clipper at ±0.5.
+	if err := ws.SetCurve([]float32{-0.5, 0, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	osc := ctx.NewOscillator(Sine, 440)
+	osc.Start(0)
+	Connect(osc, ws)
+	Connect(ws, ctx.Destination())
+	buf, err := ctx.RenderFrames(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var peak float64
+	for _, v := range buf {
+		if a := math.Abs(float64(v)); a > peak {
+			peak = a
+		}
+	}
+	if peak > 0.5001 {
+		t.Errorf("clipper peak %.4f, want ≤ 0.5", peak)
+	}
+	if peak < 0.45 {
+		t.Errorf("clipper peak %.4f — curve misapplied", peak)
+	}
+	if err := ws.SetCurve([]float32{1}); err == nil {
+		t.Error("single-point curve accepted")
+	}
+	if err := ws.SetCurve(nil); err != nil {
+		t.Errorf("nil curve rejected: %v", err)
+	}
+}
+
+func TestWaveShaperPassThroughWithoutCurve(t *testing.T) {
+	ctx := defaultCtx()
+	ws := ctx.NewWaveShaper()
+	osc := ctx.NewOscillator(Sine, 440)
+	osc.Start(0)
+	Connect(osc, ws)
+	Connect(ws, ctx.Destination())
+	got, err := ctx.RenderFrames(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderTone(t, DefaultTraits(), Sine, 440, 1024)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("pass-through altered sample %d", i)
+		}
+	}
+}
+
+func TestDelayShiftsSignal(t *testing.T) {
+	ctx := defaultCtx()
+	osc := ctx.NewOscillator(Sine, 1000)
+	osc.Start(0)
+	d, err := ctx.NewDelay(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const delaySec = 0.01
+	d.DelayTime.SetValue(delaySec)
+	Connect(osc, d)
+	Connect(d, ctx.Destination())
+	buf, err := ctx.RenderFrames(4410)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delayFrames := int(delaySec * testRate)
+	// Output is silent until the delay elapses…
+	for i := 0; i < delayFrames-1; i++ {
+		if buf[i] != 0 {
+			t.Fatalf("output before delay at %d: %g", i, buf[i])
+		}
+	}
+	// …then matches the undelayed tone shifted by delayFrames.
+	ref := renderTone(t, DefaultTraits(), Sine, 1000, 4410)
+	for i := delayFrames; i < 4410; i++ {
+		if math.Abs(float64(buf[i]-ref[i-delayFrames])) > 1e-3 {
+			t.Fatalf("delayed sample %d = %g, want %g", i, buf[i], ref[i-delayFrames])
+		}
+	}
+	if _, err := ctx.NewDelay(0); err == nil {
+		t.Error("zero maxDelay accepted")
+	}
+	if _, err := ctx.NewDelay(1000); err == nil {
+		t.Error("huge maxDelay accepted")
+	}
+}
+
+func TestConstantSource(t *testing.T) {
+	ctx := defaultCtx()
+	cs := ctx.NewConstantSource(0.25)
+	cs.Start(0)
+	Connect(cs, ctx.Destination())
+	buf, err := ctx.RenderFrames(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range buf {
+		if v != 0.25 {
+			t.Fatalf("sample %d = %g, want 0.25", i, v)
+		}
+	}
+	// Unstarted source is silent.
+	ctx2 := defaultCtx()
+	cs2 := ctx2.NewConstantSource(1)
+	Connect(cs2, ctx2.Destination())
+	buf2, _ := ctx2.RenderFrames(128)
+	for _, v := range buf2 {
+		if v != 0 {
+			t.Fatal("unstarted constant source produced output")
+		}
+	}
+}
+
+func TestBufferSourcePlaysAndLoops(t *testing.T) {
+	pattern := []float32{0.1, 0.2, 0.3, 0.4}
+	big := make([]float32, 0, 512)
+	for len(big) < 512 {
+		big = append(big, pattern...)
+	}
+
+	// One-shot playback ends after the buffer.
+	ctx := defaultCtx()
+	src := ctx.NewBufferSource(big, false)
+	src.Start(0)
+	Connect(src, ctx.Destination())
+	buf, err := ctx.RenderFrames(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if buf[i] != big[i] {
+			t.Fatalf("playback sample %d = %g, want %g", i, buf[i], big[i])
+		}
+	}
+	for i := 520; i < 1024; i++ {
+		if buf[i] != 0 {
+			t.Fatalf("one-shot source still playing at %d", i)
+		}
+	}
+
+	// Looped playback repeats the pattern.
+	ctx2 := defaultCtx()
+	src2 := ctx2.NewBufferSource(big, true)
+	src2.Start(0)
+	Connect(src2, ctx2.Destination())
+	buf2, err := ctx2.RenderFrames(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	silent := 0
+	for _, v := range buf2[1024:] {
+		if v == 0 {
+			silent++
+		}
+	}
+	if silent > 16 {
+		t.Errorf("looped source went quiet (%d zero samples in tail)", silent)
+	}
+}
+
+func TestBufferSourcePlaybackRate(t *testing.T) {
+	// A ramp buffer played at rate 2 advances twice as fast.
+	ramp := make([]float32, 1000)
+	for i := range ramp {
+		ramp[i] = float32(i)
+	}
+	ctx := defaultCtx()
+	src := ctx.NewBufferSource(ramp, false)
+	src.PlaybackRate.SetValue(2)
+	src.Start(0)
+	Connect(src, ctx.Destination())
+	buf, err := ctx.RenderFrames(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 200; i++ {
+		if math.Abs(float64(buf[i])-float64(2*i)) > 1e-3 {
+			t.Fatalf("rate-2 sample %d = %g, want %d", i, buf[i], 2*i)
+		}
+	}
+}
+
+func TestSetTargetAtTime(t *testing.T) {
+	ctx := defaultCtx()
+	p := newParam(ctx, "test", 1, 0, 0)
+	p.SetTargetAtTime(0, 0.1, 0.05)
+	if got := p.automatedValue(0.05); got != 1 {
+		t.Errorf("value before target start = %g, want 1", got)
+	}
+	// After one time constant: 0 + (1-0)·e^-1 ≈ 0.3679.
+	if got := p.automatedValue(0.15); math.Abs(got-math.Exp(-1)) > 1e-9 {
+		t.Errorf("value after 1τ = %g, want %g", got, math.Exp(-1))
+	}
+	// Converges toward the target.
+	if got := p.automatedValue(2); got > 1e-9 {
+		t.Errorf("value long after = %g, want ≈ 0", got)
+	}
+	// A later setValue overrides the decay.
+	p.SetValueAtTime(5, 0.3)
+	if got := p.automatedValue(0.4); got != 5 {
+		t.Errorf("value after setValue = %g, want 5", got)
+	}
+	// Zero time constant acts as an immediate step.
+	q := newParam(ctx, "q", 0, 0, 0)
+	q.SetTargetAtTime(3, 0.1, 0)
+	if got := q.automatedValue(0.2); got != 3 {
+		t.Errorf("zero-τ target = %g, want 3", got)
+	}
+}
+
+// TestADSRStyleEnvelope exercises chained automation as real scripts use it.
+func TestADSRStyleEnvelope(t *testing.T) {
+	ctx := defaultCtx()
+	osc := ctx.NewOscillator(Sine, 440)
+	g := ctx.NewGain(0)
+	g.Gain.SetValueAtTime(0, 0)
+	g.Gain.LinearRampToValueAtTime(1, 0.01)  // attack
+	g.Gain.SetTargetAtTime(0.5, 0.01, 0.005) // decay to sustain
+	g.Gain.SetTargetAtTime(0, 0.05, 0.01)    // release
+	osc.Start(0)
+	Connect(osc, g)
+	Connect(g, ctx.Destination())
+	buf, err := ctx.RenderFrames(int(0.2 * testRate))
+	if err != nil {
+		t.Fatal(err)
+	}
+	peakAt := func(lo, hi float64) float64 {
+		var m float64
+		for i := int(lo * testRate); i < int(hi*testRate); i++ {
+			if a := math.Abs(float64(buf[i])); a > m {
+				m = a
+			}
+		}
+		return m
+	}
+	attack := peakAt(0.005, 0.015)
+	sustain := peakAt(0.03, 0.05)
+	tail := peakAt(0.15, 0.2)
+	if !(attack > sustain && sustain > tail) {
+		t.Errorf("envelope shape wrong: attack %.3f, sustain %.3f, tail %.3f", attack, sustain, tail)
+	}
+	if tail > 0.05 {
+		t.Errorf("release did not decay: tail %.3f", tail)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	ctx := defaultCtx()
+	osc := ctx.NewOscillator(Triangle, 10000)
+	mod := ctx.NewOscillator(Sine, 440)
+	g := ctx.NewGain(1)
+	ConnectParam(mod, g.Gain)
+	Connect(osc, g)
+	Connect(g, ctx.Destination())
+	var sb strings.Builder
+	if err := ctx.WriteDOT(&sb); err != nil {
+		t.Fatal(err)
+	}
+	dot := sb.String()
+	for _, want := range []string{
+		"digraph audiograph",
+		`"oscillator:triangle"`,
+		`"oscillator:sine"`,
+		`"destination"`,
+		`style=dashed, label="gain"`,
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	if !strings.HasSuffix(dot, "}\n") {
+		t.Error("DOT not terminated")
+	}
+}

@@ -1,0 +1,241 @@
+package webaudio
+
+import (
+	"fmt"
+	"math"
+)
+
+// OscillatorType enumerates the OscillatorNode waveform shapes.
+type OscillatorType int
+
+const (
+	// Sine is a pure sine tone.
+	Sine OscillatorType = iota
+	// Square is a band-limited square wave.
+	Square
+	// Sawtooth is a band-limited sawtooth wave.
+	Sawtooth
+	// Triangle is a band-limited triangle wave (the shape both classic
+	// fingerprinting vectors use, at 10 kHz).
+	Triangle
+	// Custom uses a caller-provided PeriodicWave.
+	Custom
+)
+
+// String returns the Web Audio API name of the type.
+func (t OscillatorType) String() string {
+	switch t {
+	case Sine:
+		return "sine"
+	case Square:
+		return "square"
+	case Sawtooth:
+		return "sawtooth"
+	case Triangle:
+		return "triangle"
+	case Custom:
+		return "custom"
+	}
+	return fmt.Sprintf("OscillatorType(%d)", int(t))
+}
+
+// PeriodicWave holds Fourier coefficients for a custom waveform, mirroring
+// BaseAudioContext.createPeriodicWave(real, imag). Index 0 is the DC term
+// (ignored, per spec); index k is the k-th harmonic.
+type PeriodicWave struct {
+	Real []float64
+	Imag []float64
+	// DisableNormalization mirrors the constructor option; the default
+	// (false) scales the waveform to a peak of 1.
+	DisableNormalization bool
+}
+
+// tableSize is the oscillator wavetable resolution. Blink uses 4096 for its
+// lowest-frequency range; one table suffices at fingerprinting frequencies.
+const tableSize = 4096
+
+// OscillatorNode produces a periodic waveform via wavetable synthesis: the
+// table is built by Fourier summation through the platform's math kernel
+// (band-limited below Nyquist), then read with linear interpolation. This is
+// the same architecture real engines use, and it is why oscillator output
+// carries platform identity.
+type OscillatorNode struct {
+	nodeBase
+	// Frequency is the oscillator frequency in Hz (audio-rate modulable —
+	// the FM vector's modulation input).
+	Frequency *AudioParam
+	// Detune offsets the frequency in cents.
+	Detune *AudioParam
+
+	typ       OscillatorType
+	wave      *PeriodicWave
+	table     []float32
+	phase     float64 // position in cycles, [0, 1)
+	startTime float64
+	stopTime  float64
+	started   bool
+}
+
+// NewOscillator creates an oscillator of the given shape. For Custom, set
+// the wave with SetPeriodicWave before starting.
+func (c *Context) NewOscillator(typ OscillatorType, freqHz float64) *OscillatorNode {
+	o := &OscillatorNode{
+		nodeBase: nodeBase{ctx: c, label: "oscillator:" + typ.String()},
+		typ:      typ,
+	}
+	o.Frequency = newParam(c, "frequency", freqHz, -c.sampleRate/2, c.sampleRate/2)
+	o.Detune = newParam(c, "detune", 0, -153600, 153600)
+	o.stopTime = math.Inf(1)
+	c.register(o)
+	return o
+}
+
+// SetPeriodicWave switches the oscillator to the custom waveform w.
+func (o *OscillatorNode) SetPeriodicWave(w *PeriodicWave) {
+	o.typ = Custom
+	o.wave = w
+	o.table = nil // rebuild lazily
+	o.base().label = "oscillator:custom"
+}
+
+// Start schedules sound production from time t (seconds).
+func (o *OscillatorNode) Start(t float64) {
+	o.started = true
+	o.startTime = t
+}
+
+// Stop schedules the end of sound production at time t (seconds).
+func (o *OscillatorNode) Stop(t float64) { o.stopTime = t }
+
+func (o *OscillatorNode) params() []*AudioParam {
+	return []*AudioParam{o.Frequency, o.Detune}
+}
+
+// buildTable synthesizes the band-limited wavetable for the oscillator's
+// waveform at its nominal frequency using the kernel's sine.
+func (o *OscillatorNode) buildTable() {
+	k := o.ctx.traits.Kernel
+	nyquist := o.ctx.sampleRate / 2
+	f0 := math.Abs(o.Frequency.Value())
+	if f0 == 0 {
+		f0 = 440
+	}
+	maxHarm := int(nyquist / f0)
+	if maxHarm < 1 {
+		maxHarm = 1
+	}
+
+	var real, imag []float64
+	switch o.typ {
+	case Sine:
+		real = []float64{0, 0}
+		imag = []float64{0, 1}
+	case Square:
+		// b_n = 4/(nπ) for odd n.
+		n := maxHarm + 1
+		real = make([]float64, n)
+		imag = make([]float64, n)
+		for h := 1; h < n; h += 2 {
+			imag[h] = 4 / (float64(h) * math.Pi)
+		}
+	case Sawtooth:
+		// b_n = 2/(nπ) · (−1)^{n+1}.
+		n := maxHarm + 1
+		real = make([]float64, n)
+		imag = make([]float64, n)
+		sign := 1.0
+		for h := 1; h < n; h++ {
+			imag[h] = sign * 2 / (float64(h) * math.Pi)
+			sign = -sign
+		}
+	case Triangle:
+		// b_n = 8/(n²π²) · (−1)^{(n−1)/2} for odd n.
+		n := maxHarm + 1
+		real = make([]float64, n)
+		imag = make([]float64, n)
+		sign := 1.0
+		for h := 1; h < n; h += 2 {
+			imag[h] = sign * 8 / (float64(h) * float64(h) * math.Pi * math.Pi)
+			sign = -sign
+		}
+	case Custom:
+		if o.wave == nil {
+			panic("webaudio: custom oscillator without a PeriodicWave")
+		}
+		nc := len(o.wave.Real)
+		if len(o.wave.Imag) < nc {
+			nc = len(o.wave.Imag)
+		}
+		if nc > maxHarm+1 {
+			nc = maxHarm + 1 // band-limit to Nyquist
+		}
+		real = append([]float64(nil), o.wave.Real[:nc]...)
+		imag = append([]float64(nil), o.wave.Imag[:nc]...)
+	}
+
+	tbl := make([]float64, tableSize)
+	phaseOff := o.ctx.traits.OscillatorPhaseOffset
+	for i := 0; i < tableSize; i++ {
+		phi := 2*math.Pi*float64(i)/tableSize + phaseOff
+		var v float64
+		for h := 1; h < len(real); h++ {
+			hphi := float64(h) * phi
+			// cos via the kernel's sine, as the engine's table builder would.
+			v += real[h]*k.Sin(hphi+math.Pi/2) + imag[h]*k.Sin(hphi)
+		}
+		tbl[i] = v
+	}
+
+	normalize := true
+	if o.typ == Custom && o.wave.DisableNormalization {
+		normalize = false
+	}
+	if normalize {
+		var peak float64
+		for _, v := range tbl {
+			if a := math.Abs(v); a > peak {
+				peak = a
+			}
+		}
+		if peak > 0 {
+			inv := 1 / peak
+			for i := range tbl {
+				tbl[i] *= inv
+			}
+		}
+	}
+	o.table = make([]float32, tableSize+1)
+	for i, v := range tbl {
+		o.table[i] = float32(v)
+	}
+	o.table[tableSize] = o.table[0]
+}
+
+func (o *OscillatorNode) process(frameTime int64) {
+	tr := o.ctx.traits
+	if o.table == nil {
+		o.buildTable()
+	}
+	sr := o.ctx.sampleRate
+	for i := 0; i < RenderQuantum; i++ {
+		t := (float64(frameTime) + float64(i)) / sr
+		if !o.started || t < o.startTime || t >= o.stopTime {
+			o.output[i] = 0
+			continue
+		}
+		freq := o.Frequency.sampleAt(frameTime, i)
+		if det := o.Detune.sampleAt(frameTime, i); det != 0 {
+			freq *= tr.Kernel.Pow(2, det/1200)
+		}
+		// Table lookup with linear interpolation (float32 arithmetic, as in
+		// the vectorized table readers real engines ship).
+		pos := o.phase * tableSize
+		idx := int(pos)
+		frac := float32(pos - float64(idx))
+		s := o.table[idx] + (o.table[idx+1]-o.table[idx])*frac
+		o.output[i] = tr.round32(float64(s))
+
+		o.phase += freq / sr
+		o.phase -= math.Floor(o.phase)
+	}
+}

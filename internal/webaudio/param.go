@@ -1,0 +1,158 @@
+package webaudio
+
+import (
+	"math"
+	"sort"
+)
+
+// AudioParam is a sample-accurate node parameter: an intrinsic value shaped
+// by scheduled automation events plus the sum of any audio-rate modulation
+// inputs (ConnectParam). This is the mechanism the AM and FM fingerprinting
+// vectors rely on.
+type AudioParam struct {
+	ctx      *Context
+	name     string
+	value    float64 // intrinsic (pre-automation) value
+	min, max float64
+	events   []paramEvent
+	inputs   []Node
+}
+
+type paramEventKind int
+
+const (
+	setValue paramEventKind = iota
+	linearRamp
+	exponentialRamp
+	setTarget
+)
+
+type paramEvent struct {
+	kind paramEventKind
+	time float64 // seconds
+	val  float64
+	tc   float64 // time constant (setTarget only)
+}
+
+func newParam(ctx *Context, name string, def, min, max float64) *AudioParam {
+	return &AudioParam{ctx: ctx, name: name, value: def, min: min, max: max}
+}
+
+// Value returns the intrinsic (most recently set) value.
+func (p *AudioParam) Value() float64 { return p.value }
+
+// SetValue sets the intrinsic value immediately (the `param.value = x` form).
+func (p *AudioParam) SetValue(v float64) { p.value = p.clamp(v) }
+
+// SetValueAtTime schedules a step change, like the Web Audio method.
+func (p *AudioParam) SetValueAtTime(v, t float64) {
+	p.insert(paramEvent{kind: setValue, time: t, val: v})
+}
+
+// LinearRampToValueAtTime schedules a linear ramp ending at time t.
+func (p *AudioParam) LinearRampToValueAtTime(v, t float64) {
+	p.insert(paramEvent{kind: linearRamp, time: t, val: v})
+}
+
+// ExponentialRampToValueAtTime schedules an exponential ramp ending at t.
+// The target value must be non-zero, per spec.
+func (p *AudioParam) ExponentialRampToValueAtTime(v, t float64) {
+	if v == 0 {
+		panic("webaudio: exponential ramp target must be non-zero")
+	}
+	p.insert(paramEvent{kind: exponentialRamp, time: t, val: v})
+}
+
+// SetTargetAtTime schedules an exponential approach toward target starting
+// at time t with the given time constant (seconds), per the spec.
+func (p *AudioParam) SetTargetAtTime(target, t, timeConstant float64) {
+	if timeConstant <= 0 {
+		// Spec: a zero time constant jumps immediately.
+		p.insert(paramEvent{kind: setValue, time: t, val: target})
+		return
+	}
+	p.insert(paramEvent{kind: setTarget, time: t, val: target, tc: timeConstant})
+}
+
+func (p *AudioParam) insert(e paramEvent) {
+	p.events = append(p.events, e)
+	sort.SliceStable(p.events, func(i, j int) bool { return p.events[i].time < p.events[j].time })
+}
+
+func (p *AudioParam) clamp(v float64) float64 {
+	if p.min != 0 || p.max != 0 {
+		if v < p.min {
+			return p.min
+		}
+		if v > p.max {
+			return p.max
+		}
+	}
+	return v
+}
+
+// automatedValue evaluates the automation timeline at time t (seconds),
+// ignoring modulation inputs.
+func (p *AudioParam) automatedValue(t float64) float64 {
+	if len(p.events) == 0 {
+		return p.value
+	}
+	val := p.value // anchored value at prevTime
+	prevTime := 0.0
+	var target *paramEvent // active SetTargetAtTime decay, if any
+	valueAt := func(x float64) float64 {
+		if target != nil && x >= prevTime {
+			return target.val + (val-target.val)*math.Exp(-(x-prevTime)/target.tc)
+		}
+		return val
+	}
+	for i := range p.events {
+		e := &p.events[i]
+		if e.time > t {
+			// A pending ramp interpolates from the previous anchor.
+			switch e.kind {
+			case linearRamp:
+				if e.time == prevTime {
+					return p.clamp(e.val)
+				}
+				frac := (t - prevTime) / (e.time - prevTime)
+				return p.clamp(val + (e.val-val)*frac)
+			case exponentialRamp:
+				if val == 0 || e.time == prevTime {
+					return p.clamp(val)
+				}
+				frac := (t - prevTime) / (e.time - prevTime)
+				ratio := e.val / val
+				if ratio <= 0 {
+					return p.clamp(val)
+				}
+				return p.clamp(val * math.Pow(ratio, frac))
+			default:
+				// Value holds (or keeps decaying) until the future event.
+				return p.clamp(valueAt(t))
+			}
+		}
+		// Advance the anchored state through the event.
+		if e.kind == setTarget {
+			val = valueAt(e.time)
+			prevTime = e.time
+			target = e
+		} else {
+			val = e.val
+			prevTime = e.time
+			target = nil
+		}
+	}
+	return p.clamp(valueAt(t))
+}
+
+// sampleAt returns the effective parameter value for an absolute frame:
+// automation plus the sum of modulation inputs at the in-quantum offset i.
+func (p *AudioParam) sampleAt(frameTime int64, i int) float64 {
+	t := (float64(frameTime) + float64(i)) / p.ctx.sampleRate
+	v := p.automatedValue(t)
+	for _, in := range p.inputs {
+		v += float64(in.base().output[i])
+	}
+	return p.clamp(v)
+}

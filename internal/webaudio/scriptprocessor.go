@@ -1,0 +1,71 @@
+package webaudio
+
+import "fmt"
+
+// ScriptProcessorNode buffers its input and invokes OnAudioProcess each time
+// bufferSize frames have accumulated, passing the input buffer — the
+// (deprecated but fingerprint-beloved) audio/main-thread bridge. The classic
+// FFT vector reads analyser data from inside this callback; in a live
+// browser, *which* callback invocation the script samples depends on
+// scheduling, which is where capture-offset fickleness enters.
+type ScriptProcessorNode struct {
+	nodeBase
+	bufferSize int
+	buf        []float32
+	fill       int
+	// OnAudioProcess, if non-nil, receives each completed input buffer. The
+	// slice is reused between events; callees must copy what they keep.
+	OnAudioProcess func(event AudioProcessEvent)
+	events         int
+}
+
+// AudioProcessEvent is the payload delivered to OnAudioProcess.
+type AudioProcessEvent struct {
+	// InputBuffer holds bufferSize input frames (reused between events).
+	InputBuffer []float32
+	// PlaybackTime is the context time of the buffer start, seconds.
+	PlaybackTime float64
+	// EventIndex counts delivered events, starting at 0.
+	EventIndex int
+}
+
+// NewScriptProcessor creates a script processor. bufferSize must be a power
+// of two in [256, 16384]; fingerprint scripts use 4096.
+func (c *Context) NewScriptProcessor(bufferSize int) (*ScriptProcessorNode, error) {
+	if bufferSize < 256 || bufferSize > 16384 || bufferSize&(bufferSize-1) != 0 {
+		return nil, fmt.Errorf("webaudio: invalid ScriptProcessor bufferSize %d", bufferSize)
+	}
+	s := &ScriptProcessorNode{
+		nodeBase:   nodeBase{ctx: c, label: "scriptprocessor"},
+		bufferSize: bufferSize,
+		buf:        make([]float32, bufferSize),
+	}
+	c.register(s)
+	return s, nil
+}
+
+// Events returns how many audioprocess events have fired.
+func (s *ScriptProcessorNode) Events() int { return s.events }
+
+func (s *ScriptProcessorNode) process(frameTime int64) {
+	tr := s.ctx.traits
+	for i := 0; i < RenderQuantum; i++ {
+		v := tr.round32(s.sumInputs(i))
+		s.output[i] = v // pass-through
+		s.buf[s.fill] = v
+		s.fill++
+		if s.fill == s.bufferSize {
+			s.fill = 0
+			if s.OnAudioProcess != nil {
+				start := frameTime + int64(i) + 1 - int64(s.bufferSize)
+				tr.Farble.farbleInPlace(s.buf)
+				s.OnAudioProcess(AudioProcessEvent{
+					InputBuffer:  s.buf,
+					PlaybackTime: float64(start) / s.ctx.sampleRate,
+					EventIndex:   s.events,
+				})
+			}
+			s.events++
+		}
+	}
+}
