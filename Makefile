@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench fuzz study examples clean
+.PHONY: all build vet test test-short check bench bench-json fuzz study examples clean
 
 all: build vet test
 
@@ -21,8 +21,21 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+# Everything CI should gate on: build, vet/gofmt, the race detector over the
+# internal packages (covers the parallel sweeps and shared caches), then the
+# full suite.
+check: build vet
+	$(GO) test -race ./internal/...
+	$(GO) test ./...
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable benchmark snapshot: BENCH_<date>.json with name, ns/op,
+# B/op and allocs/op per benchmark.
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchmem ./... | $(GO) run ./cmd/benchjson > BENCH_$$(date +%F).json
+	@echo wrote BENCH_$$(date +%F).json
 
 # Short fuzzing passes over the parsing/ingestion surfaces.
 fuzz:

@@ -283,6 +283,7 @@ func BenchmarkAnalyserFFTSizes(b *testing.B) {
 				b.Fatal(err)
 			}
 			out := make([]float32, an.FrequencyBinCount())
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if err := an.GetFloatFrequencyData(out); err != nil {

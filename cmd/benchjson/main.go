@@ -1,0 +1,91 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin
+// into a JSON array of benchmark results, one object per benchmark line:
+//
+//	go test -bench . -benchmem ./... | go run ./cmd/benchjson > BENCH.json
+//
+// Non-benchmark lines (package headers, PASS/ok, logs) are ignored, so the
+// raw test output can be piped through unfiltered. Used by `make bench-json`
+// to keep machine-readable performance snapshots alongside the repo.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line. NsPerOp is always present;
+// BytesPerOp/AllocsPerOp are present only when -benchmem was given
+// (omitted from the JSON otherwise, rather than emitting a false 0).
+type Result struct {
+	Name        string   `json:"name"`
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+// parseLine parses a single `go test -bench` result line, e.g.
+//
+//	BenchmarkFigure5-8   16   73848520 ns/op   21862984 B/op   25274 allocs/op
+//
+// returning ok=false for anything that isn't a benchmark result.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Iterations: iters}
+	// Remaining fields come in "<value> <unit>" pairs.
+	sawNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+			sawNs = true
+		case "B/op":
+			b := v
+			r.BytesPerOp = &b
+		case "allocs/op":
+			a := v
+			r.AllocsPerOp = &a
+		}
+	}
+	return r, sawNs
+}
+
+func run(in io.Reader, out io.Writer) error {
+	results := []Result{} // non-nil so zero benchmarks encodes as [], not null
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		if r, ok := parseLine(sc.Text()); ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkFigure5-8   \t      16\t  73848520 ns/op\t 21862984 B/op\t   25274 allocs/op")
+	if !ok {
+		t.Fatal("benchmark line not recognized")
+	}
+	if r.Name != "BenchmarkFigure5-8" || r.Iterations != 16 || r.NsPerOp != 73848520 {
+		t.Errorf("parsed %+v", r)
+	}
+	if r.BytesPerOp == nil || *r.BytesPerOp != 21862984 {
+		t.Errorf("bytes_per_op = %v", r.BytesPerOp)
+	}
+	if r.AllocsPerOp == nil || *r.AllocsPerOp != 25274 {
+		t.Errorf("allocs_per_op = %v", r.AllocsPerOp)
+	}
+
+	// Without -benchmem the memory fields must be absent, not zero.
+	r, ok = parseLine("BenchmarkSubsetRanking-8	1556	771473 ns/op")
+	if !ok || r.BytesPerOp != nil || r.AllocsPerOp != nil {
+		t.Errorf("plain line parsed as %+v ok=%v", r, ok)
+	}
+
+	for _, line := range []string{
+		"ok  	repro/internal/study	27.1s",
+		"PASS",
+		"goos: linux",
+		"BenchmarkBroken notanumber 5 ns/op",
+		"",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("non-benchmark line accepted: %q", line)
+		}
+	}
+}
+
+func TestRunEmitsJSONArray(t *testing.T) {
+	in := strings.Join([]string{
+		"goos: linux",
+		"BenchmarkA-4	100	50 ns/op	8 B/op	1 allocs/op",
+		"some log output",
+		"BenchmarkB/sub-4	200	25 ns/op",
+		"PASS",
+	}, "\n")
+	var out bytes.Buffer
+	if err := run(strings.NewReader(in), &out); err != nil {
+		t.Fatal(err)
+	}
+	var results []Result
+	if err := json.Unmarshal(out.Bytes(), &results); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0].Name != "BenchmarkA-4" || results[1].Name != "BenchmarkB/sub-4" {
+		t.Errorf("results = %+v", results)
+	}
+
+	// Zero benchmarks must encode as an empty array, not null.
+	out.Reset()
+	if err := run(strings.NewReader("PASS\n"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(out.String()); got != "[]" {
+		t.Errorf("empty input encodes as %q, want []", got)
+	}
+}

@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// denseLabels draws n random labels over ≤ maxK groups, canonicalized by
+// first appearance (the form collate.IntGraph.Labels emits).
+func denseLabels(rng *rand.Rand, n, maxK int) ([]int32, int) {
+	raw := make([]int, n)
+	for i := range raw {
+		raw[i] = rng.Intn(maxK)
+	}
+	seen := map[int]int32{}
+	out := make([]int32, n)
+	for i, l := range raw {
+		id, ok := seen[l]
+		if !ok {
+			id = int32(len(seen))
+			seen[l] = id
+		}
+		out[i] = id
+	}
+	return out, len(seen)
+}
+
+func toInts(x []int32) []int {
+	out := make([]int, len(x))
+	for i, v := range x {
+		out[i] = int(v)
+	}
+	return out
+}
+
+// TestAMIDenseBitIdentical: over first-appearance-canonical labels the
+// dense path must produce exactly the float AMI produces — the guarantee
+// the parallel study sweeps rely on.
+func TestAMIDenseBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(60)
+		x, kx := denseLabels(rng, n, 1+rng.Intn(8))
+		y, ky := denseLabels(rng, n, 1+rng.Intn(8))
+		want, err := AMI(toInts(x), toInts(y))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := AMIDense(x, y, kx, ky)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d (n=%d): AMIDense=%v, AMI=%v — not bit-identical", trial, n, got, want)
+		}
+	}
+}
+
+// TestAMIDenseRelabelInvariance: AMI over any relabeling of the same
+// partitions must equal the dense value (labels carry no meaning beyond
+// equality).
+func TestAMIDenseRelabelInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x, kx := denseLabels(rng, 40, 5)
+	y, ky := denseLabels(rng, 40, 4)
+	relabel := func(ls []int32, stride int) []int {
+		out := make([]int, len(ls))
+		for i, l := range ls {
+			out[i] = int(l)*stride + 17
+		}
+		return out
+	}
+	want, err := AMI(relabel(x, 1000), relabel(y, 31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := AMIDense(x, y, kx, ky)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("AMIDense=%v, AMI over relabeling=%v", got, want)
+	}
+}
+
+func TestContingencyDenseErrors(t *testing.T) {
+	if _, err := NewContingencyDense([]int32{0}, []int32{0, 1}, 1, 2); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := NewContingencyDense(nil, nil, 1, 1); err == nil {
+		t.Error("empty clusterings accepted")
+	}
+	if _, err := NewContingencyDense([]int32{0}, []int32{0}, 0, 1); err == nil {
+		t.Error("non-positive kx accepted")
+	}
+}
+
+// TestLogFactorialsConcurrent: the shared table must grow safely under
+// concurrent readers and always match a fresh incremental computation.
+func TestLogFactorialsConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for n := 1; n < 400; n += 7 + w {
+				lg := logFactorials(n)
+				if len(lg) != n+1 {
+					t.Errorf("logFactorials(%d) has %d entries", n, len(lg))
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	lg := logFactorials(500)
+	var want float64
+	for k := 2; k <= 500; k++ {
+		want = lg[k-1] + math.Log(float64(k))
+		if lg[k] != want {
+			t.Fatalf("lgam[%d] = %v, want %v", k, lg[k], want)
+		}
+	}
+}

@@ -8,6 +8,7 @@ package cluster
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Contingency is the joint count table of two clusterings over the same
@@ -58,6 +59,42 @@ func indexLabels(labels []int) map[int]int {
 	return idx
 }
 
+// NewContingencyDense builds the table for dense label vectors: x takes
+// values in [0, kx), y in [0, ky), with equal, non-zero lengths. It is the
+// map-free fast path used by the study layer's interned label vectors
+// (collate.IntGraph.Labels); when labels are canonicalized by first
+// appearance it produces a table identical to NewContingency over the same
+// partitions, so downstream MI/AMI values are bit-identical. The cell
+// matrix is one contiguous allocation.
+func NewContingencyDense(x, y []int32, kx, ky int) (*Contingency, error) {
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("cluster: label lengths differ (%d vs %d)", len(x), len(y))
+	}
+	if len(x) == 0 {
+		return nil, fmt.Errorf("cluster: empty clusterings")
+	}
+	if kx <= 0 || ky <= 0 {
+		return nil, fmt.Errorf("cluster: non-positive cluster counts (%d, %d)", kx, ky)
+	}
+	c := &Contingency{
+		n:    len(x),
+		rows: make([]int, kx),
+		cols: make([]int, ky),
+	}
+	backing := make([]int, kx*ky)
+	c.cells = make([][]int, kx)
+	for i := range c.cells {
+		c.cells[i] = backing[i*ky : (i+1)*ky]
+	}
+	for k := range x {
+		i, j := x[k], y[k]
+		c.cells[i][j]++
+		c.rows[i]++
+		c.cols[j]++
+	}
+	return c, nil
+}
+
 // MI returns the mutual information between the two clusterings, in nats.
 func (c *Contingency) MI() float64 {
 	n := float64(c.n)
@@ -103,7 +140,7 @@ func marginalEntropy(counts []int, n int) float64 {
 // Vinh et al., in nats. Complexity is O(R·C·n̄) over the contingency shape.
 func (c *Contingency) ExpectedMI() float64 {
 	n := c.n
-	lgam := makeLogFactorials(n + 1)
+	lgam := logFactorials(n + 1)
 	logN := lgam[n]
 	fn := float64(n)
 	var emi float64
@@ -129,14 +166,38 @@ func (c *Contingency) ExpectedMI() float64 {
 	return emi
 }
 
-// makeLogFactorials returns lgam[k] = ln k! for k in [0, n].
-func makeLogFactorials(n int) []float64 {
-	lg := make([]float64, n+1)
-	for k := 2; k <= n; k++ {
-		lg[k] = lg[k-1] + math.Log(float64(k))
+// logFactorials returns a read-only slice with lgam[k] = ln k! for k in
+// [0, n]. The table is shared and grown on demand: every AMI call over the
+// same population size reuses it instead of recomputing n logarithms, which
+// matters when the agreement sweeps evaluate thousands of pairs. Entries
+// are computed incrementally (lg[k] = lg[k-1] + ln k), so a longer table's
+// prefix is bit-identical to a freshly built shorter one.
+func logFactorials(n int) []float64 {
+	lgamMu.RLock()
+	lg := lgamTable
+	lgamMu.RUnlock()
+	if len(lg) > n {
+		return lg[:n+1]
 	}
-	return lg
+	lgamMu.Lock()
+	defer lgamMu.Unlock()
+	for len(lgamTable) <= n {
+		k := len(lgamTable)
+		var prev float64
+		if k >= 2 {
+			prev = lgamTable[k-1] + math.Log(float64(k))
+		}
+		// Append never reuses the old backing array once it reallocates, so
+		// slices returned earlier stay valid and immutable.
+		lgamTable = append(lgamTable, prev)
+	}
+	return lgamTable[:n+1]
 }
+
+var (
+	lgamMu    sync.RWMutex
+	lgamTable []float64
+)
 
 // AMI returns the Adjusted Mutual Information of label vectors x and y with
 // the arithmetic-mean normalizer:
@@ -150,9 +211,25 @@ func AMI(x, y []int) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	return amiOf(c), nil
+}
+
+// AMIDense is AMI over dense label vectors (x in [0, kx), y in [0, ky)),
+// skipping the label-indexing maps. With first-appearance-canonical labels
+// the result is bit-identical to AMI over any relabeling of the same
+// partitions.
+func AMIDense(x, y []int32, kx, ky int) (float64, error) {
+	c, err := NewContingencyDense(x, y, kx, ky)
+	if err != nil {
+		return 0, err
+	}
+	return amiOf(c), nil
+}
+
+func amiOf(c *Contingency) float64 {
 	ru, rv := len(c.rows), len(c.cols)
 	if (ru == 1 && rv == 1) || (ru == c.n && rv == c.n) {
-		return 1, nil
+		return 1
 	}
 	mi := c.MI()
 	emi := c.ExpectedMI()
@@ -162,7 +239,7 @@ func AMI(x, y []int) (float64, error) {
 	if math.Abs(den) < eps {
 		den = math.Copysign(eps, den)
 	}
-	return (mi - emi) / den, nil
+	return (mi - emi) / den
 }
 
 // NMI returns the arithmetic-mean Normalized Mutual Information.

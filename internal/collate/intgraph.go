@@ -1,0 +1,186 @@
+package collate
+
+// IntGraph is the dense, int-keyed fast path of the bipartite collation
+// graph: users and elementary fingerprints are identified by dense int32
+// IDs assigned up front (see study.Index), so AddObservation performs no
+// map probes and no string hashing — just two array reads and a union-find
+// merge. It produces exactly the same connected components as Graph over
+// the equivalent string observations; the analysis sweeps (Fig. 5,
+// Table 6, Fig. 9, §5) build thousands of these per run.
+//
+// Element layout: users occupy union-find elements [0, numUsers);
+// fingerprints are appended lazily as they are first observed, with
+// fpElem mapping a dense fingerprint ID from the interning universe to
+// its element (or -1 when not yet seen by this graph).
+type IntGraph struct {
+	numUsers int
+	numFPs   int     // distinct fingerprints observed by this graph
+	fpElem   []int32 // fingerprint ID → element, -1 = absent
+	parent   []int32
+	size     []int32
+}
+
+// NewIntGraph returns an empty graph over a fixed population of numUsers
+// users and an interning universe of fpUniverse distinct fingerprint IDs.
+func NewIntGraph(numUsers, fpUniverse int) *IntGraph {
+	g := &IntGraph{
+		numUsers: numUsers,
+		fpElem:   make([]int32, fpUniverse),
+		parent:   make([]int32, numUsers, numUsers+fpUniverse),
+		size:     make([]int32, numUsers, numUsers+fpUniverse),
+	}
+	for i := range g.fpElem {
+		g.fpElem[i] = -1
+	}
+	for i := range g.parent {
+		g.parent[i] = int32(i)
+		g.size[i] = 1
+	}
+	return g
+}
+
+// NumUsers returns the population size the graph was built for.
+func (g *IntGraph) NumUsers() int { return g.numUsers }
+
+// NumFingerprints returns the number of distinct fingerprints observed.
+func (g *IntGraph) NumFingerprints() int { return g.numFPs }
+
+func (g *IntGraph) find(x int32) int32 {
+	for g.parent[x] != x {
+		g.parent[x] = g.parent[g.parent[x]] // path halving
+		x = g.parent[x]
+	}
+	return x
+}
+
+func (g *IntGraph) union(a, b int32) bool {
+	ra, rb := g.find(a), g.find(b)
+	if ra == rb {
+		return false
+	}
+	if g.size[ra] < g.size[rb] {
+		ra, rb = rb, ra
+	}
+	g.parent[rb] = ra
+	g.size[ra] += g.size[rb]
+	return true
+}
+
+// AddObservation records that user (a dense ID in [0, NumUsers)) emitted
+// fingerprint fp (a dense ID in [0, fpUniverse)). It reports whether the
+// edge merged two previously distinct components.
+func (g *IntGraph) AddObservation(user, fp int32) bool {
+	fn := g.fpElem[fp]
+	if fn < 0 {
+		fn = int32(len(g.parent))
+		g.parent = append(g.parent, fn)
+		g.size = append(g.size, 1)
+		g.fpElem[fp] = fn
+		g.numFPs++
+	}
+	return g.union(user, fn)
+}
+
+// ClusterOf returns the canonical element of the user's component. Valid
+// only for the graph's current state.
+func (g *IntGraph) ClusterOf(user int32) int32 { return g.find(user) }
+
+// Labels returns each user's cluster label as a dense int32 in
+// [0, NumClusters), canonicalized by first appearance in user order — the
+// same ordering Graph.Labels induces through cluster.indexLabels, so AMI
+// computed over these labels is bit-identical to the string path.
+func (g *IntGraph) Labels() []int32 {
+	return g.LabelsInto(make([]int32, g.numUsers), make([]int32, len(g.parent)))
+}
+
+// LabelsInto is Labels with caller-provided buffers: dst must have length
+// NumUsers; canon must have length ≥ len(parent) (total elements) and is
+// used as scratch. It returns dst. The number of clusters is
+// max(dst)+1 (or 0 for an empty population).
+func (g *IntGraph) LabelsInto(dst, canon []int32) []int32 {
+	if len(dst) < g.numUsers || len(canon) < len(g.parent) {
+		panic("collate: LabelsInto buffers too short")
+	}
+	canon = canon[:len(g.parent)]
+	for i := range canon {
+		canon[i] = -1
+	}
+	var next int32
+	for u := 0; u < g.numUsers; u++ {
+		root := g.find(int32(u))
+		if canon[root] < 0 {
+			canon[root] = next
+			next++
+		}
+		dst[u] = canon[root]
+	}
+	return dst[:g.numUsers]
+}
+
+// NumClusters returns the number of components containing at least one
+// user.
+func (g *IntGraph) NumClusters() int { return len(g.ClusterSizes()) }
+
+// ClusterSizes returns the user count of every cluster in first-appearance
+// order (not sorted).
+func (g *IntGraph) ClusterSizes() []int {
+	canon := make([]int32, len(g.parent))
+	for i := range canon {
+		canon[i] = -1
+	}
+	var sizes []int
+	for u := 0; u < g.numUsers; u++ {
+		root := g.find(int32(u))
+		if canon[root] < 0 {
+			canon[root] = int32(len(sizes))
+			sizes = append(sizes, 0)
+		}
+		sizes[canon[root]]++
+	}
+	return sizes
+}
+
+// UniqueClusters returns how many clusters contain exactly one user.
+func (g *IntGraph) UniqueClusters() int {
+	n := 0
+	for _, s := range g.ClusterSizes() {
+		if s == 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Match looks up a set of fingerprint IDs without inserting them and
+// reports which existing cluster they identify — the int-keyed equivalent
+// of Graph.Match. It allocates nothing for the common ≤ 16-distinct-root
+// case.
+func (g *IntGraph) Match(fps []int32) (cluster int32, res MatchResult) {
+	var roots [16]int32
+	found := roots[:0]
+	for _, fp := range fps {
+		n := g.fpElem[fp]
+		if n < 0 {
+			continue
+		}
+		root := g.find(n)
+		dup := false
+		for _, r := range found {
+			if r == root {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			found = append(found, root)
+		}
+	}
+	switch len(found) {
+	case 0:
+		return 0, MatchNone
+	case 1:
+		return found[0], MatchUnique
+	default:
+		return 0, MatchAmbiguous
+	}
+}

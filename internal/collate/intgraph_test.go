@@ -1,0 +1,165 @@
+package collate
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// buildBoth streams the same random observation sequence into a string
+// Graph and an IntGraph, asserting the per-edge merge reports agree.
+func buildBoth(t *testing.T, rng *rand.Rand, users, universe, edges int) (*Graph, *IntGraph) {
+	t.Helper()
+	g := NewGraph()
+	// Pre-register users in index order so Graph's user set matches the
+	// dense population (a user with no observation stays a singleton).
+	for u := 0; u < users; u++ {
+		g.AddObservation(userName(u), fmt.Sprintf("seed-h%d", u))
+	}
+	// Universe layout: [0, universe) shared hashes, [universe,
+	// universe+users) per-user seed fingerprints, then head-room for
+	// never-inserted probe IDs.
+	ig := NewIntGraph(users, universe+users+64)
+	for u := 0; u < users; u++ {
+		ig.AddObservation(int32(u), int32(universe+u))
+	}
+	for e := 0; e < edges; e++ {
+		u := rng.Intn(users)
+		h := rng.Intn(universe)
+		want := g.AddObservation(userName(u), fmt.Sprintf("h%d", h))
+		got := ig.AddObservation(int32(u), int32(h))
+		if got != want {
+			t.Fatalf("edge %d (u%d, h%d): IntGraph merge=%v, Graph merge=%v", e, u, h, got, want)
+		}
+	}
+	return g, ig
+}
+
+func userName(u int) string { return fmt.Sprintf("u%d", u) }
+
+// canonicalize maps arbitrary labels to first-appearance-dense int32s.
+func canonicalize(labels []int) []int32 {
+	seen := map[int]int32{}
+	out := make([]int32, len(labels))
+	for i, l := range labels {
+		id, ok := seen[l]
+		if !ok {
+			id = int32(len(seen))
+			seen[l] = id
+		}
+		out[i] = id
+	}
+	return out
+}
+
+// TestIntGraphMatchesGraph: the dense fast path must produce exactly the
+// same components, labels (up to canonical renaming), cluster statistics
+// and match results as the string graph over the same observations.
+func TestIntGraphMatchesGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const users, universe, edges = 200, 80, 3000
+	g, ig := buildBoth(t, rng, users, universe, edges)
+
+	names := make([]string, users)
+	for u := range names {
+		names[u] = userName(u)
+	}
+	want := canonicalize(g.Labels(names))
+	got := ig.Labels()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("IntGraph labels differ from canonicalized Graph labels")
+	}
+	if ig.NumClusters() != g.NumClusters() {
+		t.Errorf("NumClusters: IntGraph %d, Graph %d", ig.NumClusters(), g.NumClusters())
+	}
+	if ig.UniqueClusters() != g.UniqueClusters() {
+		t.Errorf("UniqueClusters: IntGraph %d, Graph %d", ig.UniqueClusters(), g.UniqueClusters())
+	}
+	igSizes := append([]int(nil), ig.ClusterSizes()...)
+	sort.Sort(sort.Reverse(sort.IntSlice(igSizes)))
+	if !reflect.DeepEqual(igSizes, g.ClusterSizes()) {
+		t.Errorf("ClusterSizes: IntGraph %v, Graph %v", igSizes, g.ClusterSizes())
+	}
+
+	// Match equivalence over random probe sets (including unseen IDs).
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(5)
+		hashes := make([]string, n)
+		ids := make([]int32, n)
+		for i := 0; i < n; i++ {
+			h := rng.Intn(universe + 20) // some misses
+			hashes[i] = fmt.Sprintf("h%d", h)
+			if h < universe {
+				ids[i] = int32(h)
+			} else {
+				// "h80".."h99" were never observed; map them to the
+				// never-inserted tail of the ID universe.
+				ids[i] = int32(universe + users + (h - universe))
+			}
+		}
+		wantCluster, wantRes := g.Match(hashes)
+		gotCluster, gotRes := ig.Match(ids)
+		if gotRes != wantRes {
+			t.Fatalf("trial %d: Match result IntGraph=%v, Graph=%v", trial, gotRes, wantRes)
+		}
+		if wantRes != MatchUnique {
+			continue
+		}
+		// The matched clusters must contain the same users.
+		var wantUsers, gotUsers []int
+		for u := 0; u < users; u++ {
+			if id, ok := g.ClusterOf(userName(u)); ok && id == wantCluster {
+				wantUsers = append(wantUsers, u)
+			}
+			if ig.ClusterOf(int32(u)) == gotCluster {
+				gotUsers = append(gotUsers, u)
+			}
+		}
+		if !reflect.DeepEqual(gotUsers, wantUsers) {
+			t.Fatalf("trial %d: matched cluster users differ: %v vs %v", trial, gotUsers, wantUsers)
+		}
+	}
+}
+
+// TestIntGraphMatchManyRoots: Match must stay correct past its no-alloc
+// fast path of 16 distinct roots.
+func TestIntGraphMatchManyRoots(t *testing.T) {
+	const users = 40
+	ig := NewIntGraph(users, users)
+	for u := 0; u < users; u++ {
+		ig.AddObservation(int32(u), int32(u)) // 40 singleton clusters
+	}
+	all := make([]int32, users)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	if _, res := ig.Match(all); res != MatchAmbiguous {
+		t.Errorf("40-root probe: result %v, want MatchAmbiguous", res)
+	}
+	if c, res := ig.Match(all[3:4]); res != MatchUnique || ig.ClusterOf(3) != c {
+		t.Errorf("single probe: cluster %d result %v, want unique cluster of user 3", c, res)
+	}
+	if _, res := ig.Match(nil); res != MatchNone {
+		t.Error("empty probe must be MatchNone")
+	}
+}
+
+// TestIntGraphLabelsInto: the pooled-buffer variant must equal Labels and
+// reject short buffers.
+func TestIntGraphLabelsInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	_, ig := buildBoth(t, rng, 50, 30, 300)
+	dst := make([]int32, 50)
+	canon := make([]int32, 50+ig.NumFingerprints()+50)
+	if !reflect.DeepEqual(ig.LabelsInto(dst, canon), ig.Labels()) {
+		t.Error("LabelsInto differs from Labels")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("short buffer did not panic")
+		}
+	}()
+	ig.LabelsInto(make([]int32, 1), canon)
+}

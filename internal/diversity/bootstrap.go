@@ -31,8 +31,10 @@ func BootstrapEntropyCI[T comparable](values []T, resamples int, confidence floa
 	if confidence <= 0 || confidence >= 1 {
 		confidence = 0.95
 	}
+	// The stable entropy keeps equal seeds bit-identical: Summarize's map
+	// iteration randomizes the last ulp of the sum between calls.
 	ci := BootstrapCI{
-		Point:      NormalizedEntropy(values),
+		Point:      NormalizedEntropyStable(values),
 		Confidence: confidence,
 		Resamples:  resamples,
 	}
@@ -47,7 +49,7 @@ func BootstrapEntropyCI[T comparable](values []T, resamples int, confidence floa
 		for i := range sample {
 			sample[i] = values[rng.Intn(len(values))]
 		}
-		stats[b] = NormalizedEntropy(sample)
+		stats[b] = NormalizedEntropyStable(sample)
 	}
 	sort.Float64s(stats)
 	alpha := (1 - confidence) / 2

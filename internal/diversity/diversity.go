@@ -67,6 +67,37 @@ func NormalizedEntropy[T comparable](values []T) float64 {
 	return Summarize(values).Normalized
 }
 
+// NormalizedEntropyStable is NormalizedEntropy with a deterministic
+// floating-point summation order: group counts are sorted before the
+// entropy sum, so repeated calls — and parallel sweeps that must be
+// bit-identical to their serial counterparts — always produce the same
+// float. (Summarize iterates a map, which randomizes the last ulp of the
+// sum from run to run.)
+func NormalizedEntropyStable[T comparable](values []T) float64 {
+	if len(values) <= 1 {
+		return 0
+	}
+	counts := make(map[T]int, len(values))
+	for _, v := range values {
+		counts[v]++
+	}
+	cs := make([]int, 0, len(counts))
+	for _, c := range counts {
+		cs = append(cs, c)
+	}
+	sort.Ints(cs)
+	n := float64(len(values))
+	var e float64
+	for _, c := range cs {
+		p := float64(c) / n
+		e -= p * math.Log2(p)
+	}
+	if e < 0 {
+		e = 0
+	}
+	return e / math.Log2(n)
+}
+
 // Combine builds the combination vector of several fingerprinting
 // techniques: element i of the result encodes the tuple of all vectors'
 // values for user i (the paper's (fᵢ, gᵢ, hᵢ, …) construction). All input

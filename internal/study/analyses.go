@@ -76,35 +76,69 @@ type AgreementPoint struct {
 	Pairs   int
 }
 
-// AgreementScores computes, for each vector and subset size s, the mean
-// pairwise AMI between the user clusterings produced by the ⌊k/s⌋ disjoint
-// iteration subsets (paper §3.3, Fig. 5).
-func (ds *Dataset) AgreementScores(sValues []int) ([]AgreementPoint, error) {
-	users := ds.UserIDs()
-	var out []AgreementPoint
+// sweepItem is one (vector, subset size) cell of a §3.3 sweep.
+type sweepItem struct {
+	v vectors.ID
+	s int
+}
+
+// sweepItems enumerates the (vector, s) cells with at least two disjoint
+// subsets, in the serial output order (vectors.All major, sValues minor).
+func (ds *Dataset) sweepItems(sValues []int) []sweepItem {
+	items := make([]sweepItem, 0, len(vectors.All)*len(sValues))
 	for _, v := range vectors.All {
 		for _, s := range sValues {
-			subs := subsetIterations(ds.Iterations, s)
-			if len(subs) < 2 {
-				continue
+			if s > 0 && s <= ds.Iterations && ds.Iterations/s >= 2 {
+				items = append(items, sweepItem{v, s})
 			}
-			labelings := make([][]int, len(subs))
-			for i, iters := range subs {
-				labelings[i] = ds.Graph(v, iters).Labels(users)
-			}
-			var sum float64
-			pairs := 0
-			for i := 0; i < len(labelings); i++ {
-				for j := i + 1; j < len(labelings); j++ {
-					ami, err := cluster.AMI(labelings[i], labelings[j])
-					if err != nil {
-						return nil, fmt.Errorf("study: AMI(%v, s=%d): %w", v, s, err)
-					}
-					sum += ami
-					pairs++
+		}
+	}
+	return items
+}
+
+// AgreementScores computes, for each vector and subset size s, the mean
+// pairwise AMI between the user clusterings produced by the ⌊k/s⌋ disjoint
+// iteration subsets (paper §3.3, Fig. 5). Cells are evaluated concurrently
+// (bounded by Dataset.Parallelism) over the interned observation index;
+// each cell writes a pre-sized slot, so the output is bit-identical to a
+// serial run.
+func (ds *Dataset) AgreementScores(sValues []int) ([]AgreementPoint, error) {
+	ix := ds.Index()
+	items := ds.sweepItems(sValues)
+	out := make([]AgreementPoint, len(items))
+	errs := make([]error, len(items))
+	forEach(len(items), ds.parallelism(), func(n int) {
+		v, s := items[n].v, items[n].s
+		subs := subsetIterations(ds.Iterations, s)
+		labelings := make([][]int32, len(subs))
+		ks := make([]int, len(subs))
+		for i, iters := range subs {
+			g := intGraphOf(ix, len(ds.Users), v, iters)
+			labelings[i] = g.Labels()
+			for _, l := range labelings[i] {
+				if int(l) >= ks[i] {
+					ks[i] = int(l) + 1
 				}
 			}
-			out = append(out, AgreementPoint{Vector: v, S: s, MeanAMI: sum / float64(pairs), Pairs: pairs})
+		}
+		var sum float64
+		pairs := 0
+		for i := 0; i < len(labelings); i++ {
+			for j := i + 1; j < len(labelings); j++ {
+				ami, err := cluster.AMIDense(labelings[i], labelings[j], ks[i], ks[j])
+				if err != nil {
+					errs[n] = fmt.Errorf("study: AMI(%v, s=%d): %w", v, s, err)
+					return
+				}
+				sum += ami
+				pairs++
+			}
+		}
+		out[n] = AgreementPoint{Vector: v, S: s, MeanAMI: sum / float64(pairs), Pairs: pairs}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	return out, nil
@@ -125,41 +159,40 @@ type MatchScoreRow struct {
 
 // MatchScores implements §3.3's match-score measurement: the first size-s
 // subset trains a collation graph; every remaining subset of every user is
-// matched against it without insertion.
+// matched against it without insertion. Each (vector, s) cell trains and
+// matches over interned IDs and runs concurrently (bounded by
+// Dataset.Parallelism); results land in pre-sized slots, bit-identical to
+// a serial run.
 func (ds *Dataset) MatchScores(sValues []int) []MatchScoreRow {
-	var out []MatchScoreRow
-	for _, v := range vectors.All {
-		for _, s := range sValues {
-			subs := subsetIterations(ds.Iterations, s)
-			if len(subs) < 2 {
-				continue
-			}
-			training := ds.Graph(v, subs[0])
-			success, trials := 0, 0
-			for ui, user := range ds.Users {
-				want, ok := training.ClusterOf(user)
-				if !ok {
-					continue
+	ix := ds.Index()
+	items := ds.sweepItems(sValues)
+	out := make([]MatchScoreRow, len(items))
+	forEach(len(items), ds.parallelism(), func(n int) {
+		v, s := items[n].v, items[n].s
+		subs := subsetIterations(ds.Iterations, s)
+		training := intGraphOf(ix, len(ds.Users), v, subs[0])
+		obsIDs := ix.ObsIDs(v)
+		ids := make([]int32, s)
+		success, trials := 0, 0
+		for ui := range ds.Users {
+			want := training.ClusterOf(int32(ui))
+			for _, iters := range subs[1:] {
+				for k, it := range iters {
+					ids[k] = obsIDs[ui][it]
 				}
-				for _, iters := range subs[1:] {
-					hashes := make([]string, len(iters))
-					for k, it := range iters {
-						hashes[k] = ds.Obs[v][ui][it]
-					}
-					got, res := training.Match(hashes)
-					trials++
-					if res == collate.MatchUnique && got == want {
-						success++
-					}
+				got, res := training.Match(ids)
+				trials++
+				if res == collate.MatchUnique && got == want {
+					success++
 				}
 			}
-			out = append(out, MatchScoreRow{
-				Vector: v, S: s,
-				Score:  float64(success) / float64(trials),
-				Trials: trials,
-			})
 		}
-	}
+		out[n] = MatchScoreRow{
+			Vector: v, S: s,
+			Score:  float64(success) / float64(trials),
+			Trials: trials,
+		}
+	})
 	return out
 }
 
@@ -191,11 +224,11 @@ func (ds *Dataset) CombinedLabels() []string {
 func (ds *Dataset) Table2() []DiversityRow {
 	rows := make([]DiversityRow, 0, len(vectors.All)+1)
 	for _, v := range vectors.All {
-		g := ds.FullGraph(v)
-		sum := diversity.Summarize(ds.Labels(v))
+		d := ds.dense(v)
+		sum := diversity.Summarize(d.labels)
 		// Distinct/Unique per the paper are cluster counts in the graph.
-		sum.Distinct = g.NumClusters()
-		sum.Unique = g.UniqueClusters()
+		sum.Distinct = d.k
+		sum.Unique = d.unique
 		rows = append(rows, DiversityRow{Name: v.String(), Summary: sum})
 	}
 	rows = append(rows, DiversityRow{Name: "Combined", Summary: diversity.Summarize(ds.CombinedLabels())})
@@ -301,13 +334,43 @@ func (ds *Dataset) AdditiveValue(name string, base []string) AdditiveResult {
 // Figure 9 — cross-vector cluster agreement heatmap.
 
 // PairwiseVectorAMI returns the AMI between the collated clusterings of all
-// seven vectors, in vectors.All order.
+// seven vectors, in vectors.All order. The pairs of the symmetric matrix
+// are computed concurrently over the cached interned labelings.
 func (ds *Dataset) PairwiseVectorAMI() ([][]float64, error) {
-	labelings := make([][]int, len(vectors.All))
+	k := len(vectors.All)
+	infos := make([]*denseInfo, k)
 	for i, v := range vectors.All {
-		labelings[i] = ds.Labels(v)
+		infos[i] = ds.dense(v)
 	}
-	return cluster.PairwiseAMI(labelings)
+	out := make([][]float64, k)
+	for i := range out {
+		out[i] = make([]float64, k)
+		out[i][i] = 1
+	}
+	type pair struct{ i, j int }
+	var pairs []pair
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			pairs = append(pairs, pair{i, j})
+		}
+	}
+	errs := make([]error, len(pairs))
+	forEach(len(pairs), ds.parallelism(), func(n int) {
+		i, j := pairs[n].i, pairs[n].j
+		v, err := cluster.AMIDense(infos[i].labels, infos[j].labels, infos[i].k, infos[j].k)
+		if err != nil {
+			errs[n] = err
+			return
+		}
+		out[i][j] = v
+		out[j][i] = v
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -324,38 +387,53 @@ type RankingResult struct {
 
 // SubsetRanking divides users into `parts` disjoint equal subsets, computes
 // each fingerprinting vector's normalized entropy within each subset, and
-// checks whether the induced rankings agree (paper §5).
+// checks whether the induced rankings agree (paper §5). Audio vectors are
+// scored over their cached interned labelings (no per-call string
+// conversion) and the (part, vector) entropy cells run concurrently,
+// bounded by Dataset.Parallelism; entropies use deterministic summation
+// order, so results are identical across parallelism settings and runs.
 func (ds *Dataset) SubsetRanking(parts int) RankingResult {
-	type namedValues struct {
+	type namedEntropy struct {
+		name    string
+		entropy func(lo, hi int) float64
+	}
+	all := make([]namedEntropy, 0, len(vectors.All)+3)
+	for _, v := range vectors.All {
+		labels := ds.dense(v).labels
+		all = append(all, namedEntropy{v.String(), func(lo, hi int) float64 {
+			return diversity.NormalizedEntropyStable(labels[lo:hi])
+		}})
+	}
+	for _, nv := range []struct {
 		name   string
 		values []string
+	}{{"Canvas", ds.Canvas}, {"Fonts", ds.Fonts}, {"User-Agent", ds.UA}} {
+		values := nv.values
+		all = append(all, namedEntropy{nv.name, func(lo, hi int) float64 {
+			return diversity.NormalizedEntropyStable(values[lo:hi])
+		}})
 	}
-	all := make([]namedValues, 0, 10)
-	for _, v := range vectors.All {
-		labels := ds.Labels(v)
-		vals := make([]string, len(labels))
-		for i, l := range labels {
-			vals[i] = fmt.Sprint(l)
-		}
-		all = append(all, namedValues{v.String(), vals})
-	}
-	all = append(all,
-		namedValues{"Canvas", ds.Canvas},
-		namedValues{"Fonts", ds.Fonts},
-		namedValues{"User-Agent", ds.UA},
-	)
 
 	n := len(ds.Users)
+	entropies := make([][]float64, parts)
+	for p := range entropies {
+		entropies[p] = make([]float64, len(all))
+	}
+	forEach(parts*len(all), ds.parallelism(), func(cell int) {
+		p, vi := cell/len(all), cell%len(all)
+		lo, hi := p*n/parts, (p+1)*n/parts
+		entropies[p][vi] = all[vi].entropy(lo, hi)
+	})
+
 	res := RankingResult{Consistent: true}
 	for p := 0; p < parts; p++ {
-		lo, hi := p*n/parts, (p+1)*n/parts
 		type scored struct {
 			name string
 			e    float64
 		}
 		scores := make([]scored, 0, len(all))
-		for _, nv := range all {
-			scores = append(scores, scored{nv.name, diversity.NormalizedEntropy(nv.values[lo:hi])})
+		for vi, nv := range all {
+			scores = append(scores, scored{nv.name, entropies[p][vi]})
 		}
 		sort.SliceStable(scores, func(i, j int) bool { return scores[i].e > scores[j].e })
 		rank := make([]string, len(scores))
@@ -382,10 +460,10 @@ func (ds *Dataset) SubsetRanking(parts int) RankingResult {
 func (ds *Dataset) Table4() []DiversityRow {
 	rows := make([]DiversityRow, 0, 4)
 	for _, v := range []vectors.ID{vectors.DC, vectors.FFT, vectors.Hybrid} {
-		g := ds.FullGraph(v)
-		sum := diversity.Summarize(ds.Labels(v))
-		sum.Distinct = g.NumClusters()
-		sum.Unique = g.UniqueClusters()
+		d := ds.dense(v)
+		sum := diversity.Summarize(d.labels)
+		sum.Distinct = d.k
+		sum.Unique = d.unique
 		rows = append(rows, DiversityRow{Name: v.String(), Summary: sum})
 	}
 	rows = append(rows, DiversityRow{

@@ -151,5 +151,6 @@ func FromRecords(recs []storage.Record) (*Dataset, error) {
 			ds.Obs[v][u.idx] = row
 		}
 	}
+	ds.idx = buildIndex(ds.Obs)
 	return ds, nil
 }

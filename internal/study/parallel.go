@@ -1,0 +1,75 @@
+package study
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelism resolves the dataset's worker-count knob: Parallelism when
+// positive, GOMAXPROCS otherwise.
+func (ds *Dataset) parallelism() int {
+	if ds.Parallelism > 0 {
+		return ds.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runAll invokes fn(i) for every i in [0, n) from at most `workers`
+// goroutines (0 = GOMAXPROCS) and returns the first error observed. Work
+// is claimed from an atomic counter rather than fed through a channel, so
+// there is no producer to deadlock: when a worker fails, the remaining
+// workers stop claiming new indices and runAll returns. (The previous
+// channel-fed pool blocked forever in study.Run if every worker exited
+// early on error while the producer still held unqueued jobs.)
+func runAll(n, workers int, fn func(int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next    atomic.Int64
+		failed  atomic.Bool
+		errOnce sync.Once
+		first   error
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					errOnce.Do(func() { first = err })
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}
+
+// forEach is runAll without error plumbing, for sweeps whose work items
+// cannot fail.
+func forEach(n, workers int, fn func(int)) {
+	runAll(n, workers, func(i int) error {
+		fn(i)
+		return nil
+	})
+}

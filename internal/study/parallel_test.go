@@ -1,0 +1,162 @@
+package study
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/vectors"
+	"repro/internal/webaudio"
+)
+
+// analysisResults bundles the outputs of every parallelized sweep.
+type analysisResults struct {
+	agreement []AgreementPoint
+	match     []MatchScoreRow
+	pairwise  [][]float64
+	ranking   RankingResult
+}
+
+func sweepAll(t *testing.T, ds *Dataset) analysisResults {
+	t.Helper()
+	var r analysisResults
+	var err error
+	if r.agreement, err = ds.AgreementScores([]int{1, 2, 4}); err != nil {
+		t.Fatal(err)
+	}
+	r.match = ds.MatchScores([]int{3, 4})
+	if r.pairwise, err = ds.PairwiseVectorAMI(); err != nil {
+		t.Fatal(err)
+	}
+	r.ranking = ds.SubsetRanking(4)
+	return r
+}
+
+// TestParallelSerialEquivalence: every parallel sweep must produce results
+// bit-identical to its serial (Parallelism: 1) run — same floats, same
+// order.
+func TestParallelSerialEquivalence(t *testing.T) {
+	ds, err := Run(Config{Seed: 7, Users: 120, Iterations: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.Parallelism = 1
+	serial := sweepAll(t, ds)
+	ds.Parallelism = 8
+	parallel := sweepAll(t, ds)
+
+	if !reflect.DeepEqual(serial.agreement, parallel.agreement) {
+		t.Errorf("AgreementScores differ between serial and parallel runs:\n%v\nvs\n%v",
+			serial.agreement, parallel.agreement)
+	}
+	if !reflect.DeepEqual(serial.match, parallel.match) {
+		t.Errorf("MatchScores differ between serial and parallel runs:\n%v\nvs\n%v",
+			serial.match, parallel.match)
+	}
+	if !reflect.DeepEqual(serial.pairwise, parallel.pairwise) {
+		t.Errorf("PairwiseVectorAMI differs between serial and parallel runs:\n%v\nvs\n%v",
+			serial.pairwise, parallel.pairwise)
+	}
+	if !reflect.DeepEqual(serial.ranking, parallel.ranking) {
+		t.Errorf("SubsetRanking differs between serial and parallel runs:\n%v\nvs\n%v",
+			serial.ranking, parallel.ranking)
+	}
+}
+
+// TestRunAllWorkerError is the regression test for the worker-pool
+// deadlock: with more work items than workers and every item failing, the
+// old channel-fed pool blocked forever in the producer once all workers
+// had exited. runAll must instead return the error promptly.
+func TestRunAllWorkerError(t *testing.T) {
+	boom := errors.New("boom")
+	done := make(chan error, 1)
+	go func() {
+		done <- runAll(500, 4, func(int) error { return boom })
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, boom) {
+			t.Errorf("runAll error = %v, want %v", err, boom)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("runAll deadlocked on worker error")
+	}
+}
+
+// TestRunAllCoverage: without errors, every index must run exactly once,
+// at any worker count.
+func TestRunAllCoverage(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		const n = 100
+		var counts [n]atomic.Int32
+		if err := runAll(n, workers, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+// TestRunAllStopsAfterError: once an error surfaces, workers stop claiming
+// new indices rather than draining the remaining work.
+func TestRunAllStopsAfterError(t *testing.T) {
+	var ran atomic.Int32
+	boom := errors.New("boom")
+	_ = runAll(10_000, 2, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if n := ran.Load(); n > 1000 {
+		t.Errorf("%d items ran after an immediate error; cancellation is not propagating", n)
+	}
+}
+
+// TestConcurrentCacheAndGraphStress exercises the shared vectors.Cache and
+// the dataset's lazily built caches (FullGraph, Index, dense labels) from
+// many goroutines — run under -race via `make check`.
+func TestConcurrentCacheAndGraphStress(t *testing.T) {
+	ds, err := Run(Config{Seed: 11, Users: 30, Iterations: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := vectors.NewCache()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			runner := vectors.NewRunner(webaudio.DefaultTraits(), 0)
+			for _, v := range vectors.All {
+				if _, err := cache.Run("default", runner, v, w%3); err != nil {
+					t.Error(err)
+					return
+				}
+				g := ds.FullGraph(v)
+				if g.NumUsers() != 30 {
+					t.Errorf("FullGraph(%v) has %d users", v, g.NumUsers())
+					return
+				}
+				if got := len(ds.Labels(v)); got != 30 {
+					t.Errorf("Labels(%v) has %d entries", v, got)
+					return
+				}
+			}
+			if _, err := ds.AgreementScores([]int{2}); err != nil {
+				t.Error(err)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

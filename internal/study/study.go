@@ -12,7 +12,6 @@ package study
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
 	"sync"
 
 	"repro/internal/collate"
@@ -64,10 +63,21 @@ type Dataset struct {
 	Fonts     []string
 	MathJS    []string
 	Platforms []string
+	// Parallelism bounds the worker goroutines the analysis sweeps
+	// (AgreementScores, MatchScores, PairwiseVectorAMI, SubsetRanking) may
+	// use; 0 = GOMAXPROCS, 1 = serial. Results are bit-identical across
+	// settings — only wall-clock changes.
+	Parallelism int
 
+	// mu guards the lazily built caches below.
+	mu sync.Mutex
 	// fullGraphs caches the all-iterations collation graph per vector.
-	mu         sync.Mutex
 	fullGraphs map[vectors.ID]*collate.Graph
+	// idx interns user/fingerprint IDs (built eagerly by Run/FromRecords,
+	// lazily otherwise); denseByVec caches per-vector full-graph labelings
+	// in interned form.
+	idx        *Index
+	denseByVec map[vectors.ID]*denseInfo
 }
 
 // UserIDs returns the participant IDs in dataset order.
@@ -128,40 +138,13 @@ func Run(cfg Config) (*Dataset, error) {
 	}
 
 	cache := vectors.NewCache()
-	workers := cfg.Parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-
-	type job struct{ userIdx int }
-	jobs := make(chan job)
-	errs := make(chan error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				if err := runUser(ds, cache, jitter, j.userIdx, userSeeds[j.userIdx]); err != nil {
-					select {
-					case errs <- err:
-					default:
-					}
-					return
-				}
-			}
-		}()
-	}
-	for i := range devs {
-		jobs <- job{userIdx: i}
-	}
-	close(jobs)
-	wg.Wait()
-	select {
-	case err := <-errs:
+	if err := runAll(len(devs), cfg.Parallelism, func(i int) error {
+		return runUser(ds, cache, jitter, i, userSeeds[i])
+	}); err != nil {
 		return nil, err
-	default:
 	}
+	ds.Parallelism = cfg.Parallelism
+	ds.idx = buildIndex(ds.Obs)
 	return ds, nil
 }
 
@@ -216,9 +199,15 @@ func (ds *Dataset) FullGraph(v vectors.ID) *collate.Graph {
 }
 
 // Labels returns each user's collated-fingerprint cluster label for v,
-// aligned with Users order.
+// aligned with Users order. Labels are dense ints in [0, NumClusters),
+// canonicalized by first appearance; only label equality is meaningful.
 func (ds *Dataset) Labels(v vectors.ID) []int {
-	return ds.FullGraph(v).Labels(ds.UserIDs())
+	d := ds.dense(v)
+	out := make([]int, len(d.labels))
+	for i, l := range d.labels {
+		out[i] = int(l)
+	}
+	return out
 }
 
 // subsetIterations splits iterations 0..k−1 into ⌊k/s⌋ disjoint subsets of

@@ -25,9 +25,14 @@ type AnalyserNode struct {
 	ringPos  int
 	filled   int
 	fft      *dsp.FFT
-	window   []float64
+	window   []float64 // shared, read-only (see fftplan.go)
 	smoothed []float64
 	haveData bool
+	// re/im are the FFT scratch buffers, reused across captures so
+	// steady-state GetFloatFrequencyData/GetByteFrequencyData allocate
+	// nothing; dbScratch holds the dB spectrum for the byte path.
+	re, im    []float64
+	dbScratch []float32
 }
 
 // NewAnalyser creates an analyser with the given fftSize (a power of two in
@@ -41,7 +46,7 @@ func (c *Context) NewAnalyser(fftSize int) (*AnalyserNode, error) {
 	if k == nil {
 		k = c.traits.Kernel
 	}
-	fft, err := dsp.NewFFT(fftSize, k.Sin)
+	plan, err := planFor(fftSize, k)
 	if err != nil {
 		return nil, err
 	}
@@ -52,9 +57,11 @@ func (c *Context) NewAnalyser(fftSize int) (*AnalyserNode, error) {
 		minDB:     -100,
 		maxDB:     -30,
 		ring:      make([]float32, fftSize),
-		fft:       fft,
-		window:    dsp.BlackmanWindow(fftSize, k.Sin),
+		fft:       plan.fft,
+		window:    plan.window,
 		smoothed:  make([]float64, fftSize/2),
+		re:        make([]float64, fftSize),
+		im:        make([]float64, fftSize),
 	}
 	c.register(a)
 	return a, nil
@@ -75,14 +82,49 @@ func (a *AnalyserNode) SetSmoothingTimeConstant(tau float64) error {
 
 func (a *AnalyserNode) process(frameTime int64) {
 	tr := a.ctx.traits
+	mask := a.fftSize - 1 // fftSize is a power of two
 	for i := 0; i < RenderQuantum; i++ {
 		v := tr.round32(a.sumInputs(i))
 		a.output[i] = v
 		a.ring[a.ringPos] = v
-		a.ringPos = (a.ringPos + 1) % a.fftSize
+		a.ringPos = (a.ringPos + 1) & mask
 	}
 	if a.filled < a.fftSize {
 		a.filled += RenderQuantum
+	}
+}
+
+// computeSpectrum runs the capture pipeline of the spec — ring unroll →
+// Blackman window → FFT → 1/fftSize magnitude scaling → smoothing over
+// time — updating a.smoothed in place. Scratch buffers are reused across
+// calls, so steady-state captures allocate nothing.
+func (a *AnalyserNode) computeSpectrum() {
+	re, im := a.re, a.im
+	// Unroll the ring into time order (oldest first), in two straight runs
+	// instead of a per-sample modulo.
+	n := a.fftSize - a.ringPos
+	for i := 0; i < n; i++ {
+		re[i] = float64(a.ring[a.ringPos+i])
+	}
+	for i := 0; i < a.ringPos; i++ {
+		re[n+i] = float64(a.ring[i])
+	}
+	for i := range im {
+		im[i] = 0
+	}
+	dsp.ApplyWindow(re, a.window)
+	a.fft.Transform(re, im)
+
+	half := a.fftSize / 2
+	scale := 1 / float64(a.fftSize)
+	tau := a.smoothing
+	if !a.haveData {
+		tau = 0
+		a.haveData = true
+	}
+	for k := 0; k < half; k++ {
+		mag := math.Hypot(re[k], im[k]) * scale
+		a.smoothed[k] = tau*a.smoothed[k] + (1-tau)*mag
 	}
 }
 
@@ -95,27 +137,44 @@ func (a *AnalyserNode) GetFloatFrequencyData(dst []float32) error {
 	if len(dst) < half {
 		return fmt.Errorf("webaudio: destination length %d < frequencyBinCount %d", len(dst), half)
 	}
-	re := make([]float64, a.fftSize)
-	im := make([]float64, a.fftSize)
-	// Unroll the ring into time order: oldest first.
-	for i := 0; i < a.fftSize; i++ {
-		re[i] = float64(a.ring[(a.ringPos+i)%a.fftSize])
-	}
-	dsp.ApplyWindow(re, a.window)
-	a.fft.Transform(re, im)
-
-	scale := 1 / float64(a.fftSize)
-	tau := a.smoothing
-	if !a.haveData {
-		tau = 0
-		a.haveData = true
-	}
+	a.computeSpectrum()
 	for k := 0; k < half; k++ {
-		mag := math.Hypot(re[k], im[k]) * scale
-		a.smoothed[k] = tau*a.smoothed[k] + (1-tau)*mag
 		dst[k] = float32(dsp.LinearToDecibels(a.smoothed[k]))
 	}
 	a.ctx.traits.Farble.farbleInPlace(dst[:half])
+	return nil
+}
+
+// GetByteFrequencyData is the spec's quantized spectrum read: the dB value
+// of each bin is mapped linearly from [minDecibels, maxDecibels] onto
+// [0, 255] and clamped. It shares (and advances) the smoothing state with
+// GetFloatFrequencyData, and farbling applies before quantization, as the
+// byte array is just as script-readable as the float one.
+func (a *AnalyserNode) GetByteFrequencyData(dst []byte) error {
+	half := a.fftSize / 2
+	if len(dst) < half {
+		return fmt.Errorf("webaudio: destination length %d < frequencyBinCount %d", len(dst), half)
+	}
+	a.computeSpectrum()
+	if a.dbScratch == nil {
+		a.dbScratch = make([]float32, half)
+	}
+	for k := 0; k < half; k++ {
+		a.dbScratch[k] = float32(dsp.LinearToDecibels(a.smoothed[k]))
+	}
+	a.ctx.traits.Farble.farbleInPlace(a.dbScratch)
+	span := a.maxDB - a.minDB
+	for k := 0; k < half; k++ {
+		norm := (float64(a.dbScratch[k]) - a.minDB) / span
+		switch {
+		case !(norm > 0): // also catches the -Inf of silent bins
+			dst[k] = 0
+		case norm >= 1:
+			dst[k] = 255
+		default:
+			dst[k] = byte(255 * norm)
+		}
+	}
 	return nil
 }
 
@@ -125,8 +184,7 @@ func (a *AnalyserNode) GetFloatTimeDomainData(dst []float32) error {
 	if len(dst) < a.fftSize {
 		return fmt.Errorf("webaudio: destination length %d < fftSize %d", len(dst), a.fftSize)
 	}
-	for i := 0; i < a.fftSize; i++ {
-		dst[i] = a.ring[(a.ringPos+i)%a.fftSize]
-	}
+	n := copy(dst, a.ring[a.ringPos:])
+	copy(dst[n:a.fftSize], a.ring[:a.ringPos])
 	return nil
 }

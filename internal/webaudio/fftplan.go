@@ -1,0 +1,44 @@
+package webaudio
+
+import (
+	"sync"
+
+	"repro/internal/dsp"
+	"repro/internal/mathx"
+)
+
+// fftPlan bundles the precomputed, read-only state an AnalyserNode needs
+// for one (fftSize, kernel) combination: the FFT twiddle tables and the
+// Blackman window, both built through the kernel's sine. Plans are cached
+// process-wide so every context simulating the same platform shares one
+// set of tables instead of recomputing ~1.5·fftSize kernel sines per
+// analyser — a study run touches the same few dozen platform classes over
+// and over. Keying by Kernel.Name is sound because a kernel's name is part
+// of the simulated platform's identity (see mathx.Kernel).
+type fftPlan struct {
+	fft    *dsp.FFT
+	window []float64
+}
+
+type fftPlanKey struct {
+	size   int
+	kernel string
+}
+
+var fftPlans sync.Map // fftPlanKey → *fftPlan
+
+// planFor returns the cached plan for (size, kernel), building it on first
+// use. Concurrent first calls may both build; LoadOrStore keeps one.
+func planFor(size int, k mathx.Kernel) (*fftPlan, error) {
+	key := fftPlanKey{size: size, kernel: k.Name()}
+	if p, ok := fftPlans.Load(key); ok {
+		return p.(*fftPlan), nil
+	}
+	fft, err := dsp.NewFFT(size, k.Sin)
+	if err != nil {
+		return nil, err
+	}
+	p := &fftPlan{fft: fft, window: dsp.BlackmanWindow(size, k.Sin)}
+	actual, _ := fftPlans.LoadOrStore(key, p)
+	return actual.(*fftPlan), nil
+}
