@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short check bench bench-json fuzz study examples clean
+.PHONY: all build vet test test-short check bench bench-json fuzz study trace examples clean
 
 all: build vet test
 
@@ -22,9 +22,11 @@ test-short:
 	$(GO) test -short ./...
 
 # Everything CI should gate on: build, vet/gofmt, the race detector over the
-# internal packages (covers the parallel sweeps and shared caches), then the
-# full suite.
+# internal packages (the telemetry registry/span tree first — they back every
+# other package — then the parallel sweeps and shared caches), then the full
+# suite.
 check: build vet
+	$(GO) test -race ./internal/obs/
 	$(GO) test -race ./internal/...
 	$(GO) test ./...
 
@@ -45,6 +47,12 @@ fuzz:
 # Regenerate every table and figure at paper scale.
 study:
 	$(GO) run ./cmd/fpstudy
+
+# Small traced run: prints the pipeline stage-timing tree (stderr), discards
+# the tables.
+trace:
+	$(GO) run ./cmd/fpstudy -users 150 -followup-users 50 -iterations 5 \
+		-evolution-users 0 -progress -trace > /dev/null
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -17,6 +17,7 @@ import (
 	"math/rand"
 	"os"
 	"sync"
+	"time"
 
 	"repro/internal/collectclient"
 	"repro/internal/collectserver"
@@ -65,6 +66,7 @@ func main() {
 	var mu sync.Mutex
 	failures := 0
 
+	start := time.Now()
 	for i, d := range devices {
 		wg.Add(1)
 		sem <- struct{}{}
@@ -80,11 +82,27 @@ func main() {
 		}(i, d)
 	}
 	wg.Wait()
+	reportTelemetry(logger, client, len(devices), max(1, *parallel), time.Since(start))
 	if failures > 0 {
 		logger.Fatalf("%d of %d participants failed", failures, len(devices))
 	}
 	logger.Printf("submitted %d participants × %d iterations × %d vectors",
 		len(devices), *iterations, len(vectors.All))
+}
+
+// reportTelemetry prints the client's submission throughput and retry
+// behaviour, so operators see how the collection run actually went on the
+// wire (not just that it finished).
+func reportTelemetry(logger *log.Logger, client *collectclient.Client, participants, workers int, elapsed time.Duration) {
+	tel := client.Telemetry()
+	secs := elapsed.Seconds()
+	if secs <= 0 {
+		secs = 1e-9
+	}
+	logger.Printf("telemetry: %d HTTP requests (%d retries, %d failures), %.1f KiB sent, %s backing off",
+		tel.Requests, tel.Retries, tel.Failures, float64(tel.BytesSent)/1024, tel.BackoffTotal.Round(time.Millisecond))
+	logger.Printf("telemetry: %.1f requests/s, %.1f participants/s overall, %.2f participants/s per worker",
+		float64(tel.Requests)/secs, float64(participants)/secs, float64(participants)/secs/float64(workers))
 }
 
 // runParticipant performs one device's full study visit: consent, render,

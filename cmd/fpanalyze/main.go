@@ -6,25 +6,32 @@
 //
 //	fpanalyze -data main.ndjson                  # everything derivable
 //	fpanalyze -data main.ndjson -exp table2      # one experiment
+//	fpanalyze -data main.ndjson -trace-json t.json   # with stage timings
 //	fpanalyze -list                              # show experiment ids
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/study"
 )
 
 func main() {
 	var (
-		dataPath = flag.String("data", "", "NDJSON dataset (fpserver export / fpstudy -out)")
-		exp      = flag.String("exp", "", "single experiment id to run (default: all)")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
+		dataPath  = flag.String("data", "", "NDJSON dataset (fpserver export / fpstudy -out)")
+		exp       = flag.String("exp", "", "single experiment id to run (default: all)")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		traceJSON = flag.String("trace-json", "", "write the analysis span tree as JSON to this path")
+		traceText = flag.Bool("trace", false, "print the analysis span tree to stderr on exit")
+		pprofAddr = flag.String("pprof", "", "serve /debug/pprof and /metrics on this address")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "fpanalyze ", log.LstdFlags|log.Lmsgprefix)
@@ -48,6 +55,17 @@ func main() {
 		logger.Fatal("-data is required (or -list)")
 	}
 
+	if *pprofAddr != "" {
+		go func() {
+			logger.Printf("debug endpoints on http://%s/debug/pprof", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, obs.DebugMux(obs.Default)); err != nil {
+				logger.Printf("pprof server: %v", err)
+			}
+		}()
+	}
+	root := obs.NewTrace("fpanalyze")
+	ctx := obs.ContextWithSpan(context.Background(), root)
+
 	st, err := storage.Open(*dataPath, storage.Options{})
 	if err != nil {
 		logger.Fatalf("open dataset: %v", err)
@@ -62,7 +80,9 @@ func main() {
 	}
 	logger.Printf("loaded %d records", len(recs))
 
+	_, loadSpan := obs.Start(ctx, "load-dataset")
 	ds, err := study.FromRecords(recs)
+	loadSpan.End()
 	if err != nil {
 		logger.Fatalf("reconstruct dataset: %v", err)
 	}
@@ -71,19 +91,40 @@ func main() {
 	render := func(id string) error {
 		switch id {
 		case "ablation":
-			return core.WriteAblation(os.Stdout, ds, 3)
+			return core.WriteAblationContext(ctx, os.Stdout, ds, 3)
 		case "anonymity":
-			return core.WriteAnonymity(os.Stdout, ds)
+			return core.WriteAnonymityContext(ctx, os.Stdout, ds)
 		case "demographics":
-			return core.WriteDemographics(os.Stdout, ds)
+			return core.WriteDemographicsContext(ctx, os.Stdout, ds)
 		default:
-			return core.WriteExperiment(os.Stdout, ds, id)
+			return core.WriteExperimentContext(ctx, os.Stdout, ds, id)
+		}
+	}
+	finish := func() {
+		root.End()
+		if *traceJSON != "" {
+			f, err := os.Create(*traceJSON)
+			if err != nil {
+				logger.Printf("trace-json: %v", err)
+			} else {
+				if err := root.WriteJSON(f); err != nil {
+					logger.Printf("trace-json: %v", err)
+				}
+				f.Close()
+				logger.Printf("trace written to %s", *traceJSON)
+			}
+		}
+		if *traceText {
+			if err := root.WriteText(os.Stderr); err != nil {
+				logger.Printf("trace: %v", err)
+			}
 		}
 	}
 	if *exp != "" {
 		if err := render(*exp); err != nil {
 			logger.Fatalf("experiment %s: %v", *exp, err)
 		}
+		finish()
 		return
 	}
 	ids := append([]string{}, core.MainExperiments...)
@@ -96,4 +137,5 @@ func main() {
 		}
 		fmt.Println()
 	}
+	finish()
 }

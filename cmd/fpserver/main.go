@@ -30,6 +30,7 @@ func main() {
 		syncWrites = flag.Bool("sync", false, "fsync after every accepted batch")
 		maxBatch   = flag.Int("max-batch", 256, "max records per submission")
 		sessRate   = flag.Float64("session-rate", 600, "session creations per client IP per minute")
+		debug      = flag.Bool("debug", false, "mount /debug/pprof and /debug/vars (operational detail — keep off on public listeners)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "fpserver ", log.LstdFlags|log.Lmsgprefix)
@@ -47,6 +48,7 @@ func main() {
 		MaxBatch:          *maxBatch,
 		Logger:            logger,
 		SessionRatePerMin: *sessRate,
+		EnableDebug:       *debug,
 	})
 	if err != nil {
 		logger.Fatalf("configure server: %v", err)

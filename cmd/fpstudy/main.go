@@ -7,16 +7,20 @@
 //
 //	fpstudy                          # full-scale run, all experiments
 //	fpstudy -users 500 -iterations 10 -out main.ndjson
+//	fpstudy -progress -trace-json trace.json   # stage-timing telemetry
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/population"
 	"repro/internal/storage"
 	"repro/internal/study"
@@ -33,13 +37,32 @@ func main() {
 		fuOut      = flag.String("followup-out", "", "write the follow-up dataset as NDJSON to this path")
 		ablation   = flag.Bool("ablation", true, "render the graph-vs-naive collation ablation")
 		evolution  = flag.Int("evolution-users", 800, "users for the §6 era comparison (0 skips it)")
+		traceJSON  = flag.String("trace-json", "", "write the pipeline span tree as JSON to this path")
+		traceText  = flag.Bool("trace", false, "print the pipeline span tree to stderr on exit")
+		progress   = flag.Bool("progress", false, "report rendering progress to stderr")
+		pprofAddr  = flag.String("pprof", "", "serve /debug/pprof and /metrics on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "fpstudy ", log.LstdFlags|log.Lmsgprefix)
 
+	if *pprofAddr != "" {
+		go func() {
+			logger.Printf("debug endpoints on http://%s/debug/pprof", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, obs.DebugMux(obs.Default)); err != nil {
+				logger.Printf("pprof server: %v", err)
+			}
+		}()
+	}
+
+	root := obs.NewTrace("fpstudy")
+	ctx := obs.ContextWithSpan(context.Background(), root)
+
 	start := time.Now()
 	logger.Printf("simulating main study: %d users × %d iterations × 7 vectors", *users, *iterations)
-	main, err := study.Run(study.Config{Seed: *seed, Users: *users, Iterations: *iterations})
+	mainDS, err := study.RunContext(ctx, study.Config{
+		Seed: *seed, Users: *users, Iterations: *iterations,
+		Progress: progressFunc(*progress, logger, "main study"),
+	})
 	if err != nil {
 		logger.Fatalf("main study: %v", err)
 	}
@@ -47,16 +70,17 @@ func main() {
 
 	var followUp *study.Dataset
 	if *fuUsers > 0 {
-		followUp, err = study.Run(study.Config{
+		followUp, err = study.RunContext(ctx, study.Config{
 			Seed: *fuSeed, Users: *fuUsers, Iterations: *iterations,
 			Mix: population.FollowUpMix(), IDPrefix: "f",
+			Progress: progressFunc(*progress, logger, "follow-up"),
 		})
 		if err != nil {
 			logger.Fatalf("follow-up study: %v", err)
 		}
 	}
 
-	for path, ds := range map[string]*study.Dataset{*out: main, *fuOut: followUp} {
+	for path, ds := range map[string]*study.Dataset{*out: mainDS, *fuOut: followUp} {
 		if path == "" || ds == nil {
 			continue
 		}
@@ -66,29 +90,72 @@ func main() {
 		logger.Printf("dataset written to %s", path)
 	}
 
-	if err := core.WriteDemographics(os.Stdout, main); err != nil {
+	if err := core.WriteDemographicsContext(ctx, os.Stdout, mainDS); err != nil {
 		logger.Fatalf("render demographics: %v", err)
 	}
 	fmt.Println()
-	if err := core.WriteAllExperiments(os.Stdout, main, followUp); err != nil {
+	if err := core.WriteAllExperimentsContext(ctx, os.Stdout, mainDS, followUp); err != nil {
 		logger.Fatalf("render experiments: %v", err)
 	}
 	if *ablation {
-		if err := core.WriteAblation(os.Stdout, main, 3); err != nil {
+		if err := core.WriteAblationContext(ctx, os.Stdout, mainDS, 3); err != nil {
 			logger.Fatalf("render ablation: %v", err)
 		}
 		fmt.Println()
 	}
-	if err := core.WriteAnonymity(os.Stdout, main); err != nil {
+	if err := core.WriteAnonymityContext(ctx, os.Stdout, mainDS); err != nil {
 		logger.Fatalf("render anonymity: %v", err)
 	}
 	fmt.Println()
 	if *evolution > 0 {
-		if err := core.WriteEvolution(os.Stdout, *seed, *evolution, min(*iterations, 10)); err != nil {
+		_, sp := obs.Start(ctx, "analyze/evolution")
+		err := core.WriteEvolution(os.Stdout, *seed, *evolution, min(*iterations, 10))
+		sp.End()
+		if err != nil {
 			logger.Fatalf("render evolution: %v", err)
 		}
 	}
+	root.End()
+	writeTrace(logger, root, *traceJSON, *traceText)
 	fmt.Fprintf(os.Stderr, "total runtime: %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+// progressFunc returns a goroutine-safe study.Config.Progress callback that
+// logs at most ~20 updates per run, or nil when reporting is off.
+func progressFunc(enabled bool, logger *log.Logger, stage string) func(done, total int) {
+	if !enabled {
+		return nil
+	}
+	return func(done, total int) {
+		step := total / 20
+		if step == 0 {
+			step = 1
+		}
+		if done%step == 0 || done == total {
+			logger.Printf("%s: rendered %d/%d participants", stage, done, total)
+		}
+	}
+}
+
+// writeTrace exports the finished span tree as requested by the flags.
+func writeTrace(logger *log.Logger, root *obs.Span, jsonPath string, text bool) {
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			logger.Printf("trace-json: %v", err)
+		} else {
+			if err := root.WriteJSON(f); err != nil {
+				logger.Printf("trace-json: %v", err)
+			}
+			f.Close()
+			logger.Printf("trace written to %s", jsonPath)
+		}
+	}
+	if text {
+		if err := root.WriteText(os.Stderr); err != nil {
+			logger.Printf("trace: %v", err)
+		}
+	}
 }
 
 func writeDataset(path string, ds *study.Dataset) error {

@@ -24,6 +24,7 @@ type Client struct {
 	retries int
 	backoff time.Duration
 	rng     *rand.Rand
+	stats   clientStats
 }
 
 // Option customizes a Client.
@@ -142,24 +143,42 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	var lastErr error
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
+			c.stats.retries.Add(1)
+			mRetries.Inc()
 			jitter := time.Duration(c.rng.Int63n(int64(delay)/2 + 1))
+			sleep := delay + jitter
 			select {
-			case <-time.After(delay + jitter):
+			case <-time.After(sleep):
+				c.stats.backoffNanos.Add(int64(sleep))
 			case <-ctx.Done():
+				c.stats.failures.Add(1)
+				mFailures.Inc()
 				return ctx.Err()
 			}
 			delay *= 2
 		}
 		lastErr = c.once(ctx, method, path, body, out)
-		if lastErr == nil || !retryable(lastErr) {
+		if lastErr == nil {
+			return nil
+		}
+		if !retryable(lastErr) {
+			c.stats.failures.Add(1)
+			mFailures.Inc()
 			return lastErr
 		}
 	}
+	c.stats.failures.Add(1)
+	mFailures.Inc()
 	return fmt.Errorf("collectclient: %s %s failed after %d attempts: %w",
 		method, path, c.retries+1, lastErr)
 }
 
 func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) error {
+	c.stats.requests.Add(1)
+	mRequests.Inc()
+	c.stats.bytesSent.Add(int64(len(body)))
+	start := time.Now()
+	defer func() { mLatency.Observe(time.Since(start).Seconds()) }()
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)

@@ -234,3 +234,51 @@ func TestStatsAndExport(t *testing.T) {
 		t.Error("export with wrong token succeeded")
 	}
 }
+
+// TestTelemetrySnapshot: the client's own counters track attempts, retries,
+// backoff sleep and bytes sent.
+func TestTelemetrySnapshot(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "flaky", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusCreated)
+		w.Write([]byte(`{"session_id":"s-1","token":"tok"}`))
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetries(3), WithBackoff(time.Millisecond))
+	if _, err := c.StartSession(context.Background(), "u", "ua"); err != nil {
+		t.Fatalf("expected success after retries: %v", err)
+	}
+	tel := c.Telemetry()
+	if tel.Requests != 3 {
+		t.Errorf("Requests = %d, want 3", tel.Requests)
+	}
+	if tel.Retries != 2 {
+		t.Errorf("Retries = %d, want 2", tel.Retries)
+	}
+	if tel.Failures != 0 {
+		t.Errorf("Failures = %d, want 0", tel.Failures)
+	}
+	if tel.BackoffTotal <= 0 {
+		t.Errorf("BackoffTotal = %v, want > 0", tel.BackoffTotal)
+	}
+	if tel.BytesSent <= 0 {
+		t.Errorf("BytesSent = %d, want > 0", tel.BytesSent)
+	}
+
+	// A terminal failure increments Failures exactly once.
+	down := httptest.NewServer(http.NotFoundHandler())
+	defer down.Close()
+	bad := New(down.URL, WithRetries(0), WithBackoff(time.Millisecond))
+	if _, err := bad.StartSession(context.Background(), "u", "ua"); err == nil {
+		t.Fatal("expected failure")
+	}
+	if f := bad.Telemetry().Failures; f != 1 {
+		t.Errorf("Failures = %d, want 1", f)
+	}
+}

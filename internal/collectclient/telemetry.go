@@ -1,0 +1,57 @@
+package collectclient
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Process-wide client metrics on the shared registry, so an agent binary
+// that also mounts /metrics exposes its submission behaviour.
+var (
+	mRequests = obs.Default.Counter("fpclient_requests_total",
+		"HTTP requests issued by the collection client (including retries).", nil)
+	mRetries = obs.Default.Counter("fpclient_retries_total",
+		"Retry attempts after transient failures.", nil)
+	mFailures = obs.Default.Counter("fpclient_failures_total",
+		"Requests that exhausted the retry budget or failed terminally.", nil)
+	mLatency = obs.Default.Histogram("fpclient_request_duration_seconds",
+		"Per-attempt request latency.", obs.LatencyBuckets(), nil)
+)
+
+// Telemetry is a point-in-time snapshot of one Client's counters,
+// letting callers (e.g. fpagent's exit report) attribute traffic to a
+// specific client rather than the process-wide registry totals.
+type Telemetry struct {
+	// Requests counts HTTP attempts, retries included.
+	Requests int64
+	// Retries counts attempts after the first, per logical request.
+	Retries int64
+	// Failures counts logical requests that ultimately failed.
+	Failures int64
+	// BackoffTotal is cumulative time slept between retry attempts.
+	BackoffTotal time.Duration
+	// BytesSent is the total request-body bytes written.
+	BytesSent int64
+}
+
+// clientStats is the Client-embedded counter block behind Telemetry.
+type clientStats struct {
+	requests     atomic.Int64
+	retries      atomic.Int64
+	failures     atomic.Int64
+	backoffNanos atomic.Int64
+	bytesSent    atomic.Int64
+}
+
+// Telemetry returns a snapshot of the client's own counters.
+func (c *Client) Telemetry() Telemetry {
+	return Telemetry{
+		Requests:     c.stats.requests.Load(),
+		Retries:      c.stats.retries.Load(),
+		Failures:     c.stats.failures.Load(),
+		BackoffTotal: time.Duration(c.stats.backoffNanos.Load()),
+		BytesSent:    c.stats.bytesSent.Load(),
+	}
+}

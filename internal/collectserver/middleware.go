@@ -1,12 +1,13 @@
 package collectserver
 
 import (
-	"fmt"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // rateLimiter is a token-bucket limiter keyed by client IP, protecting the
@@ -75,47 +76,103 @@ func clientIP(r *http.Request) string {
 	return host
 }
 
-// metrics collects the counters exposed at /metrics in the Prometheus text
-// exposition format.
-type metrics struct {
-	requestsTotal   atomic.Int64
-	requests2xx     atomic.Int64
-	requests4xx     atomic.Int64
-	requests5xx     atomic.Int64
-	recordsAccepted atomic.Int64
-	sessionsCreated atomic.Int64
-	rateLimited     atomic.Int64
+// serverMetrics holds the server's instruments, registered on the
+// configured obs.Registry and exposed at /metrics.
+type serverMetrics struct {
+	reg             *obs.Registry
+	recordsAccepted *obs.Counter
+	sessionsCreated *obs.Counter
+	rateLimited     *obs.Counter
+	panics          *obs.Counter
+	activeSessions  *obs.Gauge
+	storeRecords    *obs.Gauge
 }
 
-// statusRecorder captures the response code for metrics.
+func newServerMetrics(reg *obs.Registry) *serverMetrics {
+	return &serverMetrics{
+		reg: reg,
+		recordsAccepted: reg.Counter("fpserver_records_accepted_total",
+			"Fingerprint records accepted into the store.", nil),
+		sessionsCreated: reg.Counter("fpserver_sessions_created_total",
+			"Collection sessions issued after consent.", nil),
+		rateLimited: reg.Counter("fpserver_rate_limited_total",
+			"Session creations rejected by the per-IP rate limiter.", nil),
+		panics: reg.Counter("fpserver_panics_total",
+			"Handler panics recovered by the middleware.", nil),
+		activeSessions: reg.Gauge("fpserver_active_sessions",
+			"Live (unexpired) collection sessions.", nil),
+		storeRecords: reg.Gauge("fpserver_store_records",
+			"Records currently held by the backing store.", nil),
+	}
+}
+
+// request records one served request: route/class counter, per-route
+// latency, and per-route request body size.
+func (m *serverMetrics) request(route string, code int, dur time.Duration, size int64) {
+	class := strconv.Itoa(code/100) + "xx"
+	m.reg.Counter("fpserver_requests_total",
+		"HTTP requests served, by route and status class.",
+		obs.Labels{"route": route, "class": class}).Inc()
+	m.reg.Histogram("fpserver_request_duration_seconds",
+		"Request latency by route.", obs.LatencyBuckets(),
+		obs.Labels{"route": route}).Observe(dur.Seconds())
+	if size >= 0 {
+		m.reg.Histogram("fpserver_request_size_bytes",
+			"Request body size by route.", obs.SizeBuckets(),
+			obs.Labels{"route": route}).Observe(float64(size))
+	}
+}
+
+// routeLabel maps a request path to a bounded-cardinality route label so
+// arbitrary client paths cannot mint unbounded metric series.
+func routeLabel(path string) string {
+	switch path {
+	case "/healthz", "/metrics",
+		"/api/v1/study", "/api/v1/sessions", "/api/v1/fingerprints",
+		"/api/v1/stats", "/api/v1/export":
+		return path
+	}
+	return "other"
+}
+
+// statusRecorder captures the response code and body size for metrics. A
+// handler that writes without calling WriteHeader gets the implicit 200.
 type statusRecorder struct {
 	http.ResponseWriter
-	code int
+	code  int
+	wrote bool
+	bytes int64
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
-	r.code = code
+	if !r.wrote {
+		r.code = code
+		r.wrote = true
+	}
 	r.ResponseWriter.WriteHeader(code)
 }
 
-// handleMetrics renders the counters plus live gauges.
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	m := &s.metrics
-	fmt.Fprintf(w, "# TYPE fpserver_requests_total counter\n")
-	fmt.Fprintf(w, "fpserver_requests_total %d\n", m.requestsTotal.Load())
-	fmt.Fprintf(w, "# TYPE fpserver_requests_by_class counter\n")
-	fmt.Fprintf(w, "fpserver_requests_by_class{class=\"2xx\"} %d\n", m.requests2xx.Load())
-	fmt.Fprintf(w, "fpserver_requests_by_class{class=\"4xx\"} %d\n", m.requests4xx.Load())
-	fmt.Fprintf(w, "fpserver_requests_by_class{class=\"5xx\"} %d\n", m.requests5xx.Load())
-	fmt.Fprintf(w, "# TYPE fpserver_records_accepted_total counter\n")
-	fmt.Fprintf(w, "fpserver_records_accepted_total %d\n", m.recordsAccepted.Load())
-	fmt.Fprintf(w, "# TYPE fpserver_sessions_created_total counter\n")
-	fmt.Fprintf(w, "fpserver_sessions_created_total %d\n", m.sessionsCreated.Load())
-	fmt.Fprintf(w, "# TYPE fpserver_rate_limited_total counter\n")
-	fmt.Fprintf(w, "fpserver_rate_limited_total %d\n", m.rateLimited.Load())
-	fmt.Fprintf(w, "# TYPE fpserver_active_sessions gauge\n")
-	fmt.Fprintf(w, "fpserver_active_sessions %d\n", s.ActiveSessions())
-	fmt.Fprintf(w, "# TYPE fpserver_store_records gauge\n")
-	fmt.Fprintf(w, "fpserver_store_records %d\n", s.cfg.Store.Count())
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	if !r.wrote {
+		r.code = http.StatusOK
+		r.wrote = true
+	}
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// Flush passes through to the underlying writer so streaming handlers
+// (e.g. the NDJSON export) keep working behind the recorder.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// handleMetrics refreshes the live gauges and renders the registry.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.met.activeSessions.Set(float64(s.ActiveSessions()))
+	s.met.storeRecords.Set(float64(s.cfg.Store.Count()))
+	s.met.reg.Handler().ServeHTTP(w, r)
 }

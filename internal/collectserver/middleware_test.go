@@ -3,9 +3,12 @@ package collectserver
 import (
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 func TestSessionRateLimit(t *testing.T) {
@@ -53,32 +56,151 @@ func TestRateLimiterBucketGC(t *testing.T) {
 	}
 }
 
+// scrapeMetrics fetches /metrics and runs it through the strict exposition
+// parser, so every test of the endpoint also validates the format.
+func scrapeMetrics(t *testing.T, f *fixture) *obs.Exposition {
+	t.Helper()
+	resp, err := http.Get(f.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics content type %q", ct)
+	}
+	exp, err := obs.ParseExposition(resp.Body)
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v", err)
+	}
+	return exp
+}
+
+// sampleValue returns the value of the sample whose labels are a superset
+// of want, or -1 when absent.
+func sampleValue(exp *obs.Exposition, name string, want map[string]string) float64 {
+	for _, s := range exp.Samples {
+		if s.Name != name {
+			continue
+		}
+		match := true
+		for k, v := range want {
+			if s.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s.Value
+		}
+	}
+	return -1
+}
+
 func TestMetricsEndpoint(t *testing.T) {
 	f := newFixture(t, nil)
 	tok := f.startSession(t, "u1")
 	f.post(t, "/api/v1/fingerprints", SubmitRequest{Token: tok, Records: []FPRecord{validRecord(0), validRecord(1)}})
 	f.post(t, "/api/v1/fingerprints", SubmitRequest{Token: "bogus", Records: []FPRecord{validRecord(0)}})
 
-	resp, err := http.Get(f.ts.URL + "/metrics")
-	if err != nil {
-		t.Fatal(err)
-	}
-	body, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	out := string(body)
-	for _, want := range []string{
-		"fpserver_requests_total",
-		"fpserver_records_accepted_total 2",
-		"fpserver_sessions_created_total 1",
-		"fpserver_active_sessions 1",
-		"fpserver_store_records 2",
-		`fpserver_requests_by_class{class="4xx"} 1`,
+	exp := scrapeMetrics(t, f)
+	for _, tc := range []struct {
+		name   string
+		labels map[string]string
+		want   float64
+	}{
+		{"fpserver_records_accepted_total", nil, 2},
+		{"fpserver_sessions_created_total", nil, 1},
+		{"fpserver_active_sessions", nil, 1},
+		{"fpserver_store_records", nil, 2},
+		{"fpserver_requests_total", map[string]string{"route": "/api/v1/fingerprints", "class": "2xx"}, 1},
+		{"fpserver_requests_total", map[string]string{"route": "/api/v1/fingerprints", "class": "4xx"}, 1},
+		{"fpserver_requests_total", map[string]string{"route": "/api/v1/sessions", "class": "2xx"}, 1},
+		{"fpserver_request_duration_seconds_count", map[string]string{"route": "/api/v1/fingerprints"}, 2},
+		{"fpserver_request_size_bytes_count", map[string]string{"route": "/api/v1/fingerprints"}, 2},
 	} {
-		if !strings.Contains(out, want) {
-			t.Errorf("metrics missing %q in:\n%s", want, out)
+		if got := sampleValue(exp, tc.name, tc.labels); got != tc.want {
+			t.Errorf("%s%v = %v, want %v", tc.name, tc.labels, got, tc.want)
 		}
 	}
-	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
-		t.Errorf("metrics content type %q", ct)
+	if typ := exp.Types["fpserver_request_duration_seconds"]; typ != "histogram" {
+		t.Errorf("duration metric type = %q, want histogram", typ)
+	}
+}
+
+// TestMiddlewarePanicAccounting verifies a panicking handler is reported
+// as a 5xx to the client AND in the metrics — the accounting must live in
+// the deferred block, not after ServeHTTP.
+func TestMiddlewarePanicAccounting(t *testing.T) {
+	f := newFixture(t, nil)
+	h := f.srv.withMiddleware(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("boom")
+	}))
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/api/v1/stats", nil))
+	if rr.Code != http.StatusInternalServerError {
+		t.Errorf("panicked handler returned %d, want 500", rr.Code)
+	}
+	exp := scrapeMetrics(t, f)
+	if got := sampleValue(exp, "fpserver_panics_total", nil); got != 1 {
+		t.Errorf("fpserver_panics_total = %v, want 1", got)
+	}
+	if got := sampleValue(exp, "fpserver_requests_total",
+		map[string]string{"route": "/api/v1/stats", "class": "5xx"}); got != 1 {
+		t.Errorf("panicked request not counted as 5xx (got %v)", got)
+	}
+	if got := sampleValue(exp, "fpserver_request_duration_seconds_count",
+		map[string]string{"route": "/api/v1/stats"}); got != 1 {
+		t.Errorf("panicked request missing from latency histogram (got %v)", got)
+	}
+}
+
+// TestStatusRecorderImplicitOK verifies a handler that writes the body
+// without WriteHeader is counted as 200, and that Flush reaches the
+// underlying writer through the recorder.
+func TestStatusRecorderImplicitOK(t *testing.T) {
+	f := newFixture(t, nil)
+	flushed := false
+	h := f.srv.withMiddleware(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "streamed chunk\n")
+		if fl, ok := w.(http.Flusher); ok {
+			fl.Flush()
+			flushed = true
+		}
+	}))
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/healthz", nil))
+	if !flushed {
+		t.Error("recorder does not expose http.Flusher")
+	}
+	if !rr.Flushed {
+		t.Error("Flush did not reach the underlying ResponseWriter")
+	}
+	exp := scrapeMetrics(t, f)
+	if got := sampleValue(exp, "fpserver_requests_total",
+		map[string]string{"route": "/healthz", "class": "2xx"}); got != 1 {
+		t.Errorf("implicit 200 counted as %v 2xx requests, want 1", got)
+	}
+}
+
+// TestRouteLabelBoundsCardinality verifies unknown paths collapse into one
+// label value instead of minting a series per path.
+func TestRouteLabelBoundsCardinality(t *testing.T) {
+	f := newFixture(t, nil)
+	for _, p := range []string{"/nope", "/nope/2", "/a/b/c"} {
+		resp, err := http.Get(f.ts.URL + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	exp := scrapeMetrics(t, f)
+	if got := sampleValue(exp, "fpserver_requests_total",
+		map[string]string{"route": "other"}); got != 3 {
+		t.Errorf("unknown paths produced %v requests under route=other, want 3", got)
+	}
+	for _, s := range exp.Samples {
+		if s.Name == "fpserver_requests_total" && strings.HasPrefix(s.Labels["route"], "/nope") {
+			t.Errorf("raw path leaked into route label: %v", s.Labels)
+		}
 	}
 }

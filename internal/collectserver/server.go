@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/vectors"
 )
@@ -52,13 +53,21 @@ type Config struct {
 	// SessionRatePerMin caps session creations per client IP per minute
 	// (default 30; ≤ 0 keeps the default, use a huge value to disable).
 	SessionRatePerMin float64
+	// Registry receives the server's metrics and backs /metrics. Nil uses
+	// obs.Default, so one scrape also covers the render/storage telemetry
+	// of libraries sharing the process.
+	Registry *obs.Registry
+	// EnableDebug mounts /debug/pprof/* and /debug/vars on the handler.
+	// Off by default: profiling endpoints leak operational detail and
+	// belong behind an operator's opt-in.
+	EnableDebug bool
 }
 
 // Server is the collection backend. Create with New, mount via Handler.
 type Server struct {
 	cfg     Config
 	limiter *rateLimiter
-	metrics metrics
+	met     *serverMetrics
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -96,8 +105,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.SessionRatePerMin <= 0 {
 		cfg.SessionRatePerMin = 30
 	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.Default
+	}
 	srv := &Server{cfg: cfg, sessions: make(map[string]*session)}
 	srv.limiter = newRateLimiter(cfg.SessionRatePerMin/60, cfg.SessionRatePerMin, cfg.Now)
+	srv.met = newServerMetrics(cfg.Registry)
 	return srv, nil
 }
 
@@ -111,37 +124,38 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/stats", s.handleStats)
 	mux.HandleFunc("GET /api/v1/export", s.handleExport)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.cfg.EnableDebug {
+		obs.RegisterDebug(mux)
+	}
 	return s.withMiddleware(mux)
 }
 
-// withMiddleware adds panic recovery, body limits and logging.
+// withMiddleware adds panic recovery, body limits, metrics and logging.
+// All accounting happens in the deferred block so a panicking handler
+// still shows up in the latency histogram and counts as a 5xx.
 func (s *Server) withMiddleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		defer func() {
-			if rec := recover(); rec != nil {
-				writeErr(w, http.StatusInternalServerError, "internal error")
-				if s.cfg.Logger != nil {
-					s.cfg.Logger.Printf("panic serving %s %s: %v", r.Method, r.URL.Path, rec)
+			if p := recover(); p != nil {
+				s.met.panics.Inc()
+				rec.code = http.StatusInternalServerError
+				if !rec.wrote {
+					writeErr(rec, http.StatusInternalServerError, "internal error")
 				}
+				if s.cfg.Logger != nil {
+					s.cfg.Logger.Printf("panic serving %s %s: %v", r.Method, r.URL.Path, p)
+				}
+			}
+			s.met.request(routeLabel(r.URL.Path), rec.code, time.Since(start), r.ContentLength)
+			if s.cfg.Logger != nil {
+				s.cfg.Logger.Printf("%s %s %d (%s)", r.Method, r.URL.Path, rec.code,
+					time.Since(start).Round(time.Microsecond))
 			}
 		}()
 		r.Body = http.MaxBytesReader(w, r.Body, 4<<20)
-		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		next.ServeHTTP(rec, r)
-		s.metrics.requestsTotal.Add(1)
-		switch {
-		case rec.code >= 500:
-			s.metrics.requests5xx.Add(1)
-		case rec.code >= 400:
-			s.metrics.requests4xx.Add(1)
-		default:
-			s.metrics.requests2xx.Add(1)
-		}
-		if s.cfg.Logger != nil {
-			s.cfg.Logger.Printf("%s %s %d (%s)", r.Method, r.URL.Path, rec.code,
-				time.Since(start).Round(time.Microsecond))
-		}
 	})
 }
 
@@ -190,7 +204,7 @@ type NewSessionResponse struct {
 
 func (s *Server) handleNewSession(w http.ResponseWriter, r *http.Request) {
 	if !s.limiter.allow(clientIP(r)) {
-		s.metrics.rateLimited.Add(1)
+		s.met.rateLimited.Inc()
 		writeErr(w, http.StatusTooManyRequests, "session creation rate limit exceeded")
 		return
 	}
@@ -221,7 +235,7 @@ func (s *Server) handleNewSession(w http.ResponseWriter, r *http.Request) {
 	s.gcLocked(now)
 	s.sessions[tok] = sess
 	s.mu.Unlock()
-	s.metrics.sessionsCreated.Add(1)
+	s.met.sessionsCreated.Inc()
 	writeJSON(w, http.StatusCreated, NewSessionResponse{SessionID: sess.id, Token: tok})
 }
 
@@ -301,7 +315,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusInternalServerError, "storage failure")
 		return
 	}
-	s.metrics.recordsAccepted.Add(int64(len(recs)))
+	s.met.recordsAccepted.Add(int64(len(recs)))
 	writeJSON(w, http.StatusAccepted, SubmitResponse{Accepted: len(recs), Total: total})
 }
 

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -32,6 +33,9 @@ func newFixture(t *testing.T, mutate func(*Config)) *fixture {
 		Store:      st,
 		AdminToken: "admin-secret",
 		Now:        func() time.Time { return f.now },
+		// Per-test registry so metric assertions never see counts from
+		// other tests sharing obs.Default.
+		Registry: obs.NewRegistry(),
 	}
 	if mutate != nil {
 		mutate(&cfg)

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/study"
 	"repro/internal/vectors"
@@ -37,8 +39,52 @@ var MainExperiments = []string{
 // dataset.
 var FollowUpExperiments = []string{ExpTable4, ExpTable5}
 
+// expPhase maps an experiment id to the pipeline phase its span is named
+// after (the span-naming convention is "phase/detail"; see DESIGN.md §8).
+func expPhase(id string) string {
+	switch id {
+	case ExpTable2, ExpTable3, ExpTable4, ExpAdditive, "anonymity":
+		return "diversity"
+	case ExpFigure5, ExpFigure9:
+		return "cluster-agreement"
+	case ExpTable6, ExpTable5, "ablation":
+		return "match-score"
+	case ExpRanking:
+		return "ranking"
+	default:
+		return "analyze"
+	}
+}
+
+// withExperimentSpan runs fn under a phase-named span and routes the
+// dataset's analysis-stage spans (collation, sweeps) beneath it, so a
+// trace shows which experiment triggered which collation.
+func withExperimentSpan(ctx context.Context, ds *study.Dataset, id string, fn func() error) error {
+	if obs.SpanFromContext(ctx) == nil {
+		return fn() // untraced
+	}
+	_, sp := obs.Start(ctx, expPhase(id)+"/"+id)
+	defer sp.End()
+	prev := ds.Tracer()
+	ds.SetTracer(sp)
+	defer ds.SetTracer(prev)
+	return fn()
+}
+
 // WriteExperiment renders one experiment from the dataset to w.
 func WriteExperiment(w io.Writer, ds *study.Dataset, id string) error {
+	return WriteExperimentContext(context.Background(), w, ds, id)
+}
+
+// WriteExperimentContext renders one experiment, recording its stage
+// timing under the context's trace span (no-op tracing otherwise).
+func WriteExperimentContext(ctx context.Context, w io.Writer, ds *study.Dataset, id string) error {
+	return withExperimentSpan(ctx, ds, id, func() error {
+		return writeExperiment(w, ds, id)
+	})
+}
+
+func writeExperiment(w io.Writer, ds *study.Dataset, id string) error {
 	switch id {
 	case ExpTable1:
 		tb := report.NewTable("Table 1 — # distinct fingerprints across iterations per user",
@@ -208,15 +254,21 @@ max audio clusters under one UA: %d
 // artifacts from main, then the two follow-up artifacts from followUp (if
 // non-nil).
 func WriteAllExperiments(w io.Writer, main, followUp *study.Dataset) error {
+	return WriteAllExperimentsContext(context.Background(), w, main, followUp)
+}
+
+// WriteAllExperimentsContext is WriteAllExperiments with per-experiment
+// stage tracing under the context's span.
+func WriteAllExperimentsContext(ctx context.Context, w io.Writer, main, followUp *study.Dataset) error {
 	for _, id := range MainExperiments {
-		if err := WriteExperiment(w, main, id); err != nil {
+		if err := WriteExperimentContext(ctx, w, main, id); err != nil {
 			return fmt.Errorf("core: experiment %s: %w", id, err)
 		}
 		fmt.Fprintln(w)
 	}
 	if followUp != nil {
 		for _, id := range FollowUpExperiments {
-			if err := WriteExperiment(w, followUp, id); err != nil {
+			if err := WriteExperimentContext(ctx, w, followUp, id); err != nil {
 				return fmt.Errorf("core: experiment %s: %w", id, err)
 			}
 			fmt.Fprintln(w)
@@ -228,6 +280,17 @@ func WriteAllExperiments(w io.Writer, main, followUp *study.Dataset) error {
 // WriteAblation renders the §3.2 ablation: match scores with graph
 // collation versus the naive exact-hash identity baseline, at subset size s.
 func WriteAblation(w io.Writer, ds *study.Dataset, s int) error {
+	return WriteAblationContext(context.Background(), w, ds, s)
+}
+
+// WriteAblationContext is WriteAblation with stage tracing.
+func WriteAblationContext(ctx context.Context, w io.Writer, ds *study.Dataset, s int) error {
+	return withExperimentSpan(ctx, ds, "ablation", func() error {
+		return writeAblation(w, ds, s)
+	})
+}
+
+func writeAblation(w io.Writer, ds *study.Dataset, s int) error {
 	graph := ds.MatchScores([]int{s})
 	naive := ds.NaiveMatchScores([]int{s})
 	byVec := func(rows []study.MatchScoreRow) map[vectors.ID]float64 {
@@ -298,6 +361,17 @@ func WriteEvolution(w io.Writer, seed int64, users, iterations int) error {
 // fingerprints. This is the privacy-side reading of the diversity tables:
 // audio's low diversity is large anonymity sets; Canvas/Fonts shred them.
 func WriteAnonymity(w io.Writer, ds *study.Dataset) error {
+	return WriteAnonymityContext(context.Background(), w, ds)
+}
+
+// WriteAnonymityContext is WriteAnonymity with stage tracing.
+func WriteAnonymityContext(ctx context.Context, w io.Writer, ds *study.Dataset) error {
+	return withExperimentSpan(ctx, ds, "anonymity", func() error {
+		return writeAnonymity(w, ds)
+	})
+}
+
+func writeAnonymity(w io.Writer, ds *study.Dataset) error {
 	type surface struct {
 		name   string
 		values []string
@@ -341,6 +415,17 @@ func WriteAnonymity(w io.Writer, ds *study.Dataset) error {
 // browser shares and the top countries, the sanity panel for any simulated
 // or collected population.
 func WriteDemographics(w io.Writer, ds *study.Dataset) error {
+	return WriteDemographicsContext(context.Background(), w, ds)
+}
+
+// WriteDemographicsContext is WriteDemographics with pipeline tracing.
+func WriteDemographicsContext(ctx context.Context, w io.Writer, ds *study.Dataset) error {
+	return withExperimentSpan(ctx, ds, "demographics", func() error {
+		return writeDemographics(w, ds)
+	})
+}
+
+func writeDemographics(w io.Writer, ds *study.Dataset) error {
 	osCount := map[string]int{}
 	browserCount := map[string]int{}
 	countryCount := map[string]int{}

@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// RegisterDebug mounts the Go runtime's profiling and introspection
+// endpoints on mux: /debug/pprof/* (CPU, heap, goroutine, block profiles)
+// and /debug/vars (expvar). Callers gate this behind an opt-in flag —
+// profiles can reveal internals and cost CPU while running.
+func RegisterDebug(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+}
+
+// DebugMux builds a standalone diagnostics mux: reg's exposition at
+// /metrics plus the pprof/expvar endpoints. fpstudy/fpanalyze serve this
+// on -pprof <addr> so long study runs can be profiled live.
+func DebugMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	if reg != nil {
+		mux.Handle("/metrics", reg.Handler())
+	}
+	RegisterDebug(mux)
+	return mux
+}

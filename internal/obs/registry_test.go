@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func scrape(t *testing.T, r *Registry) *Exposition {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	exp, err := ParseExposition(&buf)
+	if err != nil {
+		t.Fatalf("ParseExposition: %v\nexposition:\n%s", err, buf.String())
+	}
+	return exp
+}
+
+func findSample(exp *Exposition, name string, labels map[string]string) (Sample, bool) {
+outer:
+	for _, s := range exp.Samples {
+		if s.Name != name {
+			continue
+		}
+		for k, v := range labels {
+			if s.Labels[k] != v {
+				continue outer
+			}
+		}
+		return s, true
+	}
+	return Sample{}, false
+}
+
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests_total", "total requests", Labels{"route": "submit", "class": "2xx"}).Add(7)
+	r.Counter("requests_total", "total requests", Labels{"route": "stats", "class": "4xx"}).Inc()
+	r.Gauge("workers_active", "active workers", nil).Set(3)
+	r.GaugeFunc("store_records", "records in the store", nil, func() float64 { return 42 })
+	h := r.Histogram("latency_seconds", "request latency", LatencyBuckets(), Labels{"route": "submit"})
+	h.Observe(0.0004)
+	h.Observe(0.03)
+	h.Observe(250) // beyond the last bound → +Inf bucket only
+
+	exp := scrape(t, r)
+
+	for fam, typ := range map[string]string{
+		"requests_total":  "counter",
+		"workers_active":  "gauge",
+		"store_records":   "gauge",
+		"latency_seconds": "histogram",
+	} {
+		if exp.Types[fam] != typ {
+			t.Errorf("family %s: TYPE %q, want %q", fam, exp.Types[fam], typ)
+		}
+	}
+	if s, ok := findSample(exp, "requests_total", map[string]string{"route": "submit"}); !ok || s.Value != 7 {
+		t.Errorf("requests_total{route=submit} = %+v, %t", s, ok)
+	}
+	if s, ok := findSample(exp, "store_records", nil); !ok || s.Value != 42 {
+		t.Errorf("store_records = %+v, %t", s, ok)
+	}
+	if s, ok := findSample(exp, "latency_seconds_count", nil); !ok || s.Value != 3 {
+		t.Errorf("latency_seconds_count = %+v, %t", s, ok)
+	}
+	if s, ok := findSample(exp, "latency_seconds_bucket", map[string]string{"le": "+Inf"}); !ok || s.Value != 3 {
+		t.Errorf("+Inf bucket = %+v, %t", s, ok)
+	}
+	if s, ok := findSample(exp, "latency_seconds_bucket", map[string]string{"le": "0.05"}); !ok || s.Value != 2 {
+		t.Errorf("le=0.05 bucket = %+v, %t (buckets must be cumulative)", s, ok)
+	}
+	if s, ok := findSample(exp, "latency_seconds_sum", nil); !ok || math.Abs(s.Value-250.0304) > 1e-9 {
+		t.Errorf("latency_seconds_sum = %+v, %t", s, ok)
+	}
+}
+
+func TestGetOrCreateReturnsSameSeries(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c_total", "", Labels{"k": "v"})
+	b := r.Counter("c_total", "", Labels{"k": "v"})
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	if c := r.Counter("c_total", "", Labels{"k": "w"}); c == a {
+		t.Fatal("different labels shared a series")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("c_total", "", nil)
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "", Labels{"path": `a\b` + "\n" + `"q"`}).Inc()
+	exp := scrape(t, r)
+	s, ok := findSample(exp, "esc_total", nil)
+	if !ok {
+		t.Fatal("escaped sample not parsed")
+	}
+	if got := s.Labels["path"]; got != `a\b`+"\n"+`"q"` {
+		t.Errorf("label round-trip: %q", got)
+	}
+}
+
+func TestCounterIgnoresNegative(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(-3)
+	if c.Value() != 5 {
+		t.Errorf("counter went backwards: %d", c.Value())
+	}
+}
+
+// TestRegistryConcurrency hammers one registry from many goroutines —
+// concurrent series creation, counter/gauge/histogram updates and scrapes —
+// and then checks nothing was lost. Run under -race (make check does).
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const (
+		goroutines = 16
+		iters      = 2000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			route := fmt.Sprintf("r%d", g%4)
+			for i := 0; i < iters; i++ {
+				r.Counter("hammer_total", "", Labels{"route": route}).Inc()
+				r.Gauge("hammer_active", "", nil).Add(1)
+				r.Histogram("hammer_seconds", "", LatencyBuckets(), Labels{"route": route}).
+					Observe(float64(i%100) / 1000)
+				r.Gauge("hammer_active", "", nil).Add(-1)
+				if i%500 == 0 {
+					var buf bytes.Buffer
+					if _, err := r.WriteTo(&buf); err != nil {
+						t.Errorf("concurrent WriteTo: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	exp := scrape(t, r)
+	var total float64
+	for _, s := range exp.Samples {
+		if s.Name == "hammer_total" {
+			total += s.Value
+		}
+	}
+	if want := float64(goroutines * iters); total != want {
+		t.Errorf("lost counter increments: %v, want %v", total, want)
+	}
+	var count float64
+	for _, s := range exp.Samples {
+		if s.Name == "hammer_seconds_count" {
+			count += s.Value
+		}
+	}
+	if want := float64(goroutines * iters); count != want {
+		t.Errorf("lost histogram observations: %v, want %v", count, want)
+	}
+	if g, ok := findSample(exp, "hammer_active", nil); !ok || g.Value != 0 {
+		t.Errorf("gauge should balance to 0: %+v", g)
+	}
+}
+
+func TestParserRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"no_type_declared 1\n",
+		"# TYPE x counter\nx{unterminated=\"v 1\n",
+		"# TYPE x counter\nx notanumber\n",
+		"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\n",
+		"# TYPE h histogram\nh_bucket{le=\"1\"} 5\n", // no +Inf terminal
+	} {
+		if _, err := ParseExposition(strings.NewReader(bad)); err == nil {
+			t.Errorf("parser accepted malformed input:\n%s", bad)
+		}
+	}
+}

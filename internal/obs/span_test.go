@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTree(t *testing.T) {
+	root := NewTrace("run")
+	ctx := ContextWithSpan(context.Background(), root)
+
+	ctx2, render := Start(ctx, "render")
+	render.SetAttr("users", 10)
+	_, inner := Start(ctx2, "collate/DC")
+	time.Sleep(2 * time.Millisecond)
+	inner.End()
+	render.End()
+	_, analyze := Start(ctx, "cluster-agreement")
+	analyze.End()
+	root.End()
+
+	if got := len(root.Children()); got != 2 {
+		t.Fatalf("root has %d children, want 2", got)
+	}
+	if sp := root.Find("collate/DC"); sp == nil {
+		t.Fatal("nested span not reachable from root")
+	}
+	if root.Duration() < render.Duration() {
+		t.Errorf("root %v shorter than child %v", root.Duration(), render.Duration())
+	}
+	if d := root.StageDurations(); d["collate/DC"] <= 0 {
+		t.Errorf("stage durations missing collate/DC: %v", d)
+	}
+}
+
+func TestSpanNilSafety(t *testing.T) {
+	var sp *Span
+	sp.SetAttr("k", "v")
+	sp.End()
+	if sp.StartChild("x") != nil {
+		t.Error("nil span produced a child")
+	}
+	if sp.Duration() != 0 || sp.Name() != "" || sp.Find("x") != nil {
+		t.Error("nil span accessors not zero-valued")
+	}
+	if err := sp.WriteText(&bytes.Buffer{}); err != nil {
+		t.Errorf("nil WriteText: %v", err)
+	}
+}
+
+func TestStartWithoutParentCreatesRoot(t *testing.T) {
+	ctx, sp := Start(context.Background(), "orphan")
+	if sp == nil || SpanFromContext(ctx) != sp {
+		t.Fatal("Start without a parent must create and install a root span")
+	}
+}
+
+func TestSpanJSONExport(t *testing.T) {
+	root := NewTrace("run")
+	c := root.StartChild("render")
+	c.SetAttr("vector", "FFT")
+	c.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := root.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded SpanJSON
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("trace JSON does not round-trip: %v", err)
+	}
+	if decoded.Name != "run" || len(decoded.Children) != 1 {
+		t.Fatalf("unexpected tree: %+v", decoded)
+	}
+	child := decoded.Children[0]
+	if child.Name != "render" || child.Attrs["vector"] != "FFT" {
+		t.Errorf("child: %+v", child)
+	}
+	if child.DurationUS > decoded.DurationUS {
+		t.Errorf("child duration %d exceeds root %d", child.DurationUS, decoded.DurationUS)
+	}
+}
+
+func TestSpanTextReport(t *testing.T) {
+	root := NewTrace("fpstudy")
+	c := root.StartChild("render")
+	c.SetAttr("users", 3)
+	c.End()
+	root.End()
+	var buf bytes.Buffer
+	if err := root.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fpstudy", "render", "users=3", "100.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text report missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 || !strings.HasPrefix(lines[1], "  ") {
+		t.Errorf("child line not indented:\n%s", out)
+	}
+}
+
+// TestSpanConcurrentChildren exercises parallel sweep workers opening
+// children of one parent (run under -race).
+func TestSpanConcurrentChildren(t *testing.T) {
+	root := NewTrace("sweep")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c := root.StartChild("cell")
+				c.SetAttr("j", j)
+				c.End()
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if got := len(root.Children()); got != 800 {
+		t.Errorf("lost children: %d, want 800", got)
+	}
+	if _, err := json.Marshal(root.Export()); err != nil {
+		t.Errorf("export: %v", err)
+	}
+}

@@ -104,6 +104,7 @@ func (s *Store) Append(recs ...Record) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	var bytes int64
 	for i := range recs {
 		line, err := json.Marshal(&recs[i])
 		if err != nil {
@@ -115,6 +116,7 @@ func (s *Store) Append(recs ...Record) error {
 		if err := s.w.WriteByte('\n'); err != nil {
 			return fmt.Errorf("storage: write: %w", err)
 		}
+		bytes += int64(len(line)) + 1
 	}
 	if err := s.w.Flush(); err != nil {
 		return fmt.Errorf("storage: flush: %w", err)
@@ -125,6 +127,9 @@ func (s *Store) Append(recs ...Record) error {
 		}
 	}
 	s.count += len(recs)
+	mAppendBatches.Inc()
+	mAppendRecords.Add(int64(len(recs)))
+	mAppendBytes.Add(bytes)
 	return nil
 }
 
@@ -180,7 +185,10 @@ func (s *Store) WriteTo(w io.Writer) (int64, error) {
 		return 0, err
 	}
 	defer rf.Close()
-	return io.Copy(w, rf)
+	n, err := io.Copy(w, rf)
+	mExports.Inc()
+	mExportBytes.Add(n)
+	return n, err
 }
 
 // Close flushes and closes the backing file.

@@ -1,0 +1,18 @@
+package storage
+
+import "repro/internal/obs"
+
+// Store metrics live on the shared registry so the collection server's
+// /metrics scrape covers its persistence layer.
+var (
+	mAppendBatches = obs.Default.Counter("storage_append_batches_total",
+		"Append calls that reached disk.", nil)
+	mAppendRecords = obs.Default.Counter("storage_records_appended_total",
+		"Records appended to the NDJSON log.", nil)
+	mAppendBytes = obs.Default.Counter("storage_append_bytes_total",
+		"Bytes written to the NDJSON log (including newlines).", nil)
+	mExports = obs.Default.Counter("storage_exports_total",
+		"Full-log export streams served.", nil)
+	mExportBytes = obs.Default.Counter("storage_export_bytes_total",
+		"Bytes streamed by export.", nil)
+)

@@ -105,6 +105,10 @@ func (ds *Dataset) sweepItems(sValues []int) []sweepItem {
 func (ds *Dataset) AgreementScores(sValues []int) ([]AgreementPoint, error) {
 	ix := ds.Index()
 	items := ds.sweepItems(sValues)
+	sp := ds.span("cluster-agreement")
+	sp.SetAttr("cells", len(items))
+	defer sp.End()
+	mSweepCells.Add(int64(len(items)))
 	out := make([]AgreementPoint, len(items))
 	errs := make([]error, len(items))
 	forEach(len(items), ds.parallelism(), func(n int) {
@@ -166,6 +170,10 @@ type MatchScoreRow struct {
 func (ds *Dataset) MatchScores(sValues []int) []MatchScoreRow {
 	ix := ds.Index()
 	items := ds.sweepItems(sValues)
+	sp := ds.span("match-score")
+	sp.SetAttr("cells", len(items))
+	defer sp.End()
+	mSweepCells.Add(int64(len(items)))
 	out := make([]MatchScoreRow, len(items))
 	forEach(len(items), ds.parallelism(), func(n int) {
 		v, s := items[n].v, items[n].s
@@ -222,6 +230,8 @@ func (ds *Dataset) CombinedLabels() []string {
 // Table2 computes the diversity of the 7 collated audio vectors plus their
 // combination (paper Table 2).
 func (ds *Dataset) Table2() []DiversityRow {
+	sp := ds.span("diversity")
+	defer sp.End()
 	rows := make([]DiversityRow, 0, len(vectors.All)+1)
 	for _, v := range vectors.All {
 		d := ds.dense(v)
@@ -238,6 +248,8 @@ func (ds *Dataset) Table2() []DiversityRow {
 // Table3 computes the diversity of the Canvas, Fonts and User-Agent vectors
 // (paper Table 3).
 func (ds *Dataset) Table3() []DiversityRow {
+	sp := ds.span("diversity")
+	defer sp.End()
 	return []DiversityRow{
 		{Name: "Canvas", Summary: diversity.Summarize(ds.Canvas)},
 		{Name: "Fonts", Summary: diversity.Summarize(ds.Fonts)},
@@ -337,6 +349,8 @@ func (ds *Dataset) AdditiveValue(name string, base []string) AdditiveResult {
 // seven vectors, in vectors.All order. The pairs of the symmetric matrix
 // are computed concurrently over the cached interned labelings.
 func (ds *Dataset) PairwiseVectorAMI() ([][]float64, error) {
+	sp := ds.span("cluster-agreement")
+	defer sp.End()
 	k := len(vectors.All)
 	infos := make([]*denseInfo, k)
 	for i, v := range vectors.All {
@@ -393,6 +407,9 @@ type RankingResult struct {
 // bounded by Dataset.Parallelism; entropies use deterministic summation
 // order, so results are identical across parallelism settings and runs.
 func (ds *Dataset) SubsetRanking(parts int) RankingResult {
+	sp := ds.span("diversity")
+	sp.SetAttr("parts", parts)
+	defer sp.End()
 	type namedEntropy struct {
 		name    string
 		entropy func(lo, hi int) float64

@@ -121,6 +121,8 @@ func (ds *Dataset) dense(v vectors.ID) *denseInfo {
 	if d, ok := ds.denseByVec[v]; ok {
 		return d
 	}
+	sp := ds.span("collate/" + v.String())
+	defer sp.End()
 	g := intGraphOf(ds.indexLocked(), len(ds.Users), v, nil)
 	labels := g.Labels()
 	k := 0

@@ -34,6 +34,7 @@ func runAll(n, workers int, fn func(int) error) error {
 			if err := fn(i); err != nil {
 				return err
 			}
+			mTasks.Inc()
 		}
 		return nil
 	}
@@ -48,6 +49,8 @@ func runAll(n, workers int, fn func(int) error) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			mWorkersActive.Inc()
+			defer mWorkersActive.Dec()
 			for !failed.Load() {
 				i := int(next.Add(1)) - 1
 				if i >= n {
@@ -58,6 +61,7 @@ func runAll(n, workers int, fn func(int) error) error {
 					failed.Store(true)
 					return
 				}
+				mTasks.Inc()
 			}
 		}()
 	}

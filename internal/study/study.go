@@ -10,11 +10,14 @@
 package study
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/collate"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/population"
 	"repro/internal/vectors"
@@ -38,6 +41,11 @@ type Config struct {
 	IDPrefix string
 	// Era selects the audio-stack generation (see population.Config.Era).
 	Era string
+	// Progress, when non-nil, is invoked after each participant finishes
+	// rendering, with the number completed so far and the total. It is
+	// called concurrently from worker goroutines and must be goroutine-
+	// safe.
+	Progress func(done, total int)
 }
 
 // Dataset is the raw outcome of a study: the participants, their non-audio
@@ -69,6 +77,10 @@ type Dataset struct {
 	// settings — only wall-clock changes.
 	Parallelism int
 
+	// tracer is the span under which analysis stages record their timing
+	// (SetTracer; nil disables tracing).
+	tracer atomic.Pointer[obs.Span]
+
 	// mu guards the lazily built caches below.
 	mu sync.Mutex
 	// fullGraphs caches the all-iterations collation graph per vector.
@@ -88,18 +100,32 @@ func (ds *Dataset) UserIDs() []string { return ds.Users }
 // cost scales with platform diversity rather than population size. The
 // result is deterministic for a given Config, independent of Parallelism.
 func Run(cfg Config) (*Dataset, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with pipeline tracing: when ctx carries an obs span, a
+// "study.run" child records the population/render/intern stages. Tracing
+// never affects the dataset — results stay bit-identical to Run.
+func RunContext(ctx context.Context, cfg Config) (*Dataset, error) {
 	if cfg.Users <= 0 || cfg.Iterations <= 0 {
 		return nil, fmt.Errorf("study: Users and Iterations must be positive (got %d, %d)",
 			cfg.Users, cfg.Iterations)
 	}
+	ctx, runSpan := obsStart(ctx, "study.run")
+	runSpan.SetAttr("users", cfg.Users)
+	runSpan.SetAttr("iterations", cfg.Iterations)
+	defer runSpan.End()
+
 	jitter := cfg.Jitter
 	if jitter == nil {
 		jitter = platform.DefaultJitter()
 	}
+	_, popSpan := obsStart(ctx, "population")
 	devs := population.Sample(population.Config{
 		Seed: cfg.Seed, N: cfg.Users, Mix: cfg.Mix, IDPrefix: cfg.IDPrefix,
 		Era: cfg.Era,
 	})
+	popSpan.End()
 
 	ds := &Dataset{
 		Devices:    devs,
@@ -137,14 +163,28 @@ func Run(cfg Config) (*Dataset, error) {
 		userSeeds[i] = seedRng.Int63()
 	}
 
+	_, renderSpan := obsStart(ctx, "render")
+	var done atomic.Int64
 	cache := vectors.NewCache()
 	if err := runAll(len(devs), cfg.Parallelism, func(i int) error {
-		return runUser(ds, cache, jitter, i, userSeeds[i])
+		if err := runUser(ds, cache, jitter, i, userSeeds[i]); err != nil {
+			return err
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(int(done.Add(1)), len(devs))
+		}
+		return nil
 	}); err != nil {
+		renderSpan.End()
 		return nil, err
 	}
+	renderSpan.SetAttr("distinct_renders", cache.Len())
+	renderSpan.End()
+
 	ds.Parallelism = cfg.Parallelism
+	_, indexSpan := obsStart(ctx, "intern-index")
 	ds.idx = buildIndex(ds.Obs)
+	indexSpan.End()
 	return ds, nil
 }
 
@@ -193,6 +233,8 @@ func (ds *Dataset) FullGraph(v vectors.ID) *collate.Graph {
 	if g, ok := ds.fullGraphs[v]; ok {
 		return g
 	}
+	sp := ds.span("collate/" + v.String())
+	defer sp.End()
 	g := ds.Graph(v, nil)
 	ds.fullGraphs[v] = g
 	return g

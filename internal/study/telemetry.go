@@ -1,0 +1,45 @@
+package study
+
+import (
+	"context"
+
+	"repro/internal/obs"
+)
+
+// Worker-pool telemetry on the shared registry. The active-worker gauge
+// tracks pool utilization live (scrape it via -pprof's /metrics during a
+// long run); the task counter accumulates across sweeps.
+var (
+	mWorkersActive = obs.Default.Gauge("study_workers_active",
+		"goroutines currently executing pool work items", nil)
+	mTasks = obs.Default.Counter("study_pool_tasks_total",
+		"work items executed by the study worker pools", nil)
+	mSweepCells = obs.Default.Counter("study_sweep_cells_total",
+		"analysis sweep cells evaluated", nil)
+)
+
+// SetTracer installs the span under which the dataset's analysis stages
+// (collation, cluster-agreement sweeps, diversity summaries) record their
+// timing. A nil tracer (the default) disables analysis spans. The renderer
+// of a report sets this around each experiment so stage spans nest under
+// the experiment that triggered them.
+func (ds *Dataset) SetTracer(sp *obs.Span) { ds.tracer.Store(sp) }
+
+// Tracer returns the currently installed analysis tracer (nil when
+// untraced).
+func (ds *Dataset) Tracer() *obs.Span { return ds.tracer.Load() }
+
+// span opens an analysis-stage child span (nil when untraced; all *Span
+// methods are nil-safe).
+func (ds *Dataset) span(name string) *obs.Span {
+	return ds.Tracer().StartChild(name)
+}
+
+// obsStart opens a child span only when ctx already carries one, so
+// untraced runs allocate nothing (nil *obs.Span methods no-op).
+func obsStart(ctx context.Context, name string) (context.Context, *obs.Span) {
+	if obs.SpanFromContext(ctx) == nil {
+		return ctx, nil
+	}
+	return obs.Start(ctx, name)
+}

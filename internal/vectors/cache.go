@@ -40,8 +40,10 @@ func (c *Cache) Run(stackKey string, r *Runner, id ID, offset int) (Fingerprint,
 	fp, ok := c.m[k]
 	c.mu.RUnlock()
 	if ok {
+		mCacheHits.Inc()
 		return fp, nil
 	}
+	mCacheMisses.Inc()
 	fp, err := r.Run(id, offset)
 	if err != nil {
 		return Fingerprint{}, err

@@ -40,6 +40,10 @@ func (r *Runner) RunExtended(id ID, captureOffset int) (Fingerprint, error) {
 	if captureOffset < 0 {
 		return Fingerprint{}, fmt.Errorf("vectors: negative capture offset %d", captureOffset)
 	}
+	return timeRender(id, func() (Fingerprint, error) { return r.renderExtended(id, captureOffset) })
+}
+
+func (r *Runner) renderExtended(id ID, captureOffset int) (Fingerprint, error) {
 	rt := webaudio.NewRealtimeSim(r.rate, r.traits)
 	var signal webaudio.Node
 

@@ -1,0 +1,37 @@
+package vectors
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Per-vector render telemetry on the shared registry: how many times each
+// vector rendered, how long a render takes end to end (graph build +
+// quanta + hash), and how the memoization cache behaves. Label cardinality
+// is bounded by the vector set (9 names).
+var (
+	mCacheHits = obs.Default.Counter("vectors_cache_hits_total",
+		"memoized fingerprint renders served from cache", nil)
+	mCacheMisses = obs.Default.Counter("vectors_cache_misses_total",
+		"fingerprint renders that had to run the engine", nil)
+)
+
+func renderObserved(id ID, elapsed time.Duration) {
+	labels := obs.Labels{"vector": id.String()}
+	obs.Default.Counter("vectors_renders_total",
+		"completed vector renders", labels).Inc()
+	obs.Default.Histogram("vectors_render_duration_seconds",
+		"wall time of one vector render", obs.LatencyBuckets(), labels).
+		Observe(elapsed.Seconds())
+}
+
+// timeRender wraps a render function with duration telemetry.
+func timeRender(id ID, fn func() (Fingerprint, error)) (Fingerprint, error) {
+	start := time.Now()
+	fp, err := fn()
+	if err == nil {
+		renderObserved(id, time.Since(start))
+	}
+	return fp, err
+}

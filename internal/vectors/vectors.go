@@ -160,6 +160,11 @@ func (r *Runner) Run(id ID, captureOffset int) (Fingerprint, error) {
 	if captureOffset < 0 {
 		return Fingerprint{}, fmt.Errorf("vectors: negative capture offset %d", captureOffset)
 	}
+	return timeRender(id, func() (Fingerprint, error) { return r.render(id, captureOffset) })
+}
+
+// render dispatches to the vector implementations (timing handled by Run).
+func (r *Runner) render(id ID, captureOffset int) (Fingerprint, error) {
 	switch id {
 	case DC:
 		return r.runDC()

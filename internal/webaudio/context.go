@@ -27,6 +27,7 @@ func NewContext(sampleRate float64, traits Traits) *Context {
 	c := &Context{sampleRate: sampleRate, traits: traits}
 	c.dest = &DestinationNode{nodeBase: nodeBase{ctx: c, label: "destination"}}
 	c.register(c.dest)
+	statContexts.Inc()
 	return c
 }
 
@@ -66,6 +67,8 @@ func (c *Context) RenderQuanta(n int) error {
 		}
 		c.frame += RenderQuantum
 	}
+	statQuanta.Add(int64(n))
+	statNodes.Add(int64(n) * int64(len(c.order)))
 	return nil
 }
 

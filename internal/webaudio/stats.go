@@ -1,0 +1,34 @@
+package webaudio
+
+import "repro/internal/obs"
+
+// Engine-wide render counters on the shared registry. They are bumped once
+// per RenderQuanta call (not per frame), so the hot loop pays two atomic
+// adds per render — invisible next to the DSP itself.
+var (
+	statContexts = obs.Default.Counter("webaudio_contexts_created_total",
+		"audio contexts constructed (one per vector render)", nil)
+	statQuanta = obs.Default.Counter("webaudio_quanta_rendered_total",
+		"128-frame render quanta processed", nil)
+	statNodes = obs.Default.Counter("webaudio_node_ticks_total",
+		"node process() invocations (nodes × quanta)", nil)
+)
+
+// RenderStats is a snapshot of the engine-wide render counters.
+type RenderStats struct {
+	// Contexts is the number of contexts constructed.
+	Contexts int64
+	// Quanta is the number of 128-frame render quanta processed.
+	Quanta int64
+	// NodeTicks is the number of node process() invocations.
+	NodeTicks int64
+}
+
+// Stats returns the engine-wide render counters (process lifetime).
+func Stats() RenderStats {
+	return RenderStats{
+		Contexts:  statContexts.Value(),
+		Quanta:    statQuanta.Value(),
+		NodeTicks: statNodes.Value(),
+	}
+}
