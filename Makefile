@@ -23,12 +23,15 @@ test-short:
 
 # Everything CI should gate on: build, vet/gofmt, the race detector over the
 # internal packages (the telemetry registry/span tree first — they back every
-# other package — then the parallel sweeps and shared caches), then the full
-# suite.
+# other package — then the parallel sweeps and shared caches), the full
+# suite, and a short fuzz pass over the ingestion surfaces (10s per target,
+# seeded from the checked-in torn/corrupt corpora).
 check: build vet
 	$(GO) test -race ./internal/obs/
 	$(GO) test -race ./internal/...
 	$(GO) test ./...
+	$(GO) test -run '^$$' -fuzz FuzzStoreScan -fuzztime 10s ./internal/storage/
+	$(GO) test -run '^$$' -fuzz FuzzSubmitHandler -fuzztime 10s ./internal/collectserver/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -61,6 +64,7 @@ examples:
 	$(GO) run ./examples/collection
 	$(GO) run ./examples/mitigation
 
+# Note: testdata/fuzz seed corpora and golden files are checked in — clean
+# must not remove them.
 clean:
 	rm -f collection-demo.ndjson fingerprints.ndjson
-	rm -rf internal/storage/testdata internal/collectserver/testdata

@@ -7,20 +7,24 @@
 // Usage (against a running fpserver):
 //
 //	fpagent -server http://localhost:8080 -users 100 -iterations 30
+//	fpagent -faults "seed=7,drop=0.05,http500=0.05"   # chaos rehearsal
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
+	"net/http"
 	"os"
 	"sync"
 	"time"
 
 	"repro/internal/collectclient"
 	"repro/internal/collectserver"
+	"repro/internal/faultinject"
 	"repro/internal/platform"
 	"repro/internal/population"
 	"repro/internal/study"
@@ -28,16 +32,32 @@ import (
 )
 
 func main() {
+	if err := run(context.Background(), os.Args[1:], os.Stderr); err != nil {
+		log.New(os.Stderr, "fpagent ", log.LstdFlags|log.Lmsgprefix).Fatal(err)
+	}
+}
+
+// run drives the full agent lifecycle with flags parsed from args and logs
+// on errw, so tests exercise the binary in-process.
+func run(ctx context.Context, args []string, errw io.Writer) error {
+	fs := flag.NewFlagSet("fpagent", flag.ContinueOnError)
+	fs.SetOutput(errw)
 	var (
-		server     = flag.String("server", "http://localhost:8080", "collection server base URL")
-		users      = flag.Int("users", 50, "number of simulated participants")
-		iterations = flag.Int("iterations", 30, "fingerprinting iterations per vector")
-		seed       = flag.Int64("seed", 20220325, "population and jitter seed")
-		parallel   = flag.Int("parallel", 8, "concurrent participants")
-		followUp   = flag.Bool("followup", false, "use the §5 follow-up demographic mix")
+		server      = fs.String("server", "http://localhost:8080", "collection server base URL")
+		users       = fs.Int("users", 50, "number of simulated participants")
+		iterations  = fs.Int("iterations", 30, "fingerprinting iterations per vector")
+		seed        = fs.Int64("seed", 20220325, "population and jitter seed")
+		parallel    = fs.Int("parallel", 8, "concurrent participants")
+		followUp    = fs.Bool("followup", false, "use the §5 follow-up demographic mix")
+		idempotency = fs.Bool("idempotency", true, "attach idempotency keys so retried submissions never double-store")
+		brkThresh   = fs.Int("breaker-threshold", 0, "consecutive failures before the circuit breaker opens (0 disables)")
+		brkCooldown = fs.Duration("breaker-cooldown", 5*time.Second, "how long an open circuit breaker fails fast")
+		faults      = fs.String("faults", "", "fault-injection spec for chaos rehearsal, e.g. \"seed=7,drop=0.05,delay=0.1:10ms,http500=0.05\"")
 	)
-	flag.Parse()
-	logger := log.New(os.Stderr, "fpagent ", log.LstdFlags|log.Lmsgprefix)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger := log.New(errw, "fpagent ", log.LstdFlags|log.Lmsgprefix)
 
 	cfg := population.Config{Seed: *seed, N: *users}
 	if *followUp {
@@ -47,11 +67,28 @@ func main() {
 	devices := population.Sample(cfg)
 	jitter := platform.DefaultJitter()
 	cache := vectors.NewCache()
-	client := collectclient.New(*server)
-	ctx := context.Background()
+
+	opts := []collectclient.Option{collectclient.WithIdempotency(*idempotency)}
+	if *brkThresh > 0 {
+		opts = append(opts, collectclient.WithBreaker(*brkThresh, *brkCooldown))
+	}
+	var sched *faultinject.Schedule
+	if *faults != "" {
+		var err error
+		sched, err = faultinject.ParseSpec(*faults, nil)
+		if err != nil {
+			return fmt.Errorf("-faults: %w", err)
+		}
+		logger.Printf("fault injection active: %s", *faults)
+		opts = append(opts, collectclient.WithHTTPClient(&http.Client{
+			Timeout:   30 * time.Second,
+			Transport: &faultinject.Transport{Base: http.DefaultTransport, Schedule: sched},
+		}))
+	}
+	client := collectclient.New(*server, opts...)
 
 	if _, err := client.StudyInfo(ctx); err != nil {
-		logger.Fatalf("server unreachable: %v", err)
+		return fmt.Errorf("server unreachable: %w", err)
 	}
 
 	// Per-device jitter seeds, pre-derived for determinism.
@@ -83,11 +120,15 @@ func main() {
 	}
 	wg.Wait()
 	reportTelemetry(logger, client, len(devices), max(1, *parallel), time.Since(start))
+	if sched != nil {
+		logger.Printf("faults injected: %s", sched)
+	}
 	if failures > 0 {
-		logger.Fatalf("%d of %d participants failed", failures, len(devices))
+		return fmt.Errorf("%d of %d participants failed", failures, len(devices))
 	}
 	logger.Printf("submitted %d participants × %d iterations × %d vectors",
 		len(devices), *iterations, len(vectors.All))
+	return nil
 }
 
 // reportTelemetry prints the client's submission throughput and retry
@@ -99,8 +140,8 @@ func reportTelemetry(logger *log.Logger, client *collectclient.Client, participa
 	if secs <= 0 {
 		secs = 1e-9
 	}
-	logger.Printf("telemetry: %d HTTP requests (%d retries, %d failures), %.1f KiB sent, %s backing off",
-		tel.Requests, tel.Retries, tel.Failures, float64(tel.BytesSent)/1024, tel.BackoffTotal.Round(time.Millisecond))
+	logger.Printf("telemetry: %d HTTP requests (%d retries, %d failures, %d breaker opens), %.1f KiB sent, %s backing off",
+		tel.Requests, tel.Retries, tel.Failures, tel.BreakerOpens, float64(tel.BytesSent)/1024, tel.BackoffTotal.Round(time.Millisecond))
 	logger.Printf("telemetry: %.1f requests/s, %.1f participants/s overall, %.2f participants/s per worker",
 		float64(tel.Requests)/secs, float64(participants)/secs, float64(participants)/secs/float64(workers))
 }

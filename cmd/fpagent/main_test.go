@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/collectserver"
+	"repro/internal/storage"
+)
+
+// startCollector runs an in-process collection backend for the agent to
+// talk to.
+func startCollector(t *testing.T) (*httptest.Server, *storage.Store) {
+	t.Helper()
+	st, err := storage.Open(filepath.Join(t.TempDir(), "fp.ndjson"), storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := collectserver.New(collectserver.Config{
+		Store:             st,
+		SubmitRatePerSec:  1e6,
+		SessionRatePerMin: 1e6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); st.Close() })
+	return ts, st
+}
+
+// TestRunSmoke drives the whole agent — sample, render, submit — against a
+// real in-process server and checks every record landed.
+func TestRunSmoke(t *testing.T) {
+	ts, st := startCollector(t)
+	var logs bytes.Buffer
+	err := run(context.Background(), []string{
+		"-server", ts.URL,
+		"-users", "3",
+		"-iterations", "2",
+		"-parallel", "2",
+	}, &logs)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, logs.String())
+	}
+	want := 3 * 2 * 7 // users × iterations × vectors
+	if got := st.Count(); got != want {
+		t.Errorf("stored %d records, want %d", got, want)
+	}
+	if !strings.Contains(logs.String(), "telemetry:") {
+		t.Errorf("telemetry report missing:\n%s", logs.String())
+	}
+}
+
+// TestRunWithFaults rehearses chaos through the -faults flag: with drops
+// and 5xx injected, retries still land every record exactly once.
+func TestRunWithFaults(t *testing.T) {
+	ts, st := startCollector(t)
+	var logs bytes.Buffer
+	err := run(context.Background(), []string{
+		"-server", ts.URL,
+		"-users", "2",
+		"-iterations", "2",
+		"-parallel", "1",
+		"-faults", "seed=3,drop=0.05,http500=0.05",
+	}, &logs)
+	if err != nil {
+		t.Fatalf("run under faults: %v\n%s", err, logs.String())
+	}
+	want := 2 * 2 * 7
+	if got := st.Count(); got != want {
+		t.Errorf("stored %d records under faults, want %d", got, want)
+	}
+	if !strings.Contains(logs.String(), "fault injection active") {
+		t.Errorf("fault banner missing:\n%s", logs.String())
+	}
+}
+
+// TestRunFlagErrors: bad flags and bad fault specs are clean errors.
+func TestRunFlagErrors(t *testing.T) {
+	var logs bytes.Buffer
+	if err := run(context.Background(), []string{"-not-a-flag"}, &logs); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run(context.Background(), []string{"-faults", "garbage==1"}, &logs); err == nil {
+		t.Error("bad fault spec accepted")
+	}
+}
+
+// TestRunIdempotencyDisabled: the -idempotency=false escape hatch still
+// completes a clean (fault-free) run.
+func TestRunIdempotencyDisabled(t *testing.T) {
+	ts, st := startCollector(t)
+	var logs bytes.Buffer
+	err := run(context.Background(), []string{
+		"-server", ts.URL,
+		"-users", "1",
+		"-iterations", "1",
+		"-idempotency=false",
+	}, &logs)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, logs.String())
+	}
+	if got := st.Count(); got != 7 {
+		t.Errorf("stored %d records, want 7", got)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -25,34 +26,47 @@ import (
 )
 
 func main() {
+	if err := run(context.Background(), os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		log.New(os.Stderr, "fpanalyze ", log.LstdFlags|log.Lmsgprefix).Fatal(err)
+	}
+}
+
+// run re-analyzes a stored dataset with flags parsed from args, tables on
+// outw and logs on errw — in-process testable.
+func run(runCtx context.Context, args []string, outw, errw io.Writer) error {
+	fs := flag.NewFlagSet("fpanalyze", flag.ContinueOnError)
+	fs.SetOutput(errw)
 	var (
-		dataPath  = flag.String("data", "", "NDJSON dataset (fpserver export / fpstudy -out)")
-		exp       = flag.String("exp", "", "single experiment id to run (default: all)")
-		list      = flag.Bool("list", false, "list experiment ids and exit")
-		traceJSON = flag.String("trace-json", "", "write the analysis span tree as JSON to this path")
-		traceText = flag.Bool("trace", false, "print the analysis span tree to stderr on exit")
-		pprofAddr = flag.String("pprof", "", "serve /debug/pprof and /metrics on this address")
+		dataPath  = fs.String("data", "", "NDJSON dataset (fpserver export / fpstudy -out)")
+		exp       = fs.String("exp", "", "single experiment id to run (default: all)")
+		list      = fs.Bool("list", false, "list experiment ids and exit")
+		recover_  = fs.Bool("recover", false, "salvage the dataset up to the first torn write before analyzing")
+		traceJSON = fs.String("trace-json", "", "write the analysis span tree as JSON to this path")
+		traceText = fs.Bool("trace", false, "print the analysis span tree to stderr on exit")
+		pprofAddr = fs.String("pprof", "", "serve /debug/pprof and /metrics on this address")
 	)
-	flag.Parse()
-	logger := log.New(os.Stderr, "fpanalyze ", log.LstdFlags|log.Lmsgprefix)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger := log.New(errw, "fpanalyze ", log.LstdFlags|log.Lmsgprefix)
 
 	if *list {
-		fmt.Println("main-study experiments:")
+		fmt.Fprintln(outw, "main-study experiments:")
 		for _, id := range core.MainExperiments {
-			fmt.Println("  " + id)
+			fmt.Fprintln(outw, "  "+id)
 		}
-		fmt.Println("follow-up experiments (need a follow-up dataset):")
+		fmt.Fprintln(outw, "follow-up experiments (need a follow-up dataset):")
 		for _, id := range core.FollowUpExperiments {
-			fmt.Println("  " + id)
+			fmt.Fprintln(outw, "  "+id)
 		}
-		fmt.Println("extensions:")
+		fmt.Fprintln(outw, "extensions:")
 		for _, id := range []string{"ablation", "anonymity", "demographics"} {
-			fmt.Println("  " + id)
+			fmt.Fprintln(outw, "  "+id)
 		}
-		return
+		return nil
 	}
 	if *dataPath == "" {
-		logger.Fatal("-data is required (or -list)")
+		return fmt.Errorf("-data is required (or -list)")
 	}
 
 	if *pprofAddr != "" {
@@ -64,19 +78,29 @@ func main() {
 		}()
 	}
 	root := obs.NewTrace("fpanalyze")
-	ctx := obs.ContextWithSpan(context.Background(), root)
+	ctx := obs.ContextWithSpan(runCtx, root)
 
 	st, err := storage.Open(*dataPath, storage.Options{})
 	if err != nil {
-		logger.Fatalf("open dataset: %v", err)
+		return fmt.Errorf("open dataset: %w", err)
+	}
+	if *recover_ {
+		rep, err := st.Recover()
+		if err != nil {
+			st.Close()
+			return fmt.Errorf("recover dataset: %w", err)
+		}
+		if rep.DroppedBytes > 0 {
+			logger.Printf("recovery dropped %d bytes of torn tail", rep.DroppedBytes)
+		}
 	}
 	recs, err := st.All()
 	closeErr := st.Close()
 	if err != nil {
-		logger.Fatalf("read dataset: %v", err)
+		return fmt.Errorf("read dataset: %w", err)
 	}
 	if closeErr != nil {
-		logger.Fatalf("close dataset: %v", closeErr)
+		return fmt.Errorf("close dataset: %w", closeErr)
 	}
 	logger.Printf("loaded %d records", len(recs))
 
@@ -84,20 +108,20 @@ func main() {
 	ds, err := study.FromRecords(recs)
 	loadSpan.End()
 	if err != nil {
-		logger.Fatalf("reconstruct dataset: %v", err)
+		return fmt.Errorf("reconstruct dataset: %w", err)
 	}
 	logger.Printf("dataset: %d users × %d iterations", len(ds.Users), ds.Iterations)
 
 	render := func(id string) error {
 		switch id {
 		case "ablation":
-			return core.WriteAblationContext(ctx, os.Stdout, ds, 3)
+			return core.WriteAblationContext(ctx, outw, ds, 3)
 		case "anonymity":
-			return core.WriteAnonymityContext(ctx, os.Stdout, ds)
+			return core.WriteAnonymityContext(ctx, outw, ds)
 		case "demographics":
-			return core.WriteDemographicsContext(ctx, os.Stdout, ds)
+			return core.WriteDemographicsContext(ctx, outw, ds)
 		default:
-			return core.WriteExperimentContext(ctx, os.Stdout, ds, id)
+			return core.WriteExperimentContext(ctx, outw, ds, id)
 		}
 	}
 	finish := func() {
@@ -115,17 +139,17 @@ func main() {
 			}
 		}
 		if *traceText {
-			if err := root.WriteText(os.Stderr); err != nil {
+			if err := root.WriteText(errw); err != nil {
 				logger.Printf("trace: %v", err)
 			}
 		}
 	}
 	if *exp != "" {
 		if err := render(*exp); err != nil {
-			logger.Fatalf("experiment %s: %v", *exp, err)
+			return fmt.Errorf("experiment %s: %w", *exp, err)
 		}
 		finish()
-		return
+		return nil
 	}
 	ids := append([]string{}, core.MainExperiments...)
 	ids = append(ids, core.FollowUpExperiments...)
@@ -135,7 +159,8 @@ func main() {
 			logger.Printf("experiment %s skipped: %v", id, err)
 			continue
 		}
-		fmt.Println()
+		fmt.Fprintln(outw)
 	}
 	finish()
+	return nil
 }

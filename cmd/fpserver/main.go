@@ -11,7 +11,9 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"io"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -22,24 +24,60 @@ import (
 	"repro/internal/storage"
 )
 
-func main() {
-	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		storePath  = flag.String("store", "fingerprints.ndjson", "NDJSON store path")
-		adminToken = flag.String("admin-token", "", "bearer token authorizing /api/v1/export (empty disables export)")
-		syncWrites = flag.Bool("sync", false, "fsync after every accepted batch")
-		maxBatch   = flag.Int("max-batch", 256, "max records per submission")
-		sessRate   = flag.Float64("session-rate", 600, "session creations per client IP per minute")
-		debug      = flag.Bool("debug", false, "mount /debug/pprof and /debug/vars (operational detail — keep off on public listeners)")
-	)
-	flag.Parse()
-	logger := log.New(os.Stderr, "fpserver ", log.LstdFlags|log.Lmsgprefix)
+// onListen, when set by tests, receives the bound listener address so an
+// in-process run on ":0" can be probed.
+var onListen func(net.Addr)
 
-	st, err := storage.Open(*storePath, storage.Options{SyncEveryAppend: *syncWrites})
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr); err != nil {
+		log.New(os.Stderr, "fpserver ", log.LstdFlags|log.Lmsgprefix).Fatal(err)
+	}
+}
+
+// run is the whole server lifecycle behind a testable seam: flags are
+// parsed from args, logs go to errw, and cancelling ctx triggers the same
+// graceful shutdown a SIGTERM does.
+func run(ctx context.Context, args []string, errw io.Writer) error {
+	fs := flag.NewFlagSet("fpserver", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	var (
+		addr       = fs.String("addr", ":8080", "listen address")
+		storePath  = fs.String("store", "fingerprints.ndjson", "NDJSON store path")
+		adminToken = fs.String("admin-token", "", "bearer token authorizing /api/v1/export (empty disables export)")
+		syncWrites = fs.Bool("sync", false, "fsync after every accepted batch")
+		maxBatch   = fs.Int("max-batch", 256, "max records per submission")
+		sessRate   = fs.Float64("session-rate", 600, "session creations per client IP per minute")
+		maxInFly   = fs.Int("max-inflight", 256, "concurrently served requests before shedding with 503 (negative disables)")
+		subRate    = fs.Float64("rate", 50, "fingerprint submissions per client IP per second before shedding with 429")
+		segBytes   = fs.Int64("max-segment", 0, "rotate the store file beyond this many bytes (0 disables)")
+		recover_   = fs.Bool("recover", true, "salvage the store's active file up to the first torn write on startup")
+		debug      = fs.Bool("debug", false, "mount /debug/pprof and /debug/vars (operational detail — keep off on public listeners)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger := log.New(errw, "fpserver ", log.LstdFlags|log.Lmsgprefix)
+
+	st, err := storage.Open(*storePath, storage.Options{
+		SyncEveryAppend: *syncWrites,
+		MaxSegmentBytes: *segBytes,
+	})
 	if err != nil {
-		logger.Fatalf("open store: %v", err)
+		return err
 	}
 	defer st.Close()
+	if *recover_ {
+		rep, err := st.Recover()
+		if err != nil {
+			return err
+		}
+		if rep.DroppedBytes > 0 {
+			logger.Printf("recovery dropped %d bytes of torn tail at offset %d",
+				rep.DroppedBytes, rep.TruncatedAt)
+		}
+	}
 	logger.Printf("store %s opened with %d existing records", st.Path(), st.Count())
 
 	srv, err := collectserver.New(collectserver.Config{
@@ -48,20 +86,26 @@ func main() {
 		MaxBatch:          *maxBatch,
 		Logger:            logger,
 		SessionRatePerMin: *sessRate,
+		MaxInFlight:       *maxInFly,
+		SubmitRatePerSec:  *subRate,
 		EnableDebug:       *debug,
 	})
 	if err != nil {
-		logger.Fatalf("configure server: %v", err)
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if onListen != nil {
+		onListen(ln.Addr())
 	}
 
 	hs := &http.Server{
-		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	go func() {
 		<-ctx.Done()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -71,9 +115,10 @@ func main() {
 		}
 	}()
 
-	logger.Printf("listening on %s", *addr)
-	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		logger.Fatalf("serve: %v", err)
+	logger.Printf("listening on %s", ln.Addr())
+	if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
 	}
 	logger.Printf("stopped; %d records stored", st.Count())
+	return nil
 }

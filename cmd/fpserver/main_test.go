@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunSmoke boots the real server on an ephemeral port, probes it over
+// HTTP, and shuts it down through context cancellation — the binary's whole
+// lifecycle in-process.
+func TestRunSmoke(t *testing.T) {
+	store := filepath.Join(t.TempDir(), "fp.ndjson")
+	addrCh := make(chan net.Addr, 1)
+	onListen = func(a net.Addr) { addrCh <- a }
+	defer func() { onListen = nil }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var logs bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-store", store,
+			"-max-inflight", "64",
+			"-rate", "1000",
+			"-max-segment", "65536",
+		}, &logs)
+	}()
+
+	var addr net.Addr
+	select {
+	case addr = <-addrCh:
+	case err := <-done:
+		t.Fatalf("server exited before listening: %v\n%s", err, logs.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never started listening")
+	}
+
+	base := fmt.Sprintf("http://%s", addr)
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz = %d", resp.StatusCode)
+	}
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("metrics = %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v\n%s", err, logs.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server never shut down after cancel")
+	}
+	if !strings.Contains(logs.String(), "listening on") {
+		t.Errorf("startup log missing: %s", logs.String())
+	}
+}
+
+// TestRunFlagError: an unknown flag is a clean error, not an os.Exit.
+func TestRunFlagError(t *testing.T) {
+	var logs bytes.Buffer
+	if err := run(context.Background(), []string{"-definitely-not-a-flag"}, &logs); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+// TestRunBadStorePath: an unopenable store path surfaces as an error.
+func TestRunBadStorePath(t *testing.T) {
+	var logs bytes.Buffer
+	err := run(context.Background(), []string{
+		"-store", filepath.Join(t.TempDir(), "no", "such", "dir", "fp.ndjson"),
+	}, &logs)
+	if err == nil {
+		t.Fatal("bad store path accepted")
+	}
+}

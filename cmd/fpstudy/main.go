@@ -14,6 +14,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -27,23 +28,36 @@ import (
 )
 
 func main() {
+	if err := run(context.Background(), os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		log.New(os.Stderr, "fpstudy ", log.LstdFlags|log.Lmsgprefix).Fatal(err)
+	}
+}
+
+// run executes the whole simulation-and-analysis pipeline with flags from
+// args, tables on outw and logs on errw — in-process testable.
+func run(runCtx context.Context, args []string, outw, errw io.Writer) error {
+	fs := flag.NewFlagSet("fpstudy", flag.ContinueOnError)
+	fs.SetOutput(errw)
 	var (
-		users      = flag.Int("users", 2093, "main-study participants")
-		fuUsers    = flag.Int("followup-users", 528, "follow-up participants (0 skips the follow-up)")
-		iterations = flag.Int("iterations", 30, "iterations per vector")
-		seed       = flag.Int64("seed", core.MainStudySeed, "main-study seed")
-		fuSeed     = flag.Int64("followup-seed", core.FollowUpSeed, "follow-up seed")
-		out        = flag.String("out", "", "write the main dataset as NDJSON to this path")
-		fuOut      = flag.String("followup-out", "", "write the follow-up dataset as NDJSON to this path")
-		ablation   = flag.Bool("ablation", true, "render the graph-vs-naive collation ablation")
-		evolution  = flag.Int("evolution-users", 800, "users for the §6 era comparison (0 skips it)")
-		traceJSON  = flag.String("trace-json", "", "write the pipeline span tree as JSON to this path")
-		traceText  = flag.Bool("trace", false, "print the pipeline span tree to stderr on exit")
-		progress   = flag.Bool("progress", false, "report rendering progress to stderr")
-		pprofAddr  = flag.String("pprof", "", "serve /debug/pprof and /metrics on this address (e.g. localhost:6060)")
+		users      = fs.Int("users", 2093, "main-study participants")
+		fuUsers    = fs.Int("followup-users", 528, "follow-up participants (0 skips the follow-up)")
+		iterations = fs.Int("iterations", 30, "iterations per vector")
+		seed       = fs.Int64("seed", core.MainStudySeed, "main-study seed")
+		fuSeed     = fs.Int64("followup-seed", core.FollowUpSeed, "follow-up seed")
+		out        = fs.String("out", "", "write the main dataset as NDJSON to this path")
+		fuOut      = fs.String("followup-out", "", "write the follow-up dataset as NDJSON to this path")
+		checkpoint = fs.String("checkpoint", "", "record rendering progress to this file and resume an interrupted run from it")
+		ablation   = fs.Bool("ablation", true, "render the graph-vs-naive collation ablation")
+		evolution  = fs.Int("evolution-users", 800, "users for the §6 era comparison (0 skips it)")
+		traceJSON  = fs.String("trace-json", "", "write the pipeline span tree as JSON to this path")
+		traceText  = fs.Bool("trace", false, "print the pipeline span tree to stderr on exit")
+		progress   = fs.Bool("progress", false, "report rendering progress to stderr")
+		pprofAddr  = fs.String("pprof", "", "serve /debug/pprof and /metrics on this address (e.g. localhost:6060)")
 	)
-	flag.Parse()
-	logger := log.New(os.Stderr, "fpstudy ", log.LstdFlags|log.Lmsgprefix)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger := log.New(errw, "fpstudy ", log.LstdFlags|log.Lmsgprefix)
 
 	if *pprofAddr != "" {
 		go func() {
@@ -55,16 +69,17 @@ func main() {
 	}
 
 	root := obs.NewTrace("fpstudy")
-	ctx := obs.ContextWithSpan(context.Background(), root)
+	ctx := obs.ContextWithSpan(runCtx, root)
 
 	start := time.Now()
 	logger.Printf("simulating main study: %d users × %d iterations × 7 vectors", *users, *iterations)
 	mainDS, err := study.RunContext(ctx, study.Config{
 		Seed: *seed, Users: *users, Iterations: *iterations,
-		Progress: progressFunc(*progress, logger, "main study"),
+		Progress:       progressFunc(*progress, logger, "main study"),
+		CheckpointPath: *checkpoint,
 	})
 	if err != nil {
-		logger.Fatalf("main study: %v", err)
+		return fmt.Errorf("main study: %w", err)
 	}
 	logger.Printf("main study complete in %s", time.Since(start).Round(time.Millisecond))
 
@@ -76,7 +91,7 @@ func main() {
 			Progress: progressFunc(*progress, logger, "follow-up"),
 		})
 		if err != nil {
-			logger.Fatalf("follow-up study: %v", err)
+			return fmt.Errorf("follow-up study: %w", err)
 		}
 	}
 
@@ -85,39 +100,40 @@ func main() {
 			continue
 		}
 		if err := writeDataset(path, ds); err != nil {
-			logger.Fatalf("write %s: %v", path, err)
+			return fmt.Errorf("write %s: %w", path, err)
 		}
 		logger.Printf("dataset written to %s", path)
 	}
 
-	if err := core.WriteDemographicsContext(ctx, os.Stdout, mainDS); err != nil {
-		logger.Fatalf("render demographics: %v", err)
+	if err := core.WriteDemographicsContext(ctx, outw, mainDS); err != nil {
+		return fmt.Errorf("render demographics: %w", err)
 	}
-	fmt.Println()
-	if err := core.WriteAllExperimentsContext(ctx, os.Stdout, mainDS, followUp); err != nil {
-		logger.Fatalf("render experiments: %v", err)
+	fmt.Fprintln(outw)
+	if err := core.WriteAllExperimentsContext(ctx, outw, mainDS, followUp); err != nil {
+		return fmt.Errorf("render experiments: %w", err)
 	}
 	if *ablation {
-		if err := core.WriteAblationContext(ctx, os.Stdout, mainDS, 3); err != nil {
-			logger.Fatalf("render ablation: %v", err)
+		if err := core.WriteAblationContext(ctx, outw, mainDS, 3); err != nil {
+			return fmt.Errorf("render ablation: %w", err)
 		}
-		fmt.Println()
+		fmt.Fprintln(outw)
 	}
-	if err := core.WriteAnonymityContext(ctx, os.Stdout, mainDS); err != nil {
-		logger.Fatalf("render anonymity: %v", err)
+	if err := core.WriteAnonymityContext(ctx, outw, mainDS); err != nil {
+		return fmt.Errorf("render anonymity: %w", err)
 	}
-	fmt.Println()
+	fmt.Fprintln(outw)
 	if *evolution > 0 {
 		_, sp := obs.Start(ctx, "analyze/evolution")
-		err := core.WriteEvolution(os.Stdout, *seed, *evolution, min(*iterations, 10))
+		err := core.WriteEvolution(outw, *seed, *evolution, min(*iterations, 10))
 		sp.End()
 		if err != nil {
-			logger.Fatalf("render evolution: %v", err)
+			return fmt.Errorf("render evolution: %w", err)
 		}
 	}
 	root.End()
 	writeTrace(logger, root, *traceJSON, *traceText)
-	fmt.Fprintf(os.Stderr, "total runtime: %s\n", time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(errw, "total runtime: %s\n", time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
 // progressFunc returns a goroutine-safe study.Config.Progress callback that

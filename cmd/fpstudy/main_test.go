@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke runs a miniature end-to-end study — simulate, analyze,
+// persist, checkpoint — entirely in-process.
+func TestRunSmoke(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "main.ndjson")
+	ckpt := filepath.Join(dir, "ckpt.ndjson")
+	var stdout, logs bytes.Buffer
+	err := run(context.Background(), []string{
+		"-users", "12",
+		"-iterations", "2",
+		"-followup-users", "0",
+		"-evolution-users", "0",
+		"-ablation=false",
+		"-out", out,
+		"-checkpoint", ckpt,
+	}, &stdout, &logs)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, logs.String())
+	}
+	for _, want := range []string{"Table 1", "Table 2"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if fi, err := os.Stat(out); err != nil || fi.Size() == 0 {
+		t.Errorf("dataset not written: %v", err)
+	}
+	if fi, err := os.Stat(ckpt); err != nil || fi.Size() == 0 {
+		t.Errorf("checkpoint not written: %v", err)
+	}
+	if !strings.Contains(logs.String(), "main study complete") {
+		t.Errorf("log missing completion line:\n%s", logs.String())
+	}
+}
+
+// TestRunFlagError: an unknown flag is a clean error, not an os.Exit.
+func TestRunFlagError(t *testing.T) {
+	var stdout, logs bytes.Buffer
+	if err := run(context.Background(), []string{"-nope"}, &stdout, &logs); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+// TestRunRejectsNonPositivePopulation: study.Config validation surfaces as
+// an error instead of a crash.
+func TestRunRejectsNonPositivePopulation(t *testing.T) {
+	var stdout, logs bytes.Buffer
+	err := run(context.Background(), []string{"-users", "0"}, &stdout, &logs)
+	if err == nil {
+		t.Fatal("zero users accepted")
+	}
+}

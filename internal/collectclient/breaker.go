@@ -1,0 +1,83 @@
+package collectclient
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is a consecutive-failure circuit breaker. Closed it passes every
+// request; after `threshold` consecutive failures it opens for `cooldown`,
+// failing fast so a struggling server is not hammered by retries; after the
+// cooldown a single half-open probe decides whether to close again.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int           // consecutive failures that open the circuit; <=0 disables
+	cooldown  time.Duration // how long the circuit stays open
+	now       func() time.Time
+
+	failures  int
+	openUntil time.Time
+	probing   bool // a half-open probe is in flight
+	opens     int64
+}
+
+// allow reports whether a request may proceed, and when not, how long to
+// wait before asking again.
+func (b *breaker) allow() (bool, time.Duration) {
+	if b == nil || b.threshold <= 0 {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	switch {
+	case b.failures < b.threshold:
+		return true, 0
+	case now.Before(b.openUntil):
+		return false, b.openUntil.Sub(now)
+	case b.probing:
+		// Another goroutine holds the half-open probe; retry shortly.
+		return false, b.cooldown / 4
+	default:
+		b.probing = true
+		return true, 0
+	}
+}
+
+// success closes the circuit.
+func (b *breaker) success() {
+	if b == nil || b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.failures = 0
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// failure records one failed request, (re)opening the circuit at the
+// threshold.
+func (b *breaker) failure() {
+	if b == nil || b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.failures++
+	b.probing = false
+	if b.failures >= b.threshold {
+		b.openUntil = b.now().Add(b.cooldown)
+		b.opens++
+		mBreakerOpens.Inc()
+	}
+	b.mu.Unlock()
+}
+
+// openCount returns how many times the circuit has opened.
+func (b *breaker) openCount() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

@@ -7,11 +7,16 @@ package collectclient
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/collectserver"
@@ -19,12 +24,16 @@ import (
 
 // Client talks to one collection server. Safe for concurrent use.
 type Client struct {
-	base    string
-	hc      *http.Client
-	retries int
-	backoff time.Duration
-	rng     *rand.Rand
-	stats   clientStats
+	base        string
+	hc          *http.Client
+	retries     int
+	backoff     time.Duration
+	idempotency bool
+	brk         *breaker
+
+	mu    sync.Mutex // guards rng
+	rng   *rand.Rand
+	stats clientStats
 }
 
 // Option customizes a Client.
@@ -39,19 +48,49 @@ func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
 // WithBackoff sets the initial backoff delay (default 100ms, doubling).
 func WithBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = d } }
 
+// WithBreaker adds a circuit breaker that opens after `threshold`
+// consecutive failed attempts and fails fast for `cooldown` before letting
+// a single half-open probe through. Disabled by default.
+func WithBreaker(threshold int, cooldown time.Duration) Option {
+	return func(c *Client) {
+		c.brk = &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+	}
+}
+
+// WithIdempotency toggles per-batch idempotency keys on submissions
+// (default on). With keys attached, a retry whose original attempt did
+// reach the server replays the ack instead of storing duplicates.
+func WithIdempotency(enabled bool) Option { return func(c *Client) { c.idempotency = enabled } }
+
 // New creates a client for the server at baseURL (e.g. "http://host:8080").
 func New(baseURL string, opts ...Option) *Client {
 	c := &Client{
-		base:    baseURL,
-		hc:      &http.Client{Timeout: 30 * time.Second},
-		retries: 3,
-		backoff: 100 * time.Millisecond,
-		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+		base:        baseURL,
+		hc:          &http.Client{Timeout: 30 * time.Second},
+		retries:     3,
+		backoff:     100 * time.Millisecond,
+		idempotency: true,
+		rng:         rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 	for _, o := range opts {
 		o(c)
 	}
 	return c
+}
+
+// idempotencyKey derives a batch key from the session token and the batch
+// content. Content-derived keys mean ANY resubmission of the same batch in
+// the same session — the in-request retry loop, but also an agent-level
+// retry after a garbled ack — replays the server's cached response instead
+// of double-storing. (Fingerprint records are content-identified, so two
+// identical batches in one session are by definition the same batch.)
+func idempotencyKey(token string, records []collectserver.FPRecord) string {
+	h := sha256.New()
+	h.Write([]byte(token))
+	h.Write([]byte{0})
+	b, _ := json.Marshal(records)
+	h.Write(b)
+	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
 // Session is an authorized collection session.
@@ -86,6 +125,9 @@ func (s *Session) Submit(ctx context.Context, records []collectserver.FPRecord) 
 		return nil
 	}
 	req := collectserver.SubmitRequest{Token: s.Token, Records: records}
+	if s.c.idempotency {
+		req.IdempotencyKey = idempotencyKey(s.Token, records)
+	}
 	var resp collectserver.SubmitResponse
 	if err := s.c.do(ctx, http.MethodPost, "/api/v1/fingerprints", req, &resp); err != nil {
 		return fmt.Errorf("collectclient: submit: %w", err)
@@ -113,19 +155,21 @@ func (s *Session) SubmitChunked(ctx context.Context, records []collectserver.FPR
 
 // httpStatusError reports a non-2xx response.
 type httpStatusError struct {
-	code int
-	body string
+	code       int
+	body       string
+	retryAfter time.Duration // parsed Retry-After hint, 0 if absent
 }
 
 func (e *httpStatusError) Error() string {
 	return fmt.Sprintf("server returned %d: %s", e.code, e.body)
 }
 
-// retryable reports whether the request should be retried: transport errors
-// and 5xx are; 4xx are not.
+// retryable reports whether the request should be retried: transport
+// errors, 5xx, and 429 (the server shed us and told us when to come back)
+// are; other 4xx are not.
 func retryable(err error) bool {
 	if se, ok := err.(*httpStatusError); ok {
-		return se.code >= 500
+		return se.code >= 500 || se.code == http.StatusTooManyRequests
 	}
 	return err != nil
 }
@@ -145,7 +189,9 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		if attempt > 0 {
 			c.stats.retries.Add(1)
 			mRetries.Inc()
+			c.mu.Lock()
 			jitter := time.Duration(c.rng.Int63n(int64(delay)/2 + 1))
+			c.mu.Unlock()
 			sleep := delay + jitter
 			select {
 			case <-time.After(sleep):
@@ -157,20 +203,51 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 			}
 			delay *= 2
 		}
+		if ok, wait := c.brk.allow(); !ok {
+			// Fail fast: the whole point of an open breaker is not to
+			// queue up behind a struggling server. The caller decides
+			// whether to come back after `wait`.
+			c.stats.failures.Add(1)
+			mFailures.Inc()
+			return fmt.Errorf("%w (server failing, retry in %v)", ErrCircuitOpen, wait)
+		}
 		lastErr = c.once(ctx, method, path, body, out)
 		if lastErr == nil {
+			c.brk.success()
 			return nil
 		}
+		c.brk.failure()
 		if !retryable(lastErr) {
 			c.stats.failures.Add(1)
 			mFailures.Inc()
 			return lastErr
+		}
+		// A shed server's Retry-After is authoritative: never come back
+		// sooner than it asked.
+		if se, ok := lastErr.(*httpStatusError); ok && se.retryAfter > delay {
+			delay = se.retryAfter
 		}
 	}
 	c.stats.failures.Add(1)
 	mFailures.Inc()
 	return fmt.Errorf("collectclient: %s %s failed after %d attempts: %w",
 		method, path, c.retries+1, lastErr)
+}
+
+// ErrCircuitOpen reports that the client's circuit breaker is open and the
+// request was not sent. Callers detect it with errors.Is and back off.
+var ErrCircuitOpen = errors.New("collectclient: circuit breaker open")
+
+// StatusCode extracts the HTTP status behind a client error, or 0 when the
+// error did not carry one (transport failure, breaker open, cancellation).
+// Agents use it to tell an expired/garbled session (401 → re-handshake)
+// from transient trouble.
+func StatusCode(err error) int {
+	var se *httpStatusError
+	if errors.As(err, &se) {
+		return se.code
+	}
+	return 0
 }
 
 func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) error {
@@ -200,7 +277,15 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 	}()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return &httpStatusError{code: resp.StatusCode, body: string(bytes.TrimSpace(msg))}
+		var ra time.Duration
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			ra = time.Duration(secs) * time.Second
+		}
+		return &httpStatusError{
+			code:       resp.StatusCode,
+			body:       string(bytes.TrimSpace(msg)),
+			retryAfter: ra,
+		}
 	}
 	if out == nil {
 		return nil

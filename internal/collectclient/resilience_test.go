@@ -1,0 +1,339 @@
+package collectclient
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/collectserver"
+	"repro/internal/obs"
+)
+
+// fakeClock drives a breaker through time without sleeping.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (f *fakeClock) now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+func TestBreakerStateMachine(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1_600_000_000, 0)}
+	b := &breaker{threshold: 3, cooldown: time.Minute, now: clk.now}
+
+	// Closed: everything passes.
+	for i := 0; i < 5; i++ {
+		if ok, _ := b.allow(); !ok {
+			t.Fatalf("closed breaker blocked request %d", i)
+		}
+	}
+	// Two failures keep it closed; the third opens it.
+	b.failure()
+	b.failure()
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("breaker opened below threshold")
+	}
+	b.failure()
+	ok, wait := b.allow()
+	if ok {
+		t.Fatal("breaker stayed closed at threshold")
+	}
+	if wait <= 0 || wait > time.Minute {
+		t.Fatalf("open breaker wait = %v", wait)
+	}
+	if b.openCount() != 1 {
+		t.Fatalf("openCount = %d, want 1", b.openCount())
+	}
+
+	// After the cooldown a single half-open probe is admitted; a second
+	// caller is told to wait while the probe is in flight.
+	clk.advance(time.Minute + time.Second)
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	if ok, _ := b.allow(); ok {
+		t.Fatal("breaker admitted a second concurrent probe")
+	}
+
+	// A failed probe re-opens for another full cooldown.
+	b.failure()
+	if ok, _ := b.allow(); ok {
+		t.Fatal("breaker closed after failed probe")
+	}
+	if b.openCount() != 2 {
+		t.Fatalf("openCount = %d, want 2", b.openCount())
+	}
+
+	// A successful probe closes it fully.
+	clk.advance(time.Minute + time.Second)
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("breaker refused probe after second cooldown")
+	}
+	b.success()
+	for i := 0; i < 5; i++ {
+		if ok, _ := b.allow(); !ok {
+			t.Fatalf("recovered breaker blocked request %d", i)
+		}
+	}
+}
+
+func TestBreakerDisabledIsTransparent(t *testing.T) {
+	var b *breaker // the Client default: no breaker at all
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("nil breaker blocked")
+	}
+	b.failure()
+	b.success()
+	if b.openCount() != 0 {
+		t.Fatal("nil breaker counted opens")
+	}
+}
+
+func TestClientBreakerFailsFast(t *testing.T) {
+	var served atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	// Threshold 2 with a long cooldown: the first logical request's two
+	// failed attempts trip the breaker, the third attempt fails fast, and
+	// every later request fails fast too — without touching the server.
+	c := New(ts.URL,
+		WithRetries(2),
+		WithBackoff(time.Millisecond),
+		WithBreaker(2, time.Hour))
+	err := c.do(context.Background(), http.MethodGet, "/api/v1/study", nil, nil)
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("want ErrCircuitOpen once the breaker trips mid-retry, got %v", err)
+	}
+	if got := c.Telemetry().BreakerOpens; got < 1 {
+		t.Fatalf("BreakerOpens = %d, want ≥ 1", got)
+	}
+	if served.Load() != 2 {
+		t.Fatalf("server saw %d attempts, want 2 (third blocked by breaker)", served.Load())
+	}
+
+	err = c.do(context.Background(), http.MethodGet, "/api/v1/study", nil, nil)
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("open breaker let the request run: %v", err)
+	}
+	if served.Load() != 2 {
+		t.Errorf("open breaker still reached the server (%d attempts)", served.Load())
+	}
+
+	// The trip must also be visible on the /metrics exposition, parsed with
+	// the strict obs parser (counter is process-global, so assert ≥ 1).
+	rec := httptest.NewRecorder()
+	obs.Default.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	exp, err := obs.ParseExposition(rec.Body)
+	if err != nil {
+		t.Fatalf("parse exposition: %v", err)
+	}
+	found := false
+	for _, s := range exp.Samples {
+		if s.Name == "fpclient_breaker_open_total" && s.Value >= 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("fpclient_breaker_open_total ≥ 1 missing from /metrics")
+	}
+}
+
+func TestClientBreakerRecovers(t *testing.T) {
+	var fail atomic.Bool
+	fail.Store(true)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if fail.Load() {
+			http.Error(w, "down", http.StatusInternalServerError)
+			return
+		}
+		json.NewEncoder(w).Encode(collectserver.StudyInfo{Name: "ok"})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL,
+		WithRetries(1),
+		WithBackoff(time.Millisecond),
+		WithBreaker(2, 20*time.Millisecond))
+	if err := c.do(context.Background(), http.MethodGet, "/api/v1/study", nil, nil); err == nil {
+		t.Fatal("expected failure while server is down")
+	}
+	fail.Store(false)
+
+	// Requests fail fast until the cooldown elapses; then the half-open
+	// probe succeeds and the breaker closes again.
+	deadline := time.Now().Add(5 * time.Second)
+	var info collectserver.StudyInfo
+	var lastErr error
+	for time.Now().Before(deadline) {
+		info = collectserver.StudyInfo{}
+		lastErr = c.do(context.Background(), http.MethodGet, "/api/v1/study", nil, &info)
+		if lastErr == nil {
+			break
+		}
+		if !errors.Is(lastErr, ErrCircuitOpen) {
+			t.Fatalf("unexpected error during cooldown: %v", lastErr)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if lastErr != nil {
+		t.Fatalf("breaker never recovered: %v", lastErr)
+	}
+	if info.Name != "ok" {
+		t.Errorf("decoded %+v", info)
+	}
+}
+
+func TestRetryAfterHonored(t *testing.T) {
+	var hits atomic.Int64
+	var gap atomic.Int64
+	var last atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		now := time.Now().UnixNano()
+		if prev := last.Swap(now); prev != 0 {
+			gap.Store(now - prev)
+		}
+		if hits.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "shed", http.StatusTooManyRequests)
+			return
+		}
+		json.NewEncoder(w).Encode(collectserver.StudyInfo{Name: "ok"})
+	}))
+	defer ts.Close()
+
+	// Backoff of 1ms would normally retry almost instantly; the server's
+	// Retry-After: 1 must stretch the wait to at least a second.
+	c := New(ts.URL, WithRetries(2), WithBackoff(time.Millisecond))
+	start := time.Now()
+	if err := c.do(context.Background(), http.MethodGet, "/api/v1/study", nil, nil); err != nil {
+		t.Fatalf("request failed: %v", err)
+	}
+	if hits.Load() != 2 {
+		t.Fatalf("server saw %d requests, want 2 (429 then success)", hits.Load())
+	}
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Errorf("retry came back after %v, Retry-After demanded ≥ 1s", elapsed)
+	}
+	if g := time.Duration(gap.Load()); g < time.Second {
+		t.Errorf("inter-request gap %v < Retry-After", g)
+	}
+}
+
+func TestIdempotencyKeyStableAcrossRetries(t *testing.T) {
+	var mu sync.Mutex
+	var keys []string
+	var hits int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/api/v1/sessions" {
+			json.NewEncoder(w).Encode(collectserver.NewSessionResponse{
+				SessionID: "s1", Token: "tok",
+			})
+			return
+		}
+		var req collectserver.SubmitRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		mu.Lock()
+		keys = append(keys, req.IdempotencyKey)
+		hits++
+		n := hits
+		mu.Unlock()
+		if n < 3 {
+			http.Error(w, "flaky", http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(collectserver.SubmitResponse{
+			Accepted: len(req.Records), Total: len(req.Records),
+		})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetries(3), WithBackoff(time.Millisecond))
+	sess, err := c.StartSession(context.Background(), "u1", "test-agent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []collectserver.FPRecord{{
+		Vector: "DC", Iteration: 0, Hash: "aa",
+	}}
+	if err := sess.Submit(context.Background(), recs); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	recs2 := []collectserver.FPRecord{{
+		Vector: "DC", Iteration: 1, Hash: "bb",
+	}}
+	if err := sess.Submit(context.Background(), recs2); err != nil {
+		t.Fatalf("second submit: %v", err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(keys) < 4 {
+		t.Fatalf("server saw %d submissions, want ≥ 4 (2 failures + retry + fresh batch)", len(keys))
+	}
+	if keys[0] == "" {
+		t.Fatal("no idempotency key attached")
+	}
+	// All retries of batch one share a key; batch two gets a fresh one.
+	for i := 1; i < len(keys)-1; i++ {
+		if keys[i] != keys[0] {
+			t.Errorf("retry %d changed idempotency key: %q vs %q", i, keys[i], keys[0])
+		}
+	}
+	if lastKey := keys[len(keys)-1]; lastKey == keys[0] {
+		t.Error("second batch reused the first batch's idempotency key")
+	}
+}
+
+func TestIdempotencyDisabled(t *testing.T) {
+	var key atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/api/v1/sessions" {
+			json.NewEncoder(w).Encode(collectserver.NewSessionResponse{
+				SessionID: "s1", Token: "tok",
+			})
+			return
+		}
+		var req collectserver.SubmitRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		key.Store(req.IdempotencyKey)
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(collectserver.SubmitResponse{Accepted: len(req.Records)})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithIdempotency(false))
+	sess, err := c.StartSession(context.Background(), "u1", "test-agent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = sess.Submit(context.Background(), []collectserver.FPRecord{{
+		Vector: "DC", Iteration: 0, Hash: "aa",
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := key.Load().(string); got != "" {
+		t.Errorf("idempotency disabled but key %q was sent", got)
+	}
+}

@@ -18,6 +18,8 @@ var (
 		"Requests that exhausted the retry budget or failed terminally.", nil)
 	mLatency = obs.Default.Histogram("fpclient_request_duration_seconds",
 		"Per-attempt request latency.", obs.LatencyBuckets(), nil)
+	mBreakerOpens = obs.Default.Counter("fpclient_breaker_open_total",
+		"Times the client circuit breaker tripped open.", nil)
 )
 
 // Telemetry is a point-in-time snapshot of one Client's counters,
@@ -34,6 +36,8 @@ type Telemetry struct {
 	BackoffTotal time.Duration
 	// BytesSent is the total request-body bytes written.
 	BytesSent int64
+	// BreakerOpens counts how many times the circuit breaker tripped.
+	BreakerOpens int64
 }
 
 // clientStats is the Client-embedded counter block behind Telemetry.
@@ -53,5 +57,6 @@ func (c *Client) Telemetry() Telemetry {
 		Failures:     c.stats.failures.Load(),
 		BackoffTotal: time.Duration(c.stats.backoffNanos.Load()),
 		BytesSent:    c.stats.bytesSent.Load(),
+		BreakerOpens: c.brk.openCount(),
 	}
 }

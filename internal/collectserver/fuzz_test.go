@@ -19,6 +19,11 @@ func FuzzSubmitHandler(f *testing.F) {
 	f.Add("/api/v1/fingerprints", []byte(`{"token":`))
 	f.Add("/api/v1/sessions", []byte(`[]`))
 	f.Add("/api/v1/sessions", []byte("\x00\xff\xfe"))
+	// Torn and corrupted bodies — what faultinject's truncate/corrupt
+	// classes produce on the wire.
+	f.Add("/api/v1/fingerprints", []byte(`{"token":"x","idempotency_key":"aaaa","records":[{"vector":"DC","it`))
+	f.Add("/api/v1/fingerprints", []byte(`{"token":"x","records":[{"vector":"D\x00","iteration":-1,"hash":""}]}`))
+	f.Add("/api/v1/fingerprints", []byte("{\"token\":\"x\"}\t#cdeadbeef"))
 
 	st, err := storage.Open(filepath.Join(f.TempDir(), "fuzz.ndjson"), storage.Options{})
 	if err != nil {

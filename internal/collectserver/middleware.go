@@ -79,13 +79,14 @@ func clientIP(r *http.Request) string {
 // serverMetrics holds the server's instruments, registered on the
 // configured obs.Registry and exposed at /metrics.
 type serverMetrics struct {
-	reg             *obs.Registry
-	recordsAccepted *obs.Counter
-	sessionsCreated *obs.Counter
-	rateLimited     *obs.Counter
-	panics          *obs.Counter
-	activeSessions  *obs.Gauge
-	storeRecords    *obs.Gauge
+	reg               *obs.Registry
+	recordsAccepted   *obs.Counter
+	sessionsCreated   *obs.Counter
+	rateLimited       *obs.Counter
+	panics            *obs.Counter
+	idempotentReplays *obs.Counter
+	activeSessions    *obs.Gauge
+	storeRecords      *obs.Gauge
 }
 
 func newServerMetrics(reg *obs.Registry) *serverMetrics {
@@ -99,11 +100,21 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 			"Session creations rejected by the per-IP rate limiter.", nil),
 		panics: reg.Counter("fpserver_panics_total",
 			"Handler panics recovered by the middleware.", nil),
+		idempotentReplays: reg.Counter("fpserver_idempotent_replays_total",
+			"Retried submissions answered from the idempotency cache instead of re-storing.", nil),
 		activeSessions: reg.Gauge("fpserver_active_sessions",
 			"Live (unexpired) collection sessions.", nil),
 		storeRecords: reg.Gauge("fpserver_store_records",
 			"Records currently held by the backing store.", nil),
 	}
+}
+
+// shed counts one load-shed request by reason ("overload" = in-flight cap,
+// "rate" = per-IP submission token bucket).
+func (m *serverMetrics) shed(reason string) {
+	m.reg.Counter("fpserver_shed_total",
+		"Requests shed before handling, by reason.",
+		obs.Labels{"reason": reason}).Inc()
 }
 
 // request records one served request: route/class counter, per-route

@@ -14,6 +14,7 @@
 package collectserver
 
 import (
+	"context"
 	"crypto/rand"
 	"crypto/subtle"
 	"encoding/hex"
@@ -61,13 +62,29 @@ type Config struct {
 	// Off by default: profiling endpoints leak operational detail and
 	// belong behind an operator's opt-in.
 	EnableDebug bool
+	// MaxInFlight bounds concurrently served requests; excess load is shed
+	// with 503 + Retry-After instead of queueing until collapse (default
+	// 256; negative disables shedding).
+	MaxInFlight int
+	// SubmitRatePerSec token-buckets fingerprint submissions per client IP;
+	// the overflow is shed with 429 + Retry-After (default 50/s, burst 2×;
+	// use a huge value to effectively disable).
+	SubmitRatePerSec float64
+	// RequestTimeout caps how long one request's handler may run; the
+	// deadline rides on the request context (default 15s).
+	RequestTimeout time.Duration
+	// IdempotencyWindow caps how many submission responses one session
+	// replays for retried idempotency keys (default 512 most recent keys).
+	IdempotencyWindow int
 }
 
 // Server is the collection backend. Create with New, mount via Handler.
 type Server struct {
-	cfg     Config
-	limiter *rateLimiter
-	met     *serverMetrics
+	cfg           Config
+	limiter       *rateLimiter
+	submitLimiter *rateLimiter
+	inflight      chan struct{}
+	met           *serverMetrics
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -80,6 +97,27 @@ type session struct {
 	created   time.Time
 	lastSeen  time.Time
 	records   int
+	// seen caches submission responses by idempotency key so a client
+	// retrying a lost ack replays the original outcome instead of
+	// duplicating records; seenOrder evicts oldest-first.
+	seen      map[string]SubmitResponse
+	seenOrder []string
+}
+
+// remember caches resp for key, evicting the oldest cached key beyond the
+// window. Caller holds the server mutex.
+func (s *session) remember(key string, resp SubmitResponse, window int) {
+	if s.seen == nil {
+		s.seen = make(map[string]SubmitResponse)
+	}
+	if _, dup := s.seen[key]; !dup {
+		s.seenOrder = append(s.seenOrder, key)
+		if len(s.seenOrder) > window {
+			delete(s.seen, s.seenOrder[0])
+			s.seenOrder = s.seenOrder[1:]
+		}
+	}
+	s.seen[key] = resp
 }
 
 // New validates cfg and builds a Server.
@@ -108,8 +146,24 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Registry == nil {
 		cfg.Registry = obs.Default
 	}
+	if cfg.MaxInFlight == 0 {
+		cfg.MaxInFlight = 256
+	}
+	if cfg.SubmitRatePerSec <= 0 {
+		cfg.SubmitRatePerSec = 50
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 15 * time.Second
+	}
+	if cfg.IdempotencyWindow <= 0 {
+		cfg.IdempotencyWindow = 512
+	}
 	srv := &Server{cfg: cfg, sessions: make(map[string]*session)}
 	srv.limiter = newRateLimiter(cfg.SessionRatePerMin/60, cfg.SessionRatePerMin, cfg.Now)
+	srv.submitLimiter = newRateLimiter(cfg.SubmitRatePerSec, 2*cfg.SubmitRatePerSec, cfg.Now)
+	if cfg.MaxInFlight > 0 {
+		srv.inflight = make(chan struct{}, cfg.MaxInFlight)
+	}
 	srv.met = newServerMetrics(cfg.Registry)
 	return srv, nil
 }
@@ -130,13 +184,31 @@ func (s *Server) Handler() http.Handler {
 	return s.withMiddleware(mux)
 }
 
-// withMiddleware adds panic recovery, body limits, metrics and logging.
-// All accounting happens in the deferred block so a panicking handler
-// still shows up in the latency histogram and counts as a 5xx.
+// withMiddleware adds overload shedding, request deadlines, panic
+// recovery, body limits, metrics and logging. All accounting happens in
+// the deferred block so a panicking handler still shows up in the latency
+// histogram and counts as a 5xx.
 func (s *Server) withMiddleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		if s.inflight != nil {
+			select {
+			case s.inflight <- struct{}{}:
+				defer func() { <-s.inflight }()
+			default:
+				// Saturated: shed rather than queue. Retry-After keeps
+				// well-behaved clients from hammering a drowning server.
+				s.met.shed("overload")
+				w.Header().Set("Retry-After", "1")
+				writeErr(rec, http.StatusServiceUnavailable, "server overloaded, retry later")
+				s.met.request(routeLabel(r.URL.Path), rec.code, time.Since(start), r.ContentLength)
+				return
+			}
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
 		defer func() {
 			if p := recover(); p != nil {
 				s.met.panics.Inc()
@@ -239,10 +311,14 @@ func (s *Server) handleNewSession(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, NewSessionResponse{SessionID: sess.id, Token: tok})
 }
 
-// SubmitRequest is one fingerprint batch.
+// SubmitRequest is one fingerprint batch. IdempotencyKey, when set, makes
+// retried submissions safe: a batch resubmitted under a key the session has
+// already accepted replays the original acknowledgment instead of storing
+// duplicate records.
 type SubmitRequest struct {
-	Token   string     `json:"token"`
-	Records []FPRecord `json:"records"`
+	Token          string     `json:"token"`
+	Records        []FPRecord `json:"records"`
+	IdempotencyKey string     `json:"idempotency_key,omitempty"`
 }
 
 // FPRecord is the wire form of one elementary fingerprint.
@@ -261,6 +337,12 @@ type SubmitResponse struct {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if !s.submitLimiter.allow(clientIP(r)) {
+		s.met.shed("rate")
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, "submission rate limit exceeded")
+		return
+	}
 	var req SubmitRequest
 	if err := decodeJSON(r, &req); err != nil {
 		writeErr(w, http.StatusBadRequest, err.Error())
@@ -287,6 +369,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 		writeErr(w, http.StatusUnauthorized, "unknown or expired session token")
 		return
+	}
+	if req.IdempotencyKey != "" {
+		if cached, dup := sess.seen[req.IdempotencyKey]; dup {
+			sess.lastSeen = now
+			s.mu.Unlock()
+			s.met.idempotentReplays.Inc()
+			writeJSON(w, http.StatusAccepted, cached)
+			return
+		}
 	}
 	if sess.records+len(req.Records) > s.cfg.MaxRecordsPerSession {
 		s.mu.Unlock()
@@ -315,8 +406,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusInternalServerError, "storage failure")
 		return
 	}
+	resp := SubmitResponse{Accepted: len(recs), Total: total}
+	if req.IdempotencyKey != "" {
+		// Cache only after the append succeeded: a failed attempt must stay
+		// retryable under the same key. The session may have expired while
+		// we wrote; then there is nothing to remember.
+		s.mu.Lock()
+		if sess2, still := s.sessions[req.Token]; still {
+			sess2.remember(req.IdempotencyKey, resp, s.cfg.IdempotencyWindow)
+		}
+		s.mu.Unlock()
+	}
 	s.met.recordsAccepted.Add(int64(len(recs)))
-	writeJSON(w, http.StatusAccepted, SubmitResponse{Accepted: len(recs), Total: total})
+	writeJSON(w, http.StatusAccepted, resp)
 }
 
 func validateFPRecord(fr FPRecord, maxIter int) error {

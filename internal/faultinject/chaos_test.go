@@ -1,0 +1,325 @@
+package faultinject_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/collectclient"
+	"repro/internal/collectserver"
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+	"repro/internal/storage"
+	"repro/internal/study"
+	"repro/internal/vectors"
+)
+
+// The chaos suite drives the full pipeline — fpagent-style client →
+// collectserver → storage → study analysis — in-process while a seeded
+// fault schedule drops, delays, truncates, corrupts, and 5xxes the
+// traffic, and a simulated process kill tears the store's active segment
+// mid-write. The pipeline must come out exactly-once on disk and the
+// analysis byte-identical to a fault-free run.
+
+const (
+	chaosSeed  = 20210301
+	chaosUsers = 8
+	chaosIters = 3
+	chunkSize  = 7
+)
+
+// chaosDataset renders the deterministic population every pipeline run
+// submits.
+func chaosDataset(t *testing.T) *study.Dataset {
+	t.Helper()
+	ds, err := study.Run(study.Config{
+		Seed: chaosSeed, Users: chaosUsers, Iterations: chaosIters,
+		Parallelism: 1, IDPrefix: "chaos",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// userBatches groups the dataset's records per user, in dataset order, so
+// every pipeline run submits the same bytes in the same order.
+func userBatches(ds *study.Dataset) (users []string, batches map[string][]collectserver.FPRecord) {
+	recs := ds.ToRecords(time.Date(2021, 3, 1, 0, 0, 0, 0, time.UTC))
+	batches = make(map[string][]collectserver.FPRecord)
+	for _, r := range recs {
+		if _, ok := batches[r.UserID]; !ok {
+			users = append(users, r.UserID)
+		}
+		batches[r.UserID] = append(batches[r.UserID], collectserver.FPRecord{
+			Vector:    r.Vector,
+			Iteration: r.Iteration,
+			Hash:      r.Hash,
+			Sum:       r.Sum,
+			Surfaces:  r.Surfaces,
+		})
+	}
+	return users, batches
+}
+
+// pipeline is one running collection stack whose client traffic passes
+// through an optional fault schedule.
+type pipeline struct {
+	store  *storage.Store
+	ts     *httptest.Server
+	client *collectclient.Client
+}
+
+func startPipeline(t *testing.T, path string, sched *faultinject.Schedule) *pipeline {
+	t.Helper()
+	st, err := storage.Open(path, storage.Options{MaxSegmentBytes: 8 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := collectserver.New(collectserver.Config{
+		Store: st,
+		// The chaos run hammers one IP with retries; shedding stays on but
+		// far from the deterministic schedule's traffic so the faults under
+		// test are the injected ones.
+		SubmitRatePerSec:  1e6,
+		SessionRatePerMin: 1e6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+
+	var rt http.RoundTripper = http.DefaultTransport
+	if sched != nil {
+		rt = &faultinject.Transport{Base: rt, Schedule: sched}
+	}
+	client := collectclient.New(ts.URL,
+		collectclient.WithHTTPClient(&http.Client{Transport: rt, Timeout: 10 * time.Second}),
+		collectclient.WithRetries(10),
+		collectclient.WithBackoff(time.Millisecond),
+	)
+	return &pipeline{store: st, ts: ts, client: client}
+}
+
+func (p *pipeline) stop() {
+	p.ts.Close()
+	p.store.Close()
+}
+
+// submitUsers pushes each listed user's records through the client in
+// fixed chunks, behaving like a real agent: an auth failure (a corrupted
+// session token, an expired session) triggers a fresh consent handshake,
+// any other failure retries the same chunk in the same session, where the
+// content-derived idempotency key guarantees at-most-once storage.
+func submitUsers(t *testing.T, p *pipeline, users []string, batches map[string][]collectserver.FPRecord) {
+	t.Helper()
+	ctx := context.Background()
+	for _, u := range users {
+		var sess *collectclient.Session
+		recs := batches[u]
+		attempts := 0
+		for off := 0; off < len(recs); {
+			if attempts++; attempts > 100 {
+				t.Fatalf("user %s: stuck after %d attempts", u, attempts)
+			}
+			if sess == nil {
+				s, err := p.client.StartSession(ctx, u, "chaos-agent/1.0")
+				if err != nil {
+					continue // transient: handshake again
+				}
+				sess = s
+			}
+			n := chunkSize
+			if rest := len(recs) - off; rest < n {
+				n = rest
+			}
+			err := sess.Submit(ctx, recs[off:off+n])
+			switch {
+			case err == nil:
+				off += n
+			case collectclient.StatusCode(err) == http.StatusUnauthorized:
+				sess = nil // garbled or lost session: re-handshake
+			default:
+				// transient: retry the chunk; the idempotency key keeps a
+				// half-landed batch from double-storing
+			}
+		}
+	}
+}
+
+// analysisBytes renders the downstream analyses the paper's evaluation
+// rests on into a deterministic byte string.
+func analysisBytes(t *testing.T, recs []storage.Record) []byte {
+	t.Helper()
+	ds, err := study.FromRecords(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.Parallelism = 1
+	var buf bytes.Buffer
+	for _, v := range vectors.All {
+		fmt.Fprintf(&buf, "labels[%s]=%v\n", v, ds.Labels(v))
+	}
+	for _, row := range ds.Table2() {
+		fmt.Fprintf(&buf, "table2 %+v\n", row)
+	}
+	ami, err := ds.PairwiseVectorAMI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(&buf, "ami=%v\n", ami)
+	return buf.Bytes()
+}
+
+// recordKey identifies a logical observation; exactly-once means no key
+// repeats and every expected key is present.
+func recordKey(r storage.Record) string {
+	return fmt.Sprintf("%s|%s|%d|%s", r.UserID, r.Vector, r.Iteration, r.Hash)
+}
+
+func sortedKeys(recs []storage.Record) []string {
+	keys := make([]string, len(recs))
+	for i, r := range recs {
+		keys[i] = recordKey(r)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func TestChaosPipelineExactlyOnce(t *testing.T) {
+	ds := chaosDataset(t)
+	users, batches := userBatches(ds)
+
+	// Fault-free reference run.
+	cleanPath := filepath.Join(t.TempDir(), "clean.ndjson")
+	clean := startPipeline(t, cleanPath, nil)
+	submitUsers(t, clean, users, batches)
+	cleanRecs, err := clean.store.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean.stop()
+	wantKeys := sortedKeys(cleanRecs)
+	wantAnalysis := analysisBytes(t, cleanRecs)
+
+	// Chaotic run: every network fault class live, plus a process kill
+	// between the two halves of the population that tears the store file.
+	reg := obs.NewRegistry()
+	sched, err := faultinject.ParseSpec(
+		"seed=11,drop=0.08,dropresp=0.06,delay=0.08:1ms,http500=0.08,truncate=0.05,corrupt=0.05",
+		reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaosPath := filepath.Join(t.TempDir(), "chaos.ndjson")
+	p := startPipeline(t, chaosPath, sched)
+	half := len(users) / 2
+	submitUsers(t, p, users[:half], batches)
+	p.stop() // "kill" the process between acked batches
+
+	// The kill interrupted an append whose ack never reached the client:
+	// tear a half-record onto the active segment through the fault writer.
+	f, err := os.OpenFile(chaosPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn, err := faultinject.ParseSpec("seed=1,torn=1.0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw := &faultinject.Writer{W: f, Schedule: torn}
+	if _, err := tw.Write([]byte(`{"session_id":"s","user_id":"lost","vector":"DC","iteration":0,` +
+		`"hash":"deadbeef","received_at":"2021-03-01T00:00:00Z"}` + "\n")); !faultinject.IsInjected(err) {
+		t.Fatalf("torn write not injected: %v", err)
+	}
+	f.Close()
+
+	// Restart: recovery must drop the torn tail, then the remaining users
+	// (and the batch whose ack was lost) are resubmitted.
+	p2 := startPipeline(t, chaosPath, sched)
+	rep, err := p2.store.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DroppedBytes == 0 {
+		t.Error("recovery dropped no bytes despite the torn tail")
+	}
+	submitUsers(t, p2, users[half:], batches)
+	chaosRecs, err := p2.store.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2.stop()
+
+	// Exactly-once: the chaotic store holds precisely the reference set.
+	gotKeys := sortedKeys(chaosRecs)
+	if len(gotKeys) != len(wantKeys) {
+		t.Fatalf("chaotic store has %d records, clean run has %d", len(gotKeys), len(wantKeys))
+	}
+	for i := range wantKeys {
+		if gotKeys[i] != wantKeys[i] {
+			t.Fatalf("record set diverges at %d: got %q want %q", i, gotKeys[i], wantKeys[i])
+		}
+	}
+	seen := make(map[string]bool, len(gotKeys))
+	for _, k := range gotKeys {
+		if seen[k] {
+			t.Fatalf("record %q stored twice", k)
+		}
+		seen[k] = true
+	}
+
+	// Byte-identical analysis: the faults must be invisible downstream.
+	gotAnalysis := analysisBytes(t, chaosRecs)
+	if !bytes.Equal(gotAnalysis, wantAnalysis) {
+		t.Errorf("analysis output diverges under faults:\nclean:\n%s\nchaos:\n%s",
+			wantAnalysis, gotAnalysis)
+	}
+
+	// Every fault class must actually have fired, and be observable
+	// through the obs registry the schedules were registered on.
+	classes := []faultinject.Class{
+		faultinject.Drop, faultinject.DropResponse, faultinject.Delay,
+		faultinject.HTTP500, faultinject.Truncate, faultinject.Corrupt,
+	}
+	for _, c := range classes {
+		if sched.Injected(c) < 1 {
+			t.Errorf("fault class %v never fired; widen the schedule", c)
+		}
+	}
+	if torn.Injected(faultinject.TornWrite) < 1 {
+		t.Error("torn-write fault never fired")
+	}
+
+	rr := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	exp, err := obs.ParseExposition(rr.Body)
+	if err != nil {
+		t.Fatalf("exposition rejected: %v", err)
+	}
+	for _, c := range classes {
+		if v := expositionValue(exp, "faultinject_injected_total", c.String()); v < 1 {
+			t.Errorf("faultinject_injected_total{fault=%q} = %v, want ≥ 1", c.String(), v)
+		}
+	}
+	if v := expositionValue(exp, "faultinject_injected_total", faultinject.TornWrite.String()); v < 1 {
+		t.Errorf("faultinject_injected_total{fault=\"torn-write\"} = %v, want ≥ 1", v)
+	}
+}
+
+// expositionValue extracts one labelled counter from a parsed exposition.
+func expositionValue(exp *obs.Exposition, name, fault string) float64 {
+	for _, s := range exp.Samples {
+		if s.Name == name && s.Labels["fault"] == fault {
+			return s.Value
+		}
+	}
+	return -1
+}

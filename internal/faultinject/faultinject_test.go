@@ -1,0 +1,209 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestScheduleDeterminism(t *testing.T) {
+	spec := "seed=42,drop=0.3,dropresp=0.1,http500=0.2,truncate=0.15,corrupt=0.05,torn=0.5"
+	draw := func() []bool {
+		s, err := ParseSpec(spec, obs.NewRegistry())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []bool
+		for i := 0; i < 200; i++ {
+			for c := Class(0); c < numClasses; c++ {
+				out = append(out, s.Hit(c))
+			}
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs between identical schedules", i)
+		}
+	}
+	var any bool
+	for _, v := range a {
+		any = any || v
+	}
+	if !any {
+		t.Fatal("schedule with high probabilities injected nothing in 200 rounds")
+	}
+}
+
+func TestScheduleRates(t *testing.T) {
+	s := NewSchedule(7, map[Class]float64{Drop: 0.25}, 0, obs.NewRegistry())
+	const n = 10000
+	for i := 0; i < n; i++ {
+		s.Hit(Drop)
+	}
+	got := float64(s.Injected(Drop)) / n
+	if got < 0.2 || got > 0.3 {
+		t.Errorf("drop rate %.3f, want ≈0.25", got)
+	}
+	if s.Injected(Corrupt) != 0 {
+		t.Error("zero-probability class fired")
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"drop", "drop=2", "drop=-0.1", "wibble=0.5", "seed=xyz", "delay=0.5:notadur",
+	} {
+		if _, err := ParseSpec(spec, obs.NewRegistry()); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+	s, err := ParseSpec(" seed=3 , delay=1:7ms ,drop=0.5", obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.DelayDuration() != 7*time.Millisecond {
+		t.Errorf("delay = %v", s.DelayDuration())
+	}
+}
+
+func TestTransportFaults(t *testing.T) {
+	var served int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served++
+		io.WriteString(w, `{"ok":true}`)
+	}))
+	defer ts.Close()
+
+	t.Run("drop never reaches server", func(t *testing.T) {
+		served = 0
+		s := NewSchedule(1, map[Class]float64{Drop: 1}, 0, obs.NewRegistry())
+		c := &http.Client{Transport: &Transport{Schedule: s}}
+		_, err := c.Get(ts.URL)
+		if err == nil {
+			t.Fatal("dropped request succeeded")
+		}
+		if served != 0 {
+			t.Errorf("dropped request reached the server %d times", served)
+		}
+	})
+
+	t.Run("http500 synthetic", func(t *testing.T) {
+		served = 0
+		s := NewSchedule(1, map[Class]float64{HTTP500: 1}, 0, obs.NewRegistry())
+		c := &http.Client{Transport: &Transport{Schedule: s}}
+		resp, err := c.Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable || served != 0 {
+			t.Errorf("code=%d served=%d", resp.StatusCode, served)
+		}
+	})
+
+	t.Run("drop-response reaches server", func(t *testing.T) {
+		served = 0
+		s := NewSchedule(1, map[Class]float64{DropResponse: 1}, 0, obs.NewRegistry())
+		c := &http.Client{Transport: &Transport{Schedule: s}}
+		_, err := c.Get(ts.URL)
+		if err == nil {
+			t.Fatal("drop-response delivered a response")
+		}
+		if served != 1 {
+			t.Errorf("server saw %d requests, want 1", served)
+		}
+	})
+
+	t.Run("truncate halves body", func(t *testing.T) {
+		s := NewSchedule(1, map[Class]float64{Truncate: 1}, 0, obs.NewRegistry())
+		c := &http.Client{Transport: &Transport{Schedule: s}}
+		resp, err := c.Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if len(b) >= len(`{"ok":true}`) {
+			t.Errorf("body not truncated: %q", b)
+		}
+	})
+
+	t.Run("corrupt flips a byte", func(t *testing.T) {
+		s := NewSchedule(1, map[Class]float64{Corrupt: 1}, 0, obs.NewRegistry())
+		c := &http.Client{Transport: &Transport{Schedule: s}}
+		resp, err := c.Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if string(b) == `{"ok":true}` {
+			t.Error("body unchanged")
+		}
+	})
+}
+
+func TestWriterTornAndCorrupt(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSchedule(1, map[Class]float64{TornWrite: 1}, 0, obs.NewRegistry())
+	w := &Writer{W: &buf, Schedule: s}
+	n, err := w.Write([]byte("0123456789"))
+	var inj *InjectedError
+	if !errors.As(err, &inj) || inj.Class != TornWrite {
+		t.Fatalf("err = %v", err)
+	}
+	if n != 5 || buf.String() != "01234" {
+		t.Errorf("torn write persisted %d bytes (%q), want the 5-byte prefix", n, buf.String())
+	}
+
+	buf.Reset()
+	s = NewSchedule(1, map[Class]float64{Corrupt: 1}, 0, obs.NewRegistry())
+	w = &Writer{W: &buf, Schedule: s}
+	if _, err := w.Write([]byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() == "0123456789" {
+		t.Error("corrupting writer left bytes intact")
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := NewSchedule(1, map[Class]float64{Drop: 1, TornWrite: 1}, 0, reg)
+	s.Hit(Drop)
+	s.Hit(TornWrite)
+	s.Hit(TornWrite)
+	var buf bytes.Buffer
+	if _, err := reg.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := obs.ParseExposition(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v", err)
+	}
+	want := map[string]float64{"drop": 1, "torn-write": 2}
+	found := 0
+	for _, sm := range exp.Samples {
+		if sm.Name != "faultinject_injected_total" {
+			continue
+		}
+		if v, ok := want[sm.Labels["fault"]]; ok && sm.Value == v {
+			found++
+		}
+	}
+	if found != len(want) {
+		t.Errorf("fault counters missing from exposition:\n%s", buf.String())
+	}
+	if got := s.String(); !strings.Contains(got, "torn-write=2") {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,127 @@
+package faultinject
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Transport is an http.RoundTripper that injects the schedule's transport
+// fault classes around a base transport. Drop, Delay and HTTP500 fire
+// before the request reaches the server; DropResponse, Truncate and Corrupt
+// fire after the server has already processed it — the cases that force the
+// pipeline to prove exactly-once ingestion.
+type Transport struct {
+	// Base performs real round trips (nil = http.DefaultTransport).
+	Base http.RoundTripper
+	// Schedule decides which calls fault. Required.
+	Schedule *Schedule
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	s := t.Schedule
+	if s.Hit(Delay) {
+		select {
+		case <-time.After(s.delay):
+		case <-req.Context().Done():
+			closeBody(req)
+			return nil, req.Context().Err()
+		}
+	}
+	if s.Hit(Drop) {
+		closeBody(req)
+		return nil, &InjectedError{Class: Drop}
+	}
+	if s.Hit(HTTP500) {
+		// Consume the body like a real proxy would before erroring out.
+		closeBody(req)
+		return syntheticResponse(req, http.StatusServiceUnavailable,
+			`{"error":"injected upstream failure"}`), nil
+	}
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if s.Hit(DropResponse) {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, &InjectedError{Class: DropResponse}
+	}
+	if s.Hit(Truncate) {
+		return mangleBody(resp, func(b []byte) []byte { return b[:len(b)/2] }), nil
+	}
+	if s.Hit(Corrupt) {
+		return mangleBody(resp, func(b []byte) []byte {
+			if len(b) > 0 {
+				b[len(b)/2] ^= 0xff
+			}
+			return b
+		}), nil
+	}
+	return resp, nil
+}
+
+func closeBody(req *http.Request) {
+	if req.Body != nil {
+		_, _ = io.Copy(io.Discard, req.Body)
+		req.Body.Close()
+	}
+}
+
+// syntheticResponse fabricates a response that never touched the server.
+func syntheticResponse(req *http.Request, code int, body string) *http.Response {
+	return &http.Response{
+		Status:        strconv.Itoa(code) + " " + http.StatusText(code),
+		StatusCode:    code,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        http.Header{"Content-Type": []string{"application/json"}},
+		Body:          io.NopCloser(bytes.NewReader([]byte(body))),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// mangleBody reads the full response body, applies f, and hands back the
+// response with the mangled body. The original Content-Length header is
+// kept, so truncation looks like a connection cut mid-transfer.
+func mangleBody(resp *http.Response, f func([]byte) []byte) *http.Response {
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	b = f(append([]byte(nil), b...))
+	resp.Body = io.NopCloser(bytes.NewReader(b))
+	return resp
+}
+
+// Listener wraps a net.Listener: accepted connections may be reset
+// immediately (the Drop class), simulating clients or middleboxes cutting
+// fresh connections.
+type Listener struct {
+	net.Listener
+	// Schedule decides which accepted connections are reset. Required.
+	Schedule *Schedule
+}
+
+// Accept implements net.Listener, transparently resetting doomed
+// connections and accepting the next one.
+func (l *Listener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.Listener.Accept()
+		if err != nil {
+			return c, err
+		}
+		if !l.Schedule.Hit(Drop) {
+			return c, nil
+		}
+		c.Close()
+	}
+}

@@ -1,0 +1,34 @@
+package faultinject
+
+import "io"
+
+// Writer wraps an io.Writer with the storage fault classes: TornWrite
+// persists a prefix of the buffer and then fails (a crash mid write),
+// Corrupt flips a byte before it reaches disk. Wrapping a store's backing
+// file with it produces exactly the torn-tail artifacts storage.Recover
+// must salvage.
+type Writer struct {
+	// W receives the (possibly mangled) bytes. Required.
+	W io.Writer
+	// Schedule decides which writes fault. Required.
+	Schedule *Schedule
+}
+
+// Write implements io.Writer.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.Schedule.Hit(TornWrite) {
+		n := len(p) / 2
+		if n > 0 {
+			if m, err := w.W.Write(p[:n]); err != nil {
+				return m, err
+			}
+		}
+		return n, &InjectedError{Class: TornWrite}
+	}
+	if w.Schedule.Hit(Corrupt) && len(p) > 0 {
+		q := append([]byte(nil), p...)
+		q[len(q)/2] ^= 0xff
+		return w.W.Write(q)
+	}
+	return w.W.Write(p)
+}

@@ -9,10 +9,22 @@ import (
 // FuzzStoreScan feeds arbitrary bytes as a store file: Open must never
 // panic, must count only valid records, and All must agree with Count.
 func FuzzStoreScan(f *testing.F) {
-	f.Add([]byte(`{"session_id":"s","user_id":"u","vector":"DC","iteration":0,"hash":"aa","received_at":"2021-03-01T00:00:00Z"}`))
+	valid := []byte(`{"session_id":"s","user_id":"u","vector":"DC","iteration":0,"hash":"aa","received_at":"2021-03-01T00:00:00Z"}`)
+	f.Add(valid)
 	f.Add([]byte("not json at all\n{{{{"))
 	f.Add([]byte("{\"user_id\":\"u\"}\n\x00\x01\x02"))
 	f.Add([]byte(""))
+
+	// CRC-framed lines: intact, corrupted payload, torn mid-line, torn
+	// mid-tag, and a malformed tag — the fault classes Recover must absorb.
+	crcLine := append(appendCRC(nil, valid), '\n')
+	f.Add(crcLine)
+	flipped := append([]byte(nil), crcLine...)
+	flipped[len(flipped)/2] ^= 0x20
+	f.Add(flipped)
+	f.Add(append(append([]byte(nil), crcLine...), crcLine[:len(crcLine)/2]...))
+	f.Add(crcLine[:len(crcLine)-5])
+	f.Add(append(append([]byte(nil), valid...), []byte("\t#czzzzzzzz\n")...))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		path := filepath.Join(t.TempDir(), "fuzz.ndjson")
 		if err := os.WriteFile(path, data, 0o644); err != nil {

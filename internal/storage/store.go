@@ -1,16 +1,34 @@
 // Package storage persists collected fingerprint observations as an
 // append-only NDJSON log — the role Cloud Firebase played for the paper's
-// collection site. One JSON object per line, fsync-able, safely readable
-// while being appended, tolerant of a truncated final line after a crash.
+// collection site. One JSON object per line, CRC-checked against torn and
+// corrupt writes, fsync-able with group commit, rotatable into sealed
+// segments, safely readable while being appended, and recoverable up to the
+// first torn write after a crash.
+//
+// On-disk format: each appended line is "<json>\t#c<crc32c-hex8>". The CRC
+// covers the JSON bytes; legacy lines without the suffix (older stores,
+// exports) remain readable. Exports (WriteTo) strip the suffix so the wire
+// format stays plain NDJSON.
+//
+// Segments: with Options.MaxSegmentBytes set, the active file at Path is
+// sealed (fsynced, then renamed to Path.NNNNNN) once it exceeds the limit,
+// and a fresh active file is started. Readers iterate sealed segments in
+// order, then the active file.
 package storage
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -52,31 +70,112 @@ func (r *Record) Validate() error {
 	return nil
 }
 
+// castagnoli is the CRC-32C table used for record checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// crcTagLen is len("\t#c") + 8 hex digits.
+const crcTagLen = 3 + 8
+
+// appendCRC appends the on-disk checksum suffix for payload to dst.
+func appendCRC(dst, payload []byte) []byte {
+	var hexbuf [8]byte
+	sum := crc32.Checksum(payload, castagnoli)
+	hex.Encode(hexbuf[:], []byte{byte(sum >> 24), byte(sum >> 16), byte(sum >> 8), byte(sum)})
+	dst = append(dst, '\t', '#', 'c')
+	return append(dst, hexbuf[:]...)
+}
+
+// splitCRC separates a stored line into its JSON payload and verifies the
+// CRC suffix when present. Lines without a tab are legacy plain NDJSON and
+// pass through unverified. A present-but-wrong suffix means corruption.
+func splitCRC(line []byte) (payload []byte, ok bool) {
+	i := bytes.LastIndexByte(line, '\t')
+	if i < 0 {
+		return line, true
+	}
+	payload, tag := line[:i], line[i+1:]
+	if len(tag) != crcTagLen-1 || tag[0] != '#' || tag[1] != 'c' {
+		return nil, false
+	}
+	var sum [4]byte
+	if _, err := hex.Decode(sum[:], tag[2:]); err != nil {
+		return nil, false
+	}
+	want := uint32(sum[0])<<24 | uint32(sum[1])<<16 | uint32(sum[2])<<8 | uint32(sum[3])
+	if crc32.Checksum(payload, castagnoli) != want {
+		return nil, false
+	}
+	return payload, true
+}
+
+// parseLine decodes one stored line into a record. It reports ok=false for
+// torn, corrupt, CRC-mismatched or invalid lines.
+func parseLine(line []byte, rec *Record) bool {
+	payload, ok := splitCRC(line)
+	if !ok {
+		mCorruptLines.Inc()
+		return false
+	}
+	if err := json.Unmarshal(payload, rec); err != nil {
+		mCorruptLines.Inc()
+		return false
+	}
+	return rec.Validate() == nil
+}
+
 // Store is an append-only NDJSON record log. Safe for concurrent use.
 type Store struct {
-	mu    sync.Mutex
-	f     *os.File
-	w     *bufio.Writer
-	path  string
-	count int
-	sync  bool
+	path    string
+	maxSeg  int64
+	durable bool
+
+	// mu serializes encoding, buffered writes, rotation and counters.
+	// fsync happens outside it (group commit via syncMu) so concurrent
+	// appenders are not convoyed behind the disk.
+	mu       sync.Mutex
+	f        *os.File
+	w        *bufio.Writer
+	count    int
+	segBytes int64
+	sealed   []string // sealed segment paths, oldest first
+	seq      uint64   // append batches flushed so far
+
+	syncMu    sync.Mutex
+	syncedSeq uint64 // append batches known durable (guarded by syncMu)
 }
 
 // Options configures Open.
 type Options struct {
-	// SyncEveryAppend fsyncs after every Append batch (durable, slower).
+	// SyncEveryAppend makes every Append batch durable before returning.
+	// Appends are group-committed: concurrent batches share one fsync.
 	SyncEveryAppend bool
+	// MaxSegmentBytes seals the active file into a read-only segment once
+	// it exceeds this size (0 disables rotation).
+	MaxSegmentBytes int64
 }
 
 // Open opens (creating if needed) the store at path and counts existing
-// records. A trailing partial line (crash artifact) is tolerated and
-// ignored.
+// records across sealed segments and the active file. Trailing partial
+// lines (crash artifacts) are tolerated and ignored; call Recover to
+// physically truncate them.
 func Open(path string, opts Options) (*Store, error) {
+	sealed, err := sealedSegments(path)
+	if err != nil {
+		return nil, err
+	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("storage: open %s: %w", path, err)
 	}
-	s := &Store{f: f, w: bufio.NewWriter(f), path: path, sync: opts.SyncEveryAppend}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: stat %s: %w", path, err)
+	}
+	s := &Store{
+		path: path, maxSeg: opts.MaxSegmentBytes, durable: opts.SyncEveryAppend,
+		f: f, w: bufio.NewWriter(f), segBytes: st.Size(), sealed: sealed,
+	}
 	if err := s.scan(func(Record) error { s.count++; return nil }); err != nil {
 		f.Close()
 		return nil, err
@@ -84,8 +183,45 @@ func Open(path string, opts Options) (*Store, error) {
 	return s, nil
 }
 
-// Path returns the backing file path.
+// sealedSegments lists path's sealed segment files, oldest first.
+func sealedSegments(path string) ([]string, error) {
+	matches, err := filepath.Glob(path + ".*")
+	if err != nil {
+		return nil, fmt.Errorf("storage: glob segments: %w", err)
+	}
+	var sealed []string
+	for _, m := range matches {
+		if isSegmentName(path, m) {
+			sealed = append(sealed, m)
+		}
+	}
+	sort.Strings(sealed)
+	return sealed, nil
+}
+
+// isSegmentName reports whether candidate is path + "." + 6 digits.
+func isSegmentName(path, candidate string) bool {
+	suffix, ok := strings.CutPrefix(candidate, path+".")
+	if !ok || len(suffix) != 6 {
+		return false
+	}
+	for i := 0; i < len(suffix); i++ {
+		if suffix[i] < '0' || suffix[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// Path returns the active file path.
 func (s *Store) Path() string { return s.path }
+
+// Segments returns the sealed segment paths, oldest first.
+func (s *Store) Segments() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.sealed...)
+}
 
 // Count returns the number of records (excluding any corrupt lines).
 func (s *Store) Count() int {
@@ -95,7 +231,9 @@ func (s *Store) Count() int {
 }
 
 // Append validates and persists records atomically with respect to other
-// Append calls.
+// Append calls. With SyncEveryAppend, the batch is durable on return;
+// concurrent batches share fsyncs (group commit), so appenders serialize
+// only on the in-memory write, not the disk flush.
 func (s *Store) Append(recs ...Record) error {
 	for i := range recs {
 		if err := recs[i].Validate(); err != nil {
@@ -103,53 +241,115 @@ func (s *Store) Append(recs ...Record) error {
 		}
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	var bytes int64
 	for i := range recs {
 		line, err := json.Marshal(&recs[i])
 		if err != nil {
+			s.mu.Unlock()
 			return fmt.Errorf("storage: marshal: %w", err)
 		}
+		line = appendCRC(line, line)
+		line = append(line, '\n')
 		if _, err := s.w.Write(line); err != nil {
+			s.mu.Unlock()
 			return fmt.Errorf("storage: write: %w", err)
 		}
-		if err := s.w.WriteByte('\n'); err != nil {
-			return fmt.Errorf("storage: write: %w", err)
-		}
-		bytes += int64(len(line)) + 1
+		bytes += int64(len(line))
 	}
 	if err := s.w.Flush(); err != nil {
+		s.mu.Unlock()
 		return fmt.Errorf("storage: flush: %w", err)
 	}
-	if s.sync {
-		if err := s.f.Sync(); err != nil {
-			return fmt.Errorf("storage: sync: %w", err)
+	s.count += len(recs)
+	s.segBytes += bytes
+	s.seq++
+	mySeq := s.seq
+	f := s.f
+	if s.maxSeg > 0 && s.segBytes >= s.maxSeg {
+		if err := s.sealLocked(); err != nil {
+			s.mu.Unlock()
+			return err
 		}
 	}
-	s.count += len(recs)
+	s.mu.Unlock()
+
 	mAppendBatches.Inc()
 	mAppendRecords.Add(int64(len(recs)))
 	mAppendBytes.Add(bytes)
+	if s.durable {
+		return s.syncTo(mySeq, f)
+	}
 	return nil
 }
 
-// scan streams every valid record from disk through fn. Corrupt or partial
-// lines are skipped. Caller must hold no lock; scan opens its own handle so
-// it can run during appends.
-func (s *Store) scan(fn func(Record) error) error {
-	rf, err := os.Open(s.path)
+// syncTo makes every batch up to seq durable. If a concurrent appender (or
+// a seal) already synced past seq, the fsync is skipped — that is the group
+// commit: one disk flush covers every batch flushed to the OS before it.
+func (s *Store) syncTo(seq uint64, f *os.File) error {
+	s.syncMu.Lock()
+	defer s.syncMu.Unlock()
+	if s.syncedSeq >= seq {
+		return nil
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("storage: sync: %w", err)
+	}
+	s.syncedSeq = seq
+	return nil
+}
+
+// sealLocked rotates the active file into a read-only segment. Caller
+// holds s.mu; the buffered writer is already flushed. The segment is
+// fsynced before the rename so sealed data is always durable.
+func (s *Store) sealLocked() error {
+	s.syncMu.Lock()
+	if err := s.f.Sync(); err != nil {
+		s.syncMu.Unlock()
+		return fmt.Errorf("storage: seal sync: %w", err)
+	}
+	s.syncedSeq = s.seq
+	s.syncMu.Unlock()
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("storage: seal close: %w", err)
+	}
+	seg := fmt.Sprintf("%s.%06d", s.path, len(s.sealed)+1)
+	if err := os.Rename(s.path, seg); err != nil {
+		return fmt.Errorf("storage: seal rename: %w", err)
+	}
+	s.sealed = append(s.sealed, seg)
+	f, err := os.OpenFile(s.path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
-		return fmt.Errorf("storage: reopen %s: %w", s.path, err)
+		return fmt.Errorf("storage: reopen after seal: %w", err)
+	}
+	s.f = f
+	s.w = bufio.NewWriter(f)
+	s.segBytes = 0
+	mSegmentsSealed.Inc()
+	return nil
+}
+
+// files snapshots the paths a reader should visit: sealed segments oldest
+// first, then the active file.
+func (s *Store) files() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := append([]string(nil), s.sealed...)
+	return append(out, s.path)
+}
+
+// scanFile streams every valid record of one file through fn. Corrupt,
+// torn and CRC-mismatched lines are skipped.
+func scanFile(path string, fn func(Record) error) error {
+	rf, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("storage: reopen %s: %w", path, err)
 	}
 	defer rf.Close()
 	sc := bufio.NewScanner(rf)
 	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
 	for sc.Scan() {
 		var rec Record
-		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
-			continue // tolerate torn/corrupt lines
-		}
-		if rec.Validate() != nil {
+		if !parseLine(sc.Bytes(), &rec) {
 			continue
 		}
 		if err := fn(rec); err != nil {
@@ -159,36 +359,139 @@ func (s *Store) scan(fn func(Record) error) error {
 	return sc.Err()
 }
 
+// scan streams every valid record (all segments, then the active file)
+// through fn. Caller must hold no lock; scan opens its own handles so it
+// can run during appends.
+func (s *Store) scan(fn func(Record) error) error {
+	for _, path := range s.files() {
+		if err := scanFile(path, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // All loads every record from disk.
 func (s *Store) All() ([]Record, error) {
-	s.mu.Lock()
-	if err := s.w.Flush(); err != nil {
-		s.mu.Unlock()
+	if err := s.flush(); err != nil {
 		return nil, err
 	}
-	s.mu.Unlock()
 	var out []Record
 	err := s.scan(func(r Record) error { out = append(out, r); return nil })
 	return out, err
 }
 
-// WriteTo streams the raw NDJSON log to w (the export endpoint's body).
-func (s *Store) WriteTo(w io.Writer) (int64, error) {
+func (s *Store) flush() error {
 	s.mu.Lock()
-	if err := s.w.Flush(); err != nil {
-		s.mu.Unlock()
+	defer s.mu.Unlock()
+	return s.w.Flush()
+}
+
+// WriteTo streams the dataset as plain NDJSON to w (the export endpoint's
+// body): CRC suffixes are stripped and corrupt lines dropped, so the wire
+// format stays pure JSON-per-line regardless of the on-disk format.
+func (s *Store) WriteTo(w io.Writer) (int64, error) {
+	if err := s.flush(); err != nil {
 		return 0, err
 	}
-	s.mu.Unlock()
-	rf, err := os.Open(s.path)
-	if err != nil {
-		return 0, err
+	var n int64
+	bw := bufio.NewWriter(w)
+	for _, path := range s.files() {
+		rf, err := os.Open(path)
+		if err != nil {
+			return n, err
+		}
+		sc := bufio.NewScanner(rf)
+		sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+		for sc.Scan() {
+			payload, ok := splitCRC(sc.Bytes())
+			if !ok || len(payload) == 0 {
+				continue
+			}
+			if _, err := bw.Write(payload); err != nil {
+				rf.Close()
+				return n, err
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				rf.Close()
+				return n, err
+			}
+			n += int64(len(payload)) + 1
+		}
+		err = sc.Err()
+		rf.Close()
+		if err != nil {
+			return n, err
+		}
 	}
-	defer rf.Close()
-	n, err := io.Copy(w, rf)
+	if err := bw.Flush(); err != nil {
+		return n, err
+	}
 	mExports.Inc()
 	mExportBytes.Add(n)
-	return n, err
+	return n, nil
+}
+
+// RecoverReport describes what Recover salvaged.
+type RecoverReport struct {
+	// SalvagedRecords is the store-wide record count after recovery.
+	SalvagedRecords int
+	// DroppedBytes is how much of the active file's tail was truncated.
+	DroppedBytes int64
+	// TruncatedAt is the active-file offset recovery cut at (its size when
+	// nothing was dropped).
+	TruncatedAt int64
+}
+
+// Recover salvages the active file up to the first torn or corrupt write:
+// everything before the first bad line is kept, the bad line and everything
+// after it is physically truncated (write-ahead-log semantics — a torn
+// write means nothing after it can be trusted), and the record count is
+// rebuilt. Safe to call on a live store between appends.
+func (s *Store) Recover() (RecoverReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.w.Flush(); err != nil {
+		return RecoverReport{}, err
+	}
+	raw, err := os.ReadFile(s.path)
+	if err != nil {
+		return RecoverReport{}, fmt.Errorf("storage: recover read: %w", err)
+	}
+	var good int64
+	activeRecords := 0
+	for off := int64(0); off < int64(len(raw)); {
+		nl := bytes.IndexByte(raw[off:], '\n')
+		if nl < 0 {
+			break // torn tail: no newline
+		}
+		var rec Record
+		if !parseLine(raw[off:off+int64(nl)], &rec) {
+			break
+		}
+		off += int64(nl) + 1
+		good = off
+		activeRecords++
+	}
+	dropped := int64(len(raw)) - good
+	if dropped > 0 {
+		if err := s.f.Truncate(good); err != nil {
+			return RecoverReport{}, fmt.Errorf("storage: recover truncate: %w", err)
+		}
+		s.segBytes = good
+		mTruncatedBytes.Add(dropped)
+	}
+	// Rebuild the count: sealed segments (scanned leniently) + salvaged
+	// active records.
+	total := activeRecords
+	for _, seg := range s.sealed {
+		if err := scanFile(seg, func(Record) error { total++; return nil }); err != nil {
+			return RecoverReport{}, err
+		}
+	}
+	s.count = total
+	mRecoveredRecords.Add(int64(activeRecords))
+	return RecoverReport{SalvagedRecords: total, DroppedBytes: dropped, TruncatedAt: good}, nil
 }
 
 // Close flushes and closes the backing file.

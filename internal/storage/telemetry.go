@@ -15,4 +15,12 @@ var (
 		"Full-log export streams served.", nil)
 	mExportBytes = obs.Default.Counter("storage_export_bytes_total",
 		"Bytes streamed by export.", nil)
+	mCorruptLines = obs.Default.Counter("storage_corrupt_lines_total",
+		"Stored lines rejected as torn, corrupt, or CRC-mismatched.", nil)
+	mSegmentsSealed = obs.Default.Counter("storage_segments_sealed_total",
+		"Active files rotated into read-only segments.", nil)
+	mRecoveredRecords = obs.Default.Counter("storage_recovered_records_total",
+		"Active-file records salvaged by Recover.", nil)
+	mTruncatedBytes = obs.Default.Counter("storage_truncated_bytes_total",
+		"Torn-tail bytes truncated by Recover.", nil)
 )

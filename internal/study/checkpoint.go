@@ -1,0 +1,187 @@
+package study
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/vectors"
+)
+
+var mResumedUsers = obs.Default.Counter("study_checkpoint_resumed_users_total",
+	"Participants restored from a checkpoint instead of re-rendered.", nil)
+
+// checkpointHeader pins the run configuration a checkpoint belongs to. A
+// file whose header does not match the current Config is discarded rather
+// than resumed — mixing results from two different configurations would
+// silently corrupt the dataset.
+type checkpointHeader struct {
+	Kind       string `json:"checkpoint"`
+	Seed       int64  `json:"seed"`
+	Users      int    `json:"users"`
+	Iterations int    `json:"iterations"`
+	IDPrefix   string `json:"id_prefix"`
+	Era        string `json:"era"`
+}
+
+func headerFor(cfg Config) checkpointHeader {
+	return checkpointHeader{
+		Kind:       "study-run-v1",
+		Seed:       cfg.Seed,
+		Users:      cfg.Users,
+		Iterations: cfg.Iterations,
+		IDPrefix:   cfg.IDPrefix,
+		Era:        cfg.Era,
+	}
+}
+
+// checkpointEntry records one fully rendered participant: every vector's
+// hash sequence, keyed by vector name.
+type checkpointEntry struct {
+	User int                 `json:"user"`
+	ID   string              `json:"id"`
+	Obs  map[string][]string `json:"obs"`
+}
+
+// checkpointWriter appends participant entries to the checkpoint file,
+// one JSON line at a time, flushed per entry so a killed process loses at
+// most the entry being written.
+type checkpointWriter struct {
+	mu sync.Mutex
+	f  *os.File
+	w  *bufio.Writer
+}
+
+func (cw *checkpointWriter) append(e checkpointEntry) error {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	if _, err := cw.w.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	return cw.w.Flush()
+}
+
+func (cw *checkpointWriter) close() error {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	if err := cw.w.Flush(); err != nil {
+		cw.f.Close()
+		return err
+	}
+	return cw.f.Close()
+}
+
+// openCheckpoint loads any resumable entries from path and returns a
+// writer positioned to append new ones. users is the expected participant
+// ID list: an entry is restored only when its index and ID line up, its
+// vector set is complete, and every vector carries exactly `iterations`
+// hashes. A header mismatch (different seed, population, or era) or an
+// unreadable header starts the file over. Unparsable lines — the torn tail
+// a mid-write kill leaves behind — end the scan; everything before them is
+// kept.
+func openCheckpoint(path string, cfg Config, users []string) (*checkpointWriter, []checkpointEntry, error) {
+	want := headerFor(cfg)
+	var entries []checkpointEntry
+	resume := false
+
+	if raw, err := os.ReadFile(path); err == nil {
+		sc := bufio.NewScanner(bytes.NewReader(raw))
+		sc.Buffer(make([]byte, 0, 1024*1024), 16*1024*1024)
+		if sc.Scan() {
+			var hdr checkpointHeader
+			if json.Unmarshal(sc.Bytes(), &hdr) == nil && hdr == want {
+				resume = true
+				for sc.Scan() {
+					var e checkpointEntry
+					if json.Unmarshal(sc.Bytes(), &e) != nil {
+						break // torn tail: trust nothing at or after it
+					}
+					if validEntry(e, cfg.Iterations, users) {
+						entries = append(entries, e)
+					}
+				}
+			}
+		}
+	}
+
+	flags := os.O_WRONLY | os.O_CREATE
+	if resume {
+		// Rewrite the file from the surviving entries so a torn tail does
+		// not linger in front of new appends.
+		flags |= os.O_TRUNC
+	} else {
+		flags |= os.O_TRUNC
+		entries = nil
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("study: open checkpoint: %w", err)
+	}
+	cw := &checkpointWriter{f: f, w: bufio.NewWriter(f)}
+	hb, _ := json.Marshal(want)
+	if _, err := cw.w.Write(append(hb, '\n')); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	for _, e := range entries {
+		if err := cw.append(e); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if err := cw.w.Flush(); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return cw, entries, nil
+}
+
+// validEntry reports whether a checkpoint entry can be trusted for this
+// run: index/ID aligned with the sampled population and a complete hash
+// matrix.
+func validEntry(e checkpointEntry, iterations int, users []string) bool {
+	if e.User < 0 || e.User >= len(users) || users[e.User] != e.ID {
+		return false
+	}
+	if len(e.Obs) != len(vectors.All) {
+		return false
+	}
+	for _, v := range vectors.All {
+		hashes, ok := e.Obs[v.String()]
+		if !ok || len(hashes) != iterations {
+			return false
+		}
+		for _, h := range hashes {
+			if h == "" {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// entryFor snapshots user idx's rendered observations for the checkpoint.
+func entryFor(ds *Dataset, idx int) checkpointEntry {
+	obs := make(map[string][]string, len(vectors.All))
+	for _, v := range vectors.All {
+		hashes := make([]string, ds.Iterations)
+		copy(hashes, ds.Obs[v][idx])
+		obs[v.String()] = hashes
+	}
+	return checkpointEntry{User: idx, ID: ds.Users[idx], Obs: obs}
+}
+
+// restore copies a validated checkpoint entry into the dataset.
+func restore(ds *Dataset, e checkpointEntry) {
+	for _, v := range vectors.All {
+		copy(ds.Obs[v][e.User], e.Obs[v.String()])
+	}
+}

@@ -1,0 +1,140 @@
+package study
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func ckptConfig(path string) Config {
+	return Config{
+		Seed: 42, Users: 12, Iterations: 3,
+		Parallelism: 1, CheckpointPath: path,
+	}
+}
+
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.ndjson")
+	cfg := ckptConfig(path)
+
+	// Reference: an uninterrupted run with no checkpointing at all.
+	refCfg := cfg
+	refCfg.CheckpointPath = ""
+	ref, err := Run(refCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First attempt gets killed after four participants finish.
+	ctx, cancel := context.WithCancel(context.Background())
+	killCfg := cfg
+	killCfg.Progress = func(done, total int) {
+		if done >= 4 {
+			cancel()
+		}
+	}
+	if _, err := RunContext(ctx, killCfg); err == nil {
+		t.Fatal("cancelled run reported success")
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial := strings.Count(string(raw), "\n") - 1 // minus header
+	if partial < 4 || partial >= cfg.Users {
+		t.Fatalf("checkpoint holds %d entries after interrupt, want partial progress", partial)
+	}
+
+	// The resumed run completes and matches the reference byte for byte.
+	ds, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ds.Obs, ref.Obs) {
+		t.Error("resumed dataset differs from uninterrupted run")
+	}
+	if !reflect.DeepEqual(ds.Users, ref.Users) {
+		t.Error("resumed user list differs")
+	}
+}
+
+func TestCheckpointConfigMismatchDiscarded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.ndjson")
+	if _, err := Run(ckptConfig(path)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same path, different seed: the old file must not leak into the run.
+	cfg2 := ckptConfig(path)
+	cfg2.Seed = 43
+	ds, err := Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCfg := cfg2
+	refCfg.CheckpointPath = ""
+	ref, err := Run(refCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ds.Obs, ref.Obs) {
+		t.Error("stale checkpoint contaminated a run with a different seed")
+	}
+}
+
+func TestCheckpointTornTailTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.ndjson")
+	cfg := ckptConfig(path)
+
+	// Interrupt after two users, then tear the file mid-entry.
+	ctx, cancel := context.WithCancel(context.Background())
+	killCfg := cfg
+	killCfg.Progress = func(done, total int) {
+		if done >= 2 {
+			cancel()
+		}
+	}
+	if _, err := RunContext(ctx, killCfg); err == nil {
+		t.Fatal("cancelled run reported success")
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"user":9,"id":"torn","obs":{"DC":["ha`)
+	f.Close()
+
+	ds, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCfg := cfg
+	refCfg.CheckpointPath = ""
+	ref, err := Run(refCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ds.Obs, ref.Obs) {
+		t.Error("torn checkpoint tail corrupted the resumed dataset")
+	}
+}
+
+func TestCheckpointCompletedRunRestoresEveryone(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.ndjson")
+	cfg := ckptConfig(path)
+	first, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second run restores all users from the file; still identical.
+	second, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first.Obs, second.Obs) {
+		t.Error("fully-checkpointed rerun differs")
+	}
+}

@@ -46,6 +46,13 @@ type Config struct {
 	// called concurrently from worker goroutines and must be goroutine-
 	// safe.
 	Progress func(done, total int)
+	// CheckpointPath, when non-empty, makes RunContext record each
+	// participant's rendered observations to this file as they complete,
+	// and resume from it on the next run with the same Config: already-
+	// rendered participants are restored instead of re-rendered, and the
+	// dataset comes out bit-identical to an uninterrupted run. A file
+	// written under a different Config is ignored and overwritten.
+	CheckpointPath string
 }
 
 // Dataset is the raw outcome of a study: the participants, their non-audio
@@ -163,12 +170,44 @@ func RunContext(ctx context.Context, cfg Config) (*Dataset, error) {
 		userSeeds[i] = seedRng.Int63()
 	}
 
+	// Checkpoint/resume: restore participants a previous (interrupted) run
+	// already rendered, and record new ones as they complete. Because each
+	// user's jitter seed is pre-derived, skipping restored users leaves
+	// everyone else's randomness untouched — the resumed dataset is
+	// bit-identical to an uninterrupted run.
+	resumed := make([]bool, len(devs))
+	var ckpt *checkpointWriter
+	if cfg.CheckpointPath != "" {
+		cw, entries, err := openCheckpoint(cfg.CheckpointPath, cfg, ds.Users)
+		if err != nil {
+			return nil, err
+		}
+		ckpt = cw
+		defer ckpt.close()
+		for _, e := range entries {
+			restore(ds, e)
+			resumed[e.User] = true
+			mResumedUsers.Inc()
+		}
+		runSpan.SetAttr("resumed_users", len(entries))
+	}
+
 	_, renderSpan := obsStart(ctx, "render")
 	var done atomic.Int64
 	cache := vectors.NewCache()
 	if err := runAll(len(devs), cfg.Parallelism, func(i int) error {
-		if err := runUser(ds, cache, jitter, i, userSeeds[i]); err != nil {
+		if err := ctx.Err(); err != nil {
 			return err
+		}
+		if !resumed[i] {
+			if err := runUser(ds, cache, jitter, i, userSeeds[i]); err != nil {
+				return err
+			}
+			if ckpt != nil {
+				if err := ckpt.append(entryFor(ds, i)); err != nil {
+					return fmt.Errorf("study: checkpoint user %s: %w", ds.Users[i], err)
+				}
+			}
 		}
 		if cfg.Progress != nil {
 			cfg.Progress(int(done.Add(1)), len(devs))
