@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short check bench bench-json fuzz study trace examples clean
+.PHONY: all build vet test test-short check bench bench-json bench-stream fuzz study trace examples clean
 
 all: build vet test
 
@@ -41,6 +41,12 @@ bench:
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem ./... | $(GO) run ./cmd/benchjson > BENCH_$$(date +%F).json
 	@echo wrote BENCH_$$(date +%F).json
+
+# Streaming-vs-batch cost at the paper's 2093-user scale: incremental apply
+# must come out ≥100× cheaper than the batch recompute (DESIGN.md §10.2).
+bench-stream:
+	$(GO) test -run '^$$' -bench BenchmarkStream -benchmem ./internal/streaming/ | $(GO) run ./cmd/benchjson > BENCH_stream.json
+	@echo wrote BENCH_stream.json
 
 # Short fuzzing passes over the parsing/ingestion surfaces.
 fuzz:

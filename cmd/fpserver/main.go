@@ -21,7 +21,9 @@ import (
 	"time"
 
 	"repro/internal/collectserver"
+	"repro/internal/obs"
 	"repro/internal/storage"
+	"repro/internal/streaming"
 )
 
 // onListen, when set by tests, receives the bound listener address so an
@@ -54,6 +56,7 @@ func run(ctx context.Context, args []string, errw io.Writer) error {
 		segBytes   = fs.Int64("max-segment", 0, "rotate the store file beyond this many bytes (0 disables)")
 		recover_   = fs.Bool("recover", true, "salvage the store's active file up to the first torn write on startup")
 		debug      = fs.Bool("debug", false, "mount /debug/pprof and /debug/vars (operational detail — keep off on public listeners)")
+		analytics  = fs.Bool("analytics", false, "serve live incremental analytics on /api/v1/analytics/* (rebuilt from the store on startup)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,6 +83,20 @@ func run(ctx context.Context, args []string, errw io.Writer) error {
 	}
 	logger.Printf("store %s opened with %d existing records", st.Path(), st.Count())
 
+	var eng *streaming.Engine
+	if *analytics {
+		// Same registry as the server so engine gauges land on /metrics.
+		eng = streaming.New(streaming.Config{Registry: obs.Default})
+		defer eng.Close()
+		recs, err := st.All()
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		eng.Bootstrap(recs)
+		logger.Printf("analytics engine rebuilt from %d records in %v", len(recs), time.Since(start).Round(time.Millisecond))
+	}
+
 	srv, err := collectserver.New(collectserver.Config{
 		Store:             st,
 		AdminToken:        *adminToken,
@@ -89,6 +106,7 @@ func run(ctx context.Context, args []string, errw io.Writer) error {
 		MaxInFlight:       *maxInFly,
 		SubmitRatePerSec:  *subRate,
 		EnableDebug:       *debug,
+		Analytics:         eng,
 	})
 	if err != nil {
 		return err

@@ -31,6 +31,7 @@ func TestRunSmoke(t *testing.T) {
 			"-max-inflight", "64",
 			"-rate", "1000",
 			"-max-segment", "65536",
+			"-analytics",
 		}, &logs)
 	}()
 
@@ -59,6 +60,22 @@ func TestRunSmoke(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("metrics = %d", resp.StatusCode)
+	}
+	resp, err = http.Get(base + "/api/v1/analytics/entropy")
+	if err != nil {
+		t.Fatalf("analytics: %v", err)
+	}
+	var body bytes.Buffer
+	body.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("analytics entropy = %d %s", resp.StatusCode, body.String())
+	}
+	if v := resp.Header.Get("X-API-Version"); v != "1" {
+		t.Errorf("analytics X-API-Version = %q", v)
+	}
+	if !strings.Contains(body.String(), `"data"`) {
+		t.Errorf("analytics body not enveloped: %s", body.String())
 	}
 
 	cancel()

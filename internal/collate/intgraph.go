@@ -8,23 +8,35 @@ package collate
 // the equivalent string observations; the analysis sweeps (Fig. 5,
 // Table 6, Fig. 9, §5) build thousands of these per run.
 //
-// Element layout: users occupy union-find elements [0, numUsers);
+// Element layout: userElem maps a dense user ID to its union-find element;
 // fingerprints are appended lazily as they are first observed, with
 // fpElem mapping a dense fingerprint ID from the interning universe to
-// its element (or -1 when not yet seen by this graph).
+// its element (or -1 when not yet seen by this graph). size counts the
+// users in a component (fingerprint elements weigh zero), which lets the
+// online path report exact component sizes without a sweep.
+//
+// Two construction styles share the same representation: the batch path
+// (NewIntGraph with the population and universe fixed up front) and the
+// online path (start empty, AddUser/EnsureUniverse as the stream reveals
+// new users and values, Observe per record). Both yield identical
+// partitions and labels for the same observation multiset.
 type IntGraph struct {
 	numUsers int
 	numFPs   int     // distinct fingerprints observed by this graph
+	userElem []int32 // user ID → element
 	fpElem   []int32 // fingerprint ID → element, -1 = absent
 	parent   []int32
-	size     []int32
+	size     []int32 // users per component root (fp elements weigh 0)
 }
 
 // NewIntGraph returns an empty graph over a fixed population of numUsers
 // users and an interning universe of fpUniverse distinct fingerprint IDs.
+// Both may be zero: the online path grows users with AddUser and the
+// universe with EnsureUniverse.
 func NewIntGraph(numUsers, fpUniverse int) *IntGraph {
 	g := &IntGraph{
 		numUsers: numUsers,
+		userElem: make([]int32, numUsers),
 		fpElem:   make([]int32, fpUniverse),
 		parent:   make([]int32, numUsers, numUsers+fpUniverse),
 		size:     make([]int32, numUsers, numUsers+fpUniverse),
@@ -33,17 +45,37 @@ func NewIntGraph(numUsers, fpUniverse int) *IntGraph {
 		g.fpElem[i] = -1
 	}
 	for i := range g.parent {
+		g.userElem[i] = int32(i)
 		g.parent[i] = int32(i)
 		g.size[i] = 1
 	}
 	return g
 }
 
-// NumUsers returns the population size the graph was built for.
+// NumUsers returns the current population size.
 func (g *IntGraph) NumUsers() int { return g.numUsers }
 
 // NumFingerprints returns the number of distinct fingerprints observed.
 func (g *IntGraph) NumFingerprints() int { return g.numFPs }
+
+// AddUser grows the population by one singleton user and returns its dense
+// ID — the online counterpart of sizing the population in NewIntGraph.
+func (g *IntGraph) AddUser() int32 {
+	e := int32(len(g.parent))
+	g.parent = append(g.parent, e)
+	g.size = append(g.size, 1)
+	g.userElem = append(g.userElem, e)
+	g.numUsers++
+	return int32(g.numUsers - 1)
+}
+
+// EnsureUniverse grows the fingerprint interning universe so IDs in [0, n)
+// are addressable. Newly covered IDs are absent until first observed.
+func (g *IntGraph) EnsureUniverse(n int) {
+	for len(g.fpElem) < n {
+		g.fpElem = append(g.fpElem, -1)
+	}
+}
 
 func (g *IntGraph) find(x int32) int32 {
 	for g.parent[x] != x {
@@ -53,37 +85,57 @@ func (g *IntGraph) find(x int32) int32 {
 	return x
 }
 
-func (g *IntGraph) union(a, b int32) bool {
+// union merges the components of elements a and b. When it merges two
+// distinct components it reports their pre-merge user counts.
+func (g *IntGraph) union(a, b int32) (aUsers, bUsers int32, merged bool) {
 	ra, rb := g.find(a), g.find(b)
 	if ra == rb {
-		return false
+		return 0, 0, false
 	}
-	if g.size[ra] < g.size[rb] {
+	ua, ub := g.size[ra], g.size[rb]
+	if ua < ub {
 		ra, rb = rb, ra
 	}
 	g.parent[rb] = ra
-	g.size[ra] += g.size[rb]
-	return true
+	g.size[ra] = ua + ub
+	return ua, ub, true
 }
 
 // AddObservation records that user (a dense ID in [0, NumUsers)) emitted
 // fingerprint fp (a dense ID in [0, fpUniverse)). It reports whether the
 // edge merged two previously distinct components.
 func (g *IntGraph) AddObservation(user, fp int32) bool {
+	_, _, merged := g.Observe(user, fp)
+	return merged
+}
+
+// Observe is AddObservation with merge bookkeeping for incremental
+// consumers: when the edge merges two union-find components, aUsers and
+// bUsers are the user counts of the user's and the fingerprint's
+// component immediately before the merge. A freshly created fingerprint
+// element reports merged=true with bUsers == 0 — an attachment to the
+// user's component, not a merge of two user clusters. Two user clusters
+// merged exactly when merged && bUsers > 0; a caller maintaining a
+// cluster-size histogram then applies hist[aUsers]--, hist[bUsers]--,
+// hist[aUsers+bUsers]++.
+func (g *IntGraph) Observe(user, fp int32) (aUsers, bUsers int32, merged bool) {
 	fn := g.fpElem[fp]
 	if fn < 0 {
 		fn = int32(len(g.parent))
 		g.parent = append(g.parent, fn)
-		g.size = append(g.size, 1)
+		g.size = append(g.size, 0)
 		g.fpElem[fp] = fn
 		g.numFPs++
 	}
-	return g.union(user, fn)
+	return g.union(g.userElem[user], fn)
 }
 
 // ClusterOf returns the canonical element of the user's component. Valid
 // only for the graph's current state.
-func (g *IntGraph) ClusterOf(user int32) int32 { return g.find(user) }
+func (g *IntGraph) ClusterOf(user int32) int32 { return g.find(g.userElem[user]) }
+
+// ComponentUsers returns the number of users in the user's component.
+func (g *IntGraph) ComponentUsers(user int32) int32 { return g.size[g.find(g.userElem[user])] }
 
 // Labels returns each user's cluster label as a dense int32 in
 // [0, NumClusters), canonicalized by first appearance in user order — the
@@ -107,7 +159,7 @@ func (g *IntGraph) LabelsInto(dst, canon []int32) []int32 {
 	}
 	var next int32
 	for u := 0; u < g.numUsers; u++ {
-		root := g.find(int32(u))
+		root := g.find(g.userElem[u])
 		if canon[root] < 0 {
 			canon[root] = next
 			next++
@@ -130,7 +182,7 @@ func (g *IntGraph) ClusterSizes() []int {
 	}
 	var sizes []int
 	for u := 0; u < g.numUsers; u++ {
-		root := g.find(int32(u))
+		root := g.find(g.userElem[u])
 		if canon[root] < 0 {
 			canon[root] = int32(len(sizes))
 			sizes = append(sizes, 0)
@@ -159,6 +211,9 @@ func (g *IntGraph) Match(fps []int32) (cluster int32, res MatchResult) {
 	var roots [16]int32
 	found := roots[:0]
 	for _, fp := range fps {
+		if int(fp) >= len(g.fpElem) {
+			continue
+		}
 		n := g.fpElem[fp]
 		if n < 0 {
 			continue

@@ -163,3 +163,75 @@ func TestIntGraphLabelsInto(t *testing.T) {
 	}()
 	ig.LabelsInto(make([]int32, 1), canon)
 }
+
+// TestIntGraphOnlineGrowth: a graph grown online (AddUser/EnsureUniverse/
+// Observe, stream order) must equal a batch-constructed graph over the same
+// observations, and Observe's merge reports must keep an incremental
+// cluster-size histogram consistent with ClusterSizes at every step.
+func TestIntGraphOnlineGrowth(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const users, universe, edges = 120, 60, 2000
+
+	batch := NewIntGraph(users, universe)
+	online := NewIntGraph(0, 0)
+	hist := map[int32]int64{} // component user-count → number of components
+	added := 0
+	addUser := func(u int) {
+		for added <= u {
+			if got := online.AddUser(); got != int32(added) {
+				t.Fatalf("AddUser returned %d, want %d", got, added)
+			}
+			hist[1]++
+			added++
+		}
+	}
+	for e := 0; e < edges; e++ {
+		u := rng.Intn(users)
+		h := rng.Intn(universe)
+		addUser(u)
+		online.EnsureUniverse(h + 1)
+		want := batch.AddObservation(int32(u), int32(h))
+		a, b, merged := online.Observe(int32(u), int32(h))
+		if merged != want {
+			t.Fatalf("edge %d (u%d, h%d): online merge=%v, batch merge=%v", e, u, h, merged, want)
+		}
+		if merged && b > 0 {
+			if a < 1 {
+				t.Fatalf("edge %d: merge reported user-side component size %d, want ≥1", e, a)
+			}
+			hist[a]--
+			if hist[a] == 0 {
+				delete(hist, a)
+			}
+			hist[b]--
+			if hist[b] == 0 {
+				delete(hist, b)
+			}
+			hist[a+b]++
+		}
+	}
+	addUser(users - 1) // any stragglers never observed
+	wantHist := map[int32]int64{}
+	for _, s := range online.ClusterSizes() {
+		wantHist[int32(s)]++
+	}
+	if !reflect.DeepEqual(hist, wantHist) {
+		t.Errorf("incremental histogram %v differs from ClusterSizes tally %v", hist, wantHist)
+	}
+
+	// Online labels cover only users seen so far; compare the full set.
+	got, want := online.Labels(), batch.Labels()
+	if !reflect.DeepEqual(got, want) {
+		t.Error("online labels differ from batch labels")
+	}
+	if online.NumClusters() != batch.NumClusters() || online.UniqueClusters() != batch.UniqueClusters() {
+		t.Errorf("cluster stats differ: online (%d, %d) vs batch (%d, %d)",
+			online.NumClusters(), online.UniqueClusters(), batch.NumClusters(), batch.UniqueClusters())
+	}
+	sizes, labels := batch.ClusterSizes(), batch.Labels()
+	for u := int32(0); u < users; u++ {
+		if got, want := online.ComponentUsers(u), int32(sizes[labels[u]]); got != want {
+			t.Fatalf("ComponentUsers(%d) = %d, want %d", u, got, want)
+		}
+	}
+}

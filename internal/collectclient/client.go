@@ -153,14 +153,20 @@ func (s *Session) SubmitChunked(ctx context.Context, records []collectserver.FPR
 	return nil
 }
 
-// httpStatusError reports a non-2xx response.
+// httpStatusError reports a non-2xx response. apiCode carries the stable
+// v1 error code when the server spoke the envelope, "" against a legacy
+// (pre-envelope) server.
 type httpStatusError struct {
 	code       int
+	apiCode    string
 	body       string
 	retryAfter time.Duration // parsed Retry-After hint, 0 if absent
 }
 
 func (e *httpStatusError) Error() string {
+	if e.apiCode != "" {
+		return fmt.Sprintf("server returned %d (%s): %s", e.code, e.apiCode, e.body)
+	}
 	return fmt.Sprintf("server returned %d: %s", e.code, e.body)
 }
 
@@ -250,6 +256,18 @@ func StatusCode(err error) int {
 	return 0
 }
 
+// ErrorCode extracts the stable v1 error code (e.g. "rate_limited",
+// "unauthorized") behind a client error, or "" when the server did not
+// send an envelope or the error carried no HTTP response at all. Unlike
+// messages, codes are part of the API contract and safe to branch on.
+func ErrorCode(err error) string {
+	var se *httpStatusError
+	if errors.As(err, &se) {
+		return se.apiCode
+	}
+	return ""
+}
+
 func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) error {
 	c.stats.requests.Add(1)
 	mRequests.Inc()
@@ -281,16 +299,48 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
 			ra = time.Duration(secs) * time.Second
 		}
-		return &httpStatusError{
+		se := &httpStatusError{
 			code:       resp.StatusCode,
 			body:       string(bytes.TrimSpace(msg)),
 			retryAfter: ra,
 		}
+		// v1 envelope failure: lift out the stable code and human message.
+		var env collectserver.Envelope
+		if json.Unmarshal(msg, &env) == nil && env.Error != nil {
+			se.apiCode = env.Error.Code
+			se.body = env.Error.Message
+		}
+		return se
 	}
 	if out == nil {
 		return nil
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return decodeBody(resp.Body, out)
+}
+
+// decodeBody unwraps a v1 success envelope {"data": ...} into out, falling
+// back to decoding the whole body for legacy (pre-envelope) servers. The
+// fallback is deliberate: during a rollout the fleet's agents upgrade
+// before every server does. TestLegacyResponseShapes pins this behavior;
+// remove both together once no legacy server remains.
+func decodeBody(r io.Reader, out any) error {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	var env collectserver.Envelope
+	if json.Unmarshal(raw, &env) == nil {
+		if env.Error != nil {
+			// A 2xx with an error envelope is a server bug, but don't
+			// silently decode garbage into out.
+			return fmt.Errorf("collectclient: error envelope on success status: %s: %s",
+				env.Error.Code, env.Error.Message)
+		}
+		if env.Data != nil {
+			return json.Unmarshal(env.Data, out)
+		}
+	}
+	return json.Unmarshal(raw, out)
 }
 
 // Stats fetches the server's aggregate counters (/api/v1/stats).

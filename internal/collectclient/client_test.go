@@ -282,3 +282,56 @@ func TestTelemetrySnapshot(t *testing.T) {
 		t.Errorf("Failures = %d, want 1", f)
 	}
 }
+
+// TestLegacyResponseShapes is the deprecation test for pre-envelope
+// servers: the client must decode both the v1 {"data":...} envelope and
+// the legacy flat body, and must lift stable error codes out of v1
+// failures while tolerating legacy {"error":"text"} ones. Delete this
+// test together with decodeBody's fallback once no legacy server remains.
+func TestLegacyResponseShapes(t *testing.T) {
+	legacy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		switch r.URL.Path {
+		case "/api/v1/sessions":
+			w.WriteHeader(http.StatusCreated)
+			io.WriteString(w, `{"session_id":"s1","token":"t1"}`)
+		case "/api/v1/fingerprints":
+			w.WriteHeader(http.StatusUnauthorized)
+			io.WriteString(w, `{"error":"unknown or expired session token"}`)
+		}
+	}))
+	defer legacy.Close()
+
+	ctx := context.Background()
+	c := New(legacy.URL, WithRetries(0))
+	sess, err := c.StartSession(ctx, "u1", "UA/1.0")
+	if err != nil {
+		t.Fatalf("legacy flat session body: %v", err)
+	}
+	if sess.Token != "t1" || sess.ID != "s1" {
+		t.Errorf("legacy session = %+v", sess)
+	}
+	err = sess.Submit(ctx, []collectserver.FPRecord{{Vector: "DC", Iteration: 0, Hash: "aa"}})
+	if StatusCode(err) != http.StatusUnauthorized {
+		t.Fatalf("legacy error: %v", err)
+	}
+	if ErrorCode(err) != "" {
+		t.Errorf("legacy error carried a v1 code: %q", ErrorCode(err))
+	}
+
+	// The same calls against a v1 server must surface the stable code.
+	ts, _ := realServer(t)
+	c = New(ts.URL, WithRetries(0))
+	sess, err = c.StartSession(ctx, "u1", "UA/1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &Session{ID: sess.ID, Token: "wrong", c: c}
+	err = bad.Submit(ctx, []collectserver.FPRecord{{Vector: "DC", Iteration: 0, Hash: "aa"}})
+	if StatusCode(err) != http.StatusUnauthorized {
+		t.Fatalf("v1 error: %v", err)
+	}
+	if got := ErrorCode(err); got != collectserver.CodeUnauthorized {
+		t.Errorf("v1 error code = %q, want %q", got, collectserver.CodeUnauthorized)
+	}
+}

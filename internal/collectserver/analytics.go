@@ -1,0 +1,64 @@
+package collectserver
+
+import "net/http"
+
+// Analytics handlers: thin reads over the streaming engine's snapshots.
+// All consistency decisions (exact vs snapshot-refreshed) live in
+// internal/streaming; these handlers only pick the payload. When the
+// server runs without -analytics the routes stay registered and answer
+// with a stable error code so clients can distinguish "not enabled" from
+// "not found".
+
+// analyticsEngine returns the configured engine or answers 503 and nil.
+func (s *Server) analyticsEngine(w http.ResponseWriter) bool {
+	if s.cfg.Analytics == nil {
+		respondError(w, http.StatusServiceUnavailable, CodeAnalyticsDisabled,
+			"analytics engine not enabled; start the server with -analytics")
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleAnalyticsEntropy(w http.ResponseWriter, r *http.Request) {
+	if !s.analyticsEngine(w) {
+		return
+	}
+	respondJSON(w, http.StatusOK, s.cfg.Analytics.Diversity())
+}
+
+func (s *Server) handleAnalyticsClusters(w http.ResponseWriter, r *http.Request) {
+	if !s.analyticsEngine(w) {
+		return
+	}
+	respondJSON(w, http.StatusOK, s.cfg.Analytics.Clusters())
+}
+
+func (s *Server) handleAnalyticsStability(w http.ResponseWriter, r *http.Request) {
+	if !s.analyticsEngine(w) {
+		return
+	}
+	respondJSON(w, http.StatusOK, s.cfg.Analytics.Stability())
+}
+
+func (s *Server) handleAnalyticsAMI(w http.ResponseWriter, r *http.Request) {
+	if !s.analyticsEngine(w) {
+		return
+	}
+	snap := s.cfg.Analytics.AMI()
+	if snap == nil {
+		// No snapshot yet: either no records or auto-refresh disabled and
+		// RefreshAMI never called. An empty-but-typed payload beats a 404.
+		respondJSON(w, http.StatusOK, struct {
+			Records int64 `json:"records"`
+		}{0})
+		return
+	}
+	respondJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) handleAnalyticsStatus(w http.ResponseWriter, r *http.Request) {
+	if !s.analyticsEngine(w) {
+		return
+	}
+	respondJSON(w, http.StatusOK, s.cfg.Analytics.Status())
+}

@@ -1,0 +1,86 @@
+package collectserver
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// The v1 API contract (DESIGN.md §10): every /api/v1 route answers with a
+// typed JSON envelope and an X-API-Version header. Success is
+//
+//	{"data": <payload>}
+//
+// and failure is
+//
+//	{"error": {"code": "<stable code>", "message": "<human text>"}}
+//
+// Error codes are part of the contract — clients branch on them, messages
+// are free to change. All handlers respond through respondJSON /
+// respondError; per-handler marshaling is gone. /healthz and /metrics
+// predate the versioned surface and keep their unversioned shapes.
+
+// APIVersion is the value of the X-API-Version header on every /api/v1
+// response.
+const APIVersion = "1"
+
+// Stable v1 error codes.
+const (
+	// CodeBadRequest: malformed body, missing field, or bad query param.
+	CodeBadRequest = "bad_request"
+	// CodeConsentRequired: session creation without the consent click.
+	CodeConsentRequired = "consent_required"
+	// CodeUnauthorized: unknown/expired session token or bad admin token.
+	CodeUnauthorized = "unauthorized"
+	// CodeRateLimited: a per-IP token bucket rejected the request.
+	CodeRateLimited = "rate_limited"
+	// CodeQuotaExceeded: the session's record quota is exhausted.
+	CodeQuotaExceeded = "quota_exceeded"
+	// CodeBatchTooLarge: more records in one batch than MaxBatch.
+	CodeBatchTooLarge = "batch_too_large"
+	// CodeInvalidRecord: a record failed content validation.
+	CodeInvalidRecord = "invalid_record"
+	// CodeStorageFailure: the append-only store rejected the write.
+	CodeStorageFailure = "storage_failure"
+	// CodeOverloaded: load shedding (in-flight cap) dropped the request.
+	CodeOverloaded = "overloaded"
+	// CodeExportDisabled: export requested but no admin token configured.
+	CodeExportDisabled = "export_disabled"
+	// CodeAnalyticsDisabled: /api/v1/analytics/* without -analytics.
+	CodeAnalyticsDisabled = "analytics_disabled"
+	// CodeInternal: recovered panic or other unexpected failure.
+	CodeInternal = "internal"
+)
+
+// APIError is the failure half of the envelope.
+type APIError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Envelope is the v1 response wrapper. Exactly one of Data and Error is
+// set. Clients decode Data into the route's payload type.
+type Envelope struct {
+	Data  json.RawMessage `json:"data,omitempty"`
+	Error *APIError       `json:"error,omitempty"`
+}
+
+// respondJSON writes the success envelope {"data": v} with the given HTTP
+// status.
+func respondJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-API-Version", APIVersion)
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(struct {
+		Data any `json:"data"`
+	}{v})
+}
+
+// respondError writes the failure envelope with a stable error code.
+func respondError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-API-Version", APIVersion)
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(struct {
+		Error APIError `json:"error"`
+	}{APIError{Code: code, Message: msg}})
+}

@@ -1,0 +1,167 @@
+package collectserver
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/streaming"
+)
+
+// TestV1EnvelopeContract walks every /api/v1 route — success and failure
+// paths — and asserts the two halves of the contract: the X-API-Version
+// header is present, and the body is exactly one of {"data":...} or
+// {"error":{"code","message"}} with a non-empty stable code.
+func TestV1EnvelopeContract(t *testing.T) {
+	eng := streaming.New(streaming.Config{Registry: obs.NewRegistry(), AMIRefreshEvery: -1})
+	defer eng.Close()
+	f := newFixture(t, func(c *Config) { c.Analytics = eng })
+	tok := f.startSession(t, "u1")
+
+	get := func(path string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Get(f.ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		return resp, buf.Bytes()
+	}
+
+	checkEnvelope := func(name string, resp *http.Response, body []byte, wantErr bool) {
+		t.Helper()
+		if v := resp.Header.Get("X-API-Version"); v != APIVersion {
+			t.Errorf("%s: X-API-Version = %q, want %q", name, v, APIVersion)
+		}
+		var env Envelope
+		if err := json.Unmarshal(body, &env); err != nil {
+			t.Errorf("%s: body is not an envelope: %v (%s)", name, err, body)
+			return
+		}
+		if wantErr {
+			if env.Error == nil || env.Error.Code == "" {
+				t.Errorf("%s: want error envelope with code, got %s", name, body)
+			}
+			if env.Data != nil {
+				t.Errorf("%s: error response also carries data: %s", name, body)
+			}
+		} else {
+			if env.Data == nil {
+				t.Errorf("%s: want data envelope, got %s", name, body)
+			}
+			if env.Error != nil {
+				t.Errorf("%s: success response also carries error: %s", name, body)
+			}
+		}
+	}
+
+	// Success paths.
+	resp, body := get("/api/v1/study")
+	checkEnvelope("study", resp, body, false)
+
+	resp, body = f.post(t, "/api/v1/fingerprints",
+		SubmitRequest{Token: tok, Records: []FPRecord{validRecord(0), {Vector: "FFT", Iteration: 0, Hash: "cafe01"}}})
+	checkEnvelope("fingerprints", resp, body, false)
+
+	resp, body = get("/api/v1/stats")
+	checkEnvelope("stats", resp, body, false)
+
+	for _, route := range []string{"entropy", "clusters", "stability", "ami", "status"} {
+		resp, body = get("/api/v1/analytics/" + route)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("analytics/%s: %d %s", route, resp.StatusCode, body)
+		}
+		checkEnvelope("analytics/"+route, resp, body, false)
+	}
+
+	// Failure paths, one per stable code reachable over HTTP here.
+	resp, body = f.post(t, "/api/v1/sessions", NewSessionRequest{UserID: "u2", Consent: false})
+	checkEnvelope("consent", resp, body, true)
+
+	resp, body = f.post(t, "/api/v1/fingerprints",
+		SubmitRequest{Token: "nope", Records: []FPRecord{validRecord(0)}})
+	checkEnvelope("bad token", resp, body, true)
+
+	resp, body = get("/api/v1/export")
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("export without token: %d", resp.StatusCode)
+	}
+	checkEnvelope("export", resp, body, true)
+}
+
+// TestSubmitFeedsAnalytics checks the serving-path wiring: records accepted
+// by POST /api/v1/fingerprints reach the streaming engine, idempotent
+// replays do not double-count, and GET /api/v1/analytics/* reflects them.
+func TestSubmitFeedsAnalytics(t *testing.T) {
+	eng := streaming.New(streaming.Config{Registry: obs.NewRegistry(), AMIRefreshEvery: -1})
+	defer eng.Close()
+	f := newFixture(t, func(c *Config) { c.Analytics = eng })
+	tok := f.startSession(t, "u1")
+
+	req := SubmitRequest{Token: tok, IdempotencyKey: "k1", Records: []FPRecord{
+		validRecord(0), {Vector: "FFT", Iteration: 0, Hash: "cafe01"},
+	}}
+	if resp, body := f.post(t, "/api/v1/fingerprints", req); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	// Replay with the same idempotency key: cached response, no re-ingest.
+	if resp, body := f.post(t, "/api/v1/fingerprints", req); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("replay: %d %s", resp.StatusCode, body)
+	}
+	if err := eng.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(f.ts.URL + "/api/v1/analytics/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	var status streaming.StatusSnapshot
+	decodeData(t, buf.Bytes(), &status)
+	if status.Records != 2 || status.Users != 1 {
+		t.Errorf("analytics status = %+v, want 2 records from 1 user", status)
+	}
+
+	resp, err = http.Get(f.ts.URL + "/api/v1/analytics/entropy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	var ent streaming.EntropySnapshot
+	decodeData(t, buf.Bytes(), &ent)
+	if ent.Users != 1 || len(ent.Rows) == 0 {
+		t.Errorf("entropy snapshot = %+v", ent)
+	}
+}
+
+// TestAnalyticsDisabled pins the stable code clients use to distinguish
+// "server runs without -analytics" from a routing 404.
+func TestAnalyticsDisabled(t *testing.T) {
+	f := newFixture(t, nil)
+	resp, err := http.Get(f.ts.URL + "/api/v1/analytics/entropy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("disabled analytics: %d %s", resp.StatusCode, buf.Bytes())
+	}
+	var env Envelope
+	if err := json.Unmarshal(buf.Bytes(), &env); err != nil || env.Error == nil {
+		t.Fatalf("disabled analytics body = %s", buf.Bytes())
+	}
+	if env.Error.Code != CodeAnalyticsDisabled {
+		t.Errorf("code = %q, want %q", env.Error.Code, CodeAnalyticsDisabled)
+	}
+}

@@ -140,7 +140,10 @@ func routeLabel(path string) string {
 	switch path {
 	case "/healthz", "/metrics",
 		"/api/v1/study", "/api/v1/sessions", "/api/v1/fingerprints",
-		"/api/v1/stats", "/api/v1/export":
+		"/api/v1/stats", "/api/v1/export",
+		"/api/v1/analytics/entropy", "/api/v1/analytics/clusters",
+		"/api/v1/analytics/stability", "/api/v1/analytics/ami",
+		"/api/v1/analytics/status":
 		return path
 	}
 	return "other"

@@ -3,14 +3,20 @@
 // consent-gated HTTP API that issues collection sessions, ingests batched
 // elementary fingerprints, and exports the dataset for analysis.
 //
-// API (JSON over HTTP):
+// API (JSON over HTTP; every /api/v1 route speaks the typed envelope of
+// api.go and carries X-API-Version):
 //
-//	GET  /healthz                 liveness
-//	GET  /api/v1/study            study metadata + consent text
-//	POST /api/v1/sessions         begin a session (consent click) → token
-//	POST /api/v1/fingerprints     submit a batch (session token required)
-//	GET  /api/v1/stats            per-vector record counts
-//	GET  /api/v1/export           NDJSON dump (admin token required)
+//	GET  /healthz                    liveness (unversioned)
+//	GET  /api/v1/study               study metadata + consent text
+//	POST /api/v1/sessions            begin a session (consent click) → token
+//	POST /api/v1/fingerprints        submit a batch (session token required)
+//	GET  /api/v1/stats               record counts, ?vector= filterable
+//	GET  /api/v1/export              NDJSON dump (admin token required)
+//	GET  /api/v1/analytics/entropy   live diversity rows (streaming engine)
+//	GET  /api/v1/analytics/clusters  live per-vector collation statistics
+//	GET  /api/v1/analytics/stability live distinct-per-user rows
+//	GET  /api/v1/analytics/ami       pairwise-AMI snapshot
+//	GET  /api/v1/analytics/status    engine ingestion position
 package collectserver
 
 import (
@@ -29,6 +35,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/storage"
+	"repro/internal/streaming"
 	"repro/internal/vectors"
 )
 
@@ -76,6 +83,10 @@ type Config struct {
 	// IdempotencyWindow caps how many submission responses one session
 	// replays for retried idempotency keys (default 512 most recent keys).
 	IdempotencyWindow int
+	// Analytics, when set, receives every accepted submission batch off
+	// the request critical path (bounded queue, see streaming.Engine) and
+	// backs the /api/v1/analytics/* routes. Nil disables them.
+	Analytics *streaming.Engine
 }
 
 // Server is the collection backend. Create with New, mount via Handler.
@@ -177,6 +188,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/v1/fingerprints", s.handleSubmit)
 	mux.HandleFunc("GET /api/v1/stats", s.handleStats)
 	mux.HandleFunc("GET /api/v1/export", s.handleExport)
+	mux.HandleFunc("GET /api/v1/analytics/entropy", s.handleAnalyticsEntropy)
+	mux.HandleFunc("GET /api/v1/analytics/clusters", s.handleAnalyticsClusters)
+	mux.HandleFunc("GET /api/v1/analytics/stability", s.handleAnalyticsStability)
+	mux.HandleFunc("GET /api/v1/analytics/ami", s.handleAnalyticsAMI)
+	mux.HandleFunc("GET /api/v1/analytics/status", s.handleAnalyticsStatus)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.cfg.EnableDebug {
 		obs.RegisterDebug(mux)
@@ -201,7 +217,7 @@ func (s *Server) withMiddleware(next http.Handler) http.Handler {
 				// well-behaved clients from hammering a drowning server.
 				s.met.shed("overload")
 				w.Header().Set("Retry-After", "1")
-				writeErr(rec, http.StatusServiceUnavailable, "server overloaded, retry later")
+				respondError(rec, http.StatusServiceUnavailable, CodeOverloaded, "server overloaded, retry later")
 				s.met.request(routeLabel(r.URL.Path), rec.code, time.Since(start), r.ContentLength)
 				return
 			}
@@ -214,7 +230,7 @@ func (s *Server) withMiddleware(next http.Handler) http.Handler {
 				s.met.panics.Inc()
 				rec.code = http.StatusInternalServerError
 				if !rec.wrote {
-					writeErr(rec, http.StatusInternalServerError, "internal error")
+					respondError(rec, http.StatusInternalServerError, CodeInternal, "internal error")
 				}
 				if s.cfg.Logger != nil {
 					s.cfg.Logger.Printf("panic serving %s %s: %v", r.Method, r.URL.Path, p)
@@ -249,7 +265,7 @@ func (s *Server) handleStudy(w http.ResponseWriter, _ *http.Request) {
 	for i, v := range vectors.All {
 		names[i] = v.String()
 	}
-	writeJSON(w, http.StatusOK, StudyInfo{
+	respondJSON(w, http.StatusOK, StudyInfo{
 		Name: "Web Audio Fingerprinting Measurement Study",
 		Consent: "This study extracts browser fingerprints (Web Audio, Canvas, " +
 			"Font, User-Agent) from your browser. No other information is " +
@@ -277,25 +293,25 @@ type NewSessionResponse struct {
 func (s *Server) handleNewSession(w http.ResponseWriter, r *http.Request) {
 	if !s.limiter.allow(clientIP(r)) {
 		s.met.rateLimited.Inc()
-		writeErr(w, http.StatusTooManyRequests, "session creation rate limit exceeded")
+		respondError(w, http.StatusTooManyRequests, CodeRateLimited, "session creation rate limit exceeded")
 		return
 	}
 	var req NewSessionRequest
 	if err := decodeJSON(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+		respondError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 		return
 	}
 	if !req.Consent {
-		writeErr(w, http.StatusForbidden, "consent is required before collection")
+		respondError(w, http.StatusForbidden, CodeConsentRequired, "consent is required before collection")
 		return
 	}
 	if req.UserID == "" {
-		writeErr(w, http.StatusBadRequest, "user_id is required")
+		respondError(w, http.StatusBadRequest, CodeBadRequest, "user_id is required")
 		return
 	}
 	tok, err := newToken()
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "token generation failed")
+		respondError(w, http.StatusInternalServerError, CodeInternal, "token generation failed")
 		return
 	}
 	now := s.cfg.Now()
@@ -308,7 +324,7 @@ func (s *Server) handleNewSession(w http.ResponseWriter, r *http.Request) {
 	s.sessions[tok] = sess
 	s.mu.Unlock()
 	s.met.sessionsCreated.Inc()
-	writeJSON(w, http.StatusCreated, NewSessionResponse{SessionID: sess.id, Token: tok})
+	respondJSON(w, http.StatusCreated, NewSessionResponse{SessionID: sess.id, Token: tok})
 }
 
 // SubmitRequest is one fingerprint batch. IdempotencyKey, when set, makes
@@ -340,20 +356,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if !s.submitLimiter.allow(clientIP(r)) {
 		s.met.shed("rate")
 		w.Header().Set("Retry-After", "1")
-		writeErr(w, http.StatusTooManyRequests, "submission rate limit exceeded")
+		respondError(w, http.StatusTooManyRequests, CodeRateLimited, "submission rate limit exceeded")
 		return
 	}
 	var req SubmitRequest
 	if err := decodeJSON(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+		respondError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 		return
 	}
 	if len(req.Records) == 0 {
-		writeErr(w, http.StatusBadRequest, "empty batch")
+		respondError(w, http.StatusBadRequest, CodeBadRequest, "empty batch")
 		return
 	}
 	if len(req.Records) > s.cfg.MaxBatch {
-		writeErr(w, http.StatusRequestEntityTooLarge,
+		respondError(w, http.StatusRequestEntityTooLarge, CodeBatchTooLarge,
 			fmt.Sprintf("batch of %d exceeds limit %d", len(req.Records), s.cfg.MaxBatch))
 		return
 	}
@@ -367,7 +383,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if !ok {
 		s.mu.Unlock()
-		writeErr(w, http.StatusUnauthorized, "unknown or expired session token")
+		respondError(w, http.StatusUnauthorized, CodeUnauthorized, "unknown or expired session token")
 		return
 	}
 	if req.IdempotencyKey != "" {
@@ -375,13 +391,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			sess.lastSeen = now
 			s.mu.Unlock()
 			s.met.idempotentReplays.Inc()
-			writeJSON(w, http.StatusAccepted, cached)
+			// A replayed key never reaches the store — and never reaches
+			// the analytics engine either, matching exactly-once ingestion.
+			respondJSON(w, http.StatusAccepted, cached)
 			return
 		}
 	}
 	if sess.records+len(req.Records) > s.cfg.MaxRecordsPerSession {
 		s.mu.Unlock()
-		writeErr(w, http.StatusTooManyRequests, "session record quota exceeded")
+		respondError(w, http.StatusTooManyRequests, CodeQuotaExceeded, "session record quota exceeded")
 		return
 	}
 	sess.lastSeen = now
@@ -393,7 +411,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	recs := make([]storage.Record, 0, len(req.Records))
 	for _, fr := range req.Records {
 		if err := validateFPRecord(fr, s.cfg.MaxIterations); err != nil {
-			writeErr(w, http.StatusUnprocessableEntity, err.Error())
+			respondError(w, http.StatusUnprocessableEntity, CodeInvalidRecord, err.Error())
 			return
 		}
 		recs = append(recs, storage.Record{
@@ -403,8 +421,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	if err := s.cfg.Store.Append(recs...); err != nil {
-		writeErr(w, http.StatusInternalServerError, "storage failure")
+		respondError(w, http.StatusInternalServerError, CodeStorageFailure, "storage failure")
 		return
+	}
+	if s.cfg.Analytics != nil {
+		// Off the critical path: hand the batch to the engine's bounded
+		// queue. recs is not retained by anything else past this point.
+		s.cfg.Analytics.Enqueue(recs)
 	}
 	resp := SubmitResponse{Accepted: len(recs), Total: total}
 	if req.IdempotencyKey != "" {
@@ -418,7 +441,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 	}
 	s.met.recordsAccepted.Add(int64(len(recs)))
-	writeJSON(w, http.StatusAccepted, resp)
+	respondJSON(w, http.StatusAccepted, resp)
 }
 
 func validateFPRecord(fr FPRecord, maxIter int) error {
@@ -440,34 +463,74 @@ func validateFPRecord(fr FPRecord, maxIter int) error {
 	return nil
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+// StatsResponse is the payload of GET /api/v1/stats. With ?vector=NAME the
+// counts cover only that vector's records and Vector echoes the filter.
+type StatsResponse struct {
+	Records   int            `json:"records"`
+	Users     int            `json:"users"`
+	PerVector map[string]int `json:"per_vector"`
+	Vector    string         `json:"vector,omitempty"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	filter := r.URL.Query().Get("vector")
 	recs, err := s.cfg.Store.All()
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "storage failure")
+		respondError(w, http.StatusInternalServerError, CodeStorageFailure, "storage failure")
 		return
 	}
 	perVector := map[string]int{}
 	users := map[string]struct{}{}
-	for _, r := range recs {
-		perVector[r.Vector]++
-		users[r.UserID] = struct{}{}
+	for _, rec := range recs {
+		if filter != "" && rec.Vector != filter {
+			continue
+		}
+		perVector[rec.Vector]++
+		users[rec.UserID] = struct{}{}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"records":    len(recs),
-		"users":      len(users),
-		"per_vector": perVector,
+	total := 0
+	for _, n := range perVector {
+		total += n
+	}
+	if filter != "" && total == 0 {
+		// Distinguish "no records yet" from "you asked for a vector that
+		// can never exist" — the latter is a client bug worth a 400.
+		if !knownVectorName(filter) {
+			respondError(w, http.StatusBadRequest, CodeBadRequest,
+				fmt.Sprintf("unknown vector %q", filter))
+			return
+		}
+	}
+	respondJSON(w, http.StatusOK, StatsResponse{
+		Records:   total,
+		Users:     len(users),
+		PerVector: perVector,
+		Vector:    filter,
 	})
+}
+
+// knownVectorName reports whether name is one of the seven audio vectors or
+// an auxiliary surface accepted by validateFPRecord.
+func knownVectorName(name string) bool {
+	if _, err := vectors.ParseID(name); err == nil {
+		return true
+	}
+	switch name {
+	case "MathJS", "Canvas", "Fonts", "UserAgent":
+		return true
+	}
+	return false
 }
 
 func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.AdminToken == "" {
-		writeErr(w, http.StatusForbidden, "export disabled")
+		respondError(w, http.StatusForbidden, CodeExportDisabled, "export disabled")
 		return
 	}
 	got := r.Header.Get("Authorization")
 	want := "Bearer " + s.cfg.AdminToken
 	if subtle.ConstantTimeCompare([]byte(got), []byte(want)) != 1 {
-		writeErr(w, http.StatusUnauthorized, "bad admin token")
+		respondError(w, http.StatusUnauthorized, CodeUnauthorized, "bad admin token")
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -515,12 +578,10 @@ func decodeJSON(r *http.Request, dst any) error {
 	return nil
 }
 
+// writeJSON serves the unversioned endpoints (/healthz) that predate the
+// v1 envelope. Everything under /api/v1 goes through respondJSON.
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(v)
-}
-
-func writeErr(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, map[string]string{"error": msg})
 }

@@ -66,6 +66,25 @@ func (f *fixture) post(t *testing.T, path string, body any) (*http.Response, []b
 	return resp, buf.Bytes()
 }
 
+// decodeData unwraps the v1 success envelope {"data": ...} into dst and
+// fails the test on a missing envelope or an error payload.
+func decodeData(t *testing.T, body []byte, dst any) {
+	t.Helper()
+	var env Envelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("envelope decode: %v (%s)", err, body)
+	}
+	if env.Error != nil {
+		t.Fatalf("unexpected API error %s: %s", env.Error.Code, env.Error.Message)
+	}
+	if env.Data == nil {
+		t.Fatalf("response has no data envelope: %s", body)
+	}
+	if err := json.Unmarshal(env.Data, dst); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func (f *fixture) startSession(t *testing.T, user string) string {
 	t.Helper()
 	resp, body := f.post(t, "/api/v1/sessions",
@@ -73,10 +92,11 @@ func (f *fixture) startSession(t *testing.T, user string) string {
 	if resp.StatusCode != http.StatusCreated {
 		t.Fatalf("session create: %d %s", resp.StatusCode, body)
 	}
-	var out NewSessionResponse
-	if err := json.Unmarshal(body, &out); err != nil {
-		t.Fatal(err)
+	if v := resp.Header.Get("X-API-Version"); v != APIVersion {
+		t.Fatalf("X-API-Version = %q, want %q", v, APIVersion)
 	}
+	var out NewSessionResponse
+	decodeData(t, body, &out)
 	return out.Token
 }
 
@@ -96,11 +116,11 @@ func TestHealthAndStudy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var info StudyInfo
-	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
-		t.Fatal(err)
-	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
 	resp.Body.Close()
+	var info StudyInfo
+	decodeData(t, buf.Bytes(), &info)
 	if len(info.Vectors) != 7 || info.Iterations != 30 {
 		t.Errorf("study info = %+v", info)
 	}
@@ -132,7 +152,7 @@ func TestSubmitFlow(t *testing.T) {
 		t.Fatalf("submit: %d %s", resp.StatusCode, body)
 	}
 	var out SubmitResponse
-	json.Unmarshal(body, &out)
+	decodeData(t, body, &out)
 	if out.Accepted != 2 || out.Total != 2 {
 		t.Errorf("submit response = %+v", out)
 	}
@@ -231,15 +251,75 @@ func TestStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var stats struct {
-		Records   int            `json:"records"`
-		Users     int            `json:"users"`
-		PerVector map[string]int `json:"per_vector"`
-	}
-	json.NewDecoder(resp.Body).Decode(&stats)
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
 	resp.Body.Close()
+	var stats StatsResponse
+	decodeData(t, buf.Bytes(), &stats)
 	if stats.Records != 3 || stats.Users != 1 || stats.PerVector["FFT"] != 2 {
 		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestStatsVectorFilter(t *testing.T) {
+	f := newFixture(t, nil)
+	tok := f.startSession(t, "u1")
+	f.post(t, "/api/v1/fingerprints", SubmitRequest{Token: tok, Records: []FPRecord{
+		validRecord(0), {Vector: "FFT", Iteration: 0, Hash: "aa"}, {Vector: "FFT", Iteration: 1, Hash: "ab"},
+	}})
+
+	// Regression: handleStats used to ignore its *http.Request entirely, so
+	// ?vector= silently returned global counts.
+	resp, err := http.Get(f.ts.URL + "/api/v1/stats?vector=FFT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	var stats StatsResponse
+	decodeData(t, buf.Bytes(), &stats)
+	if stats.Records != 2 || stats.Users != 1 || stats.Vector != "FFT" {
+		t.Errorf("filtered stats = %+v", stats)
+	}
+	if len(stats.PerVector) != 1 || stats.PerVector["FFT"] != 2 {
+		t.Errorf("filtered per_vector = %+v", stats.PerVector)
+	}
+
+	// A known vector with no records yet is an empty result, not an error.
+	resp, err = http.Get(f.ts.URL + "/api/v1/stats?vector=AM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("empty known vector: %d %s", resp.StatusCode, buf.Bytes())
+	}
+	stats = StatsResponse{}
+	decodeData(t, buf.Bytes(), &stats)
+	if stats.Records != 0 || stats.Vector != "AM" {
+		t.Errorf("empty-vector stats = %+v", stats)
+	}
+
+	// A vector name that can never exist is a client bug: bad_request.
+	resp, err = http.Get(f.ts.URL + "/api/v1/stats?vector=Telepathy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown vector filter: %d", resp.StatusCode)
+	}
+	var env Envelope
+	if err := json.Unmarshal(buf.Bytes(), &env); err != nil || env.Error == nil {
+		t.Fatalf("unknown vector body = %s", buf.Bytes())
+	}
+	if env.Error.Code != CodeBadRequest {
+		t.Errorf("error code = %q, want %q", env.Error.Code, CodeBadRequest)
 	}
 }
 

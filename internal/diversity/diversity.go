@@ -67,16 +67,44 @@ func NormalizedEntropy[T comparable](values []T) float64 {
 	return Summarize(values).Normalized
 }
 
-// NormalizedEntropyStable is NormalizedEntropy with a deterministic
-// floating-point summation order: group counts are sorted before the
-// entropy sum, so repeated calls — and parallel sweeps that must be
-// bit-identical to their serial counterparts — always produce the same
-// float. (Summarize iterates a map, which randomizes the last ulp of the
-// sum from run to run.)
-func NormalizedEntropyStable[T comparable](values []T) float64 {
-	if len(values) <= 1 {
-		return 0
+// SummaryFromCounts computes a Summary from the multiset of group sizes
+// (one entry per distinct value, holding how many users share it), with a
+// deterministic floating-point summation order: sizes are sorted ascending
+// before the entropy sum, so the same multiset always produces the same
+// float regardless of the order counts were collected in. This is the
+// shared kernel behind SummarizeStable and the streaming engine's
+// snapshot rows — both sides of the batch/streaming equivalence property
+// reduce to this function, which is what makes their entropies
+// bit-identical rather than merely close.
+func SummaryFromCounts(counts []int) Summary {
+	cs := make([]int, len(counts))
+	copy(cs, counts)
+	sort.Ints(cs)
+	s := Summary{Distinct: len(cs)}
+	for _, c := range cs {
+		s.Users += c
 	}
+	n := float64(s.Users)
+	for _, c := range cs {
+		if c == 1 {
+			s.Unique++
+		}
+		p := float64(c) / n
+		s.EntropyBits -= p * math.Log2(p)
+	}
+	if s.EntropyBits < 0 {
+		s.EntropyBits = 0
+	}
+	if s.Users > 1 {
+		s.Normalized = s.EntropyBits / math.Log2(n)
+	}
+	return s
+}
+
+// SummarizeStable is Summarize with the deterministic summation order of
+// SummaryFromCounts. Prefer it anywhere two independently computed
+// summaries must compare equal as floats.
+func SummarizeStable[T comparable](values []T) Summary {
 	counts := make(map[T]int, len(values))
 	for _, v := range values {
 		counts[v]++
@@ -85,17 +113,17 @@ func NormalizedEntropyStable[T comparable](values []T) float64 {
 	for _, c := range counts {
 		cs = append(cs, c)
 	}
-	sort.Ints(cs)
-	n := float64(len(values))
-	var e float64
-	for _, c := range cs {
-		p := float64(c) / n
-		e -= p * math.Log2(p)
-	}
-	if e < 0 {
-		e = 0
-	}
-	return e / math.Log2(n)
+	return SummaryFromCounts(cs)
+}
+
+// NormalizedEntropyStable is NormalizedEntropy with a deterministic
+// floating-point summation order: group counts are sorted before the
+// entropy sum, so repeated calls — and parallel sweeps that must be
+// bit-identical to their serial counterparts — always produce the same
+// float. (Summarize iterates a map, which randomizes the last ulp of the
+// sum from run to run.)
+func NormalizedEntropyStable[T comparable](values []T) float64 {
+	return SummarizeStable(values).Normalized
 }
 
 // Combine builds the combination vector of several fingerprinting

@@ -185,3 +185,53 @@ func BenchmarkSummarize2093(b *testing.B) {
 		Summarize(vals)
 	}
 }
+
+// TestStableSummaryAgreement: SummarizeStable must agree with Summarize on
+// every integer field exactly and on the entropy up to map-order ULP noise,
+// and SummaryFromCounts over the tallied group sizes must be bit-identical
+// to SummarizeStable — the property the streaming engine's snapshot rows
+// rely on.
+func TestStableSummaryAgreement(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"a"},
+		{"a", "a", "a"},
+		{"a", "b", "c", "d"},
+		{"a", "a", "b", "b", "b", "c", "d", "d", "e", "f", "f", "f", "f"},
+	}
+	for i, values := range cases {
+		plain := Summarize(values)
+		stable := SummarizeStable(values)
+		if stable.Users != plain.Users || stable.Distinct != plain.Distinct || stable.Unique != plain.Unique {
+			t.Errorf("case %d: stable %+v vs plain %+v", i, stable, plain)
+		}
+		if d := stable.EntropyBits - plain.EntropyBits; d > 1e-12 || d < -1e-12 {
+			t.Errorf("case %d: entropy %v vs %v", i, stable.EntropyBits, plain.EntropyBits)
+		}
+		counts := map[string]int{}
+		for _, v := range values {
+			counts[v]++
+		}
+		cs := make([]int, 0, len(counts))
+		for _, c := range counts {
+			cs = append(cs, c)
+		}
+		if got := SummaryFromCounts(cs); got != stable {
+			t.Errorf("case %d: SummaryFromCounts %+v != SummarizeStable %+v", i, got, stable)
+		}
+		if got := NormalizedEntropyStable(values); got != stable.Normalized {
+			t.Errorf("case %d: NormalizedEntropyStable %v != %v", i, got, stable.Normalized)
+		}
+	}
+}
+
+// TestSummaryFromCountsOrderIndependent: any permutation of the group-size
+// multiset must produce the identical float, not merely a close one.
+func TestSummaryFromCountsOrderIndependent(t *testing.T) {
+	base := []int{5, 1, 7, 2, 2, 9, 1, 3}
+	want := SummaryFromCounts(base)
+	perm := []int{9, 7, 5, 3, 2, 2, 1, 1}
+	if got := SummaryFromCounts(perm); got != want {
+		t.Errorf("permuted counts gave %+v, want %+v", got, want)
+	}
+}

@@ -1,0 +1,391 @@
+// Package streaming maintains the paper's population analytics
+// incrementally, one collection record at a time, so a serving process can
+// answer "what is the entropy / cluster structure of the population right
+// now" without re-running the batch pipeline.
+//
+// Per audio vector the engine keeps (a) an online union-find collation
+// graph (collate.IntGraph grown via AddUser/EnsureUniverse/Observe), (b)
+// an exact cluster-size histogram updated from Observe's merge reports,
+// from which the Table 2 diversity row is derived at snapshot time, and
+// (c) per-user distinct-fingerprint sets for the Table 1 stability row.
+// Non-audio surfaces (canvas, fonts, Math-JS, platform, User-Agent) keep
+// exact value→count distributions for the Table 3 rows. Pairwise-vector
+// AMI (Figure 5) is the one snapshot-refreshed quantity: it is recomputed
+// every Config.AMIRefreshEvery applied records rather than per record.
+//
+// All maintained state is *exact*, not approximate: on any record prefix
+// the engine's labels, cluster counts, distinct counts, and entropy rows
+// are bit-identical to loading the same records with
+// study.FromRecordsOpts(KeepAllObservations) and running the batch
+// analyses — both sides reduce their float summations to
+// diversity.SummaryFromCounts. The batch path stays the golden reference;
+// the property test in equiv_test.go enforces the equivalence.
+package streaming
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/collate"
+	"repro/internal/obs"
+	"repro/internal/storage"
+	"repro/internal/study"
+	"repro/internal/vectors"
+)
+
+// ErrClosed is returned by Sync when the engine has been closed.
+var ErrClosed = errors.New("streaming: engine closed")
+
+// Config parameterizes New. The zero value is usable.
+type Config struct {
+	// Registry receives the engine's metrics; nil uses obs.Default.
+	Registry *obs.Registry
+	// QueueDepth bounds the update queue in batches (default 256). When
+	// the queue is full Enqueue blocks — backpressure on the ingestion
+	// path rather than unbounded memory growth; the wait is counted on
+	// streaming_queue_full_waits_total.
+	QueueDepth int
+	// AMIRefreshEvery refreshes the pairwise-AMI snapshot every N applied
+	// records (default 4096). Negative disables automatic refresh
+	// (RefreshAMI can still be called explicitly).
+	AMIRefreshEvery int
+}
+
+// vecState is one audio vector's incremental analysis state.
+type vecState struct {
+	g        *collate.IntGraph
+	intern   map[string]int32 // hash → dense fingerprint ID
+	hist     map[int32]int64  // cluster user-count → number of clusters
+	clusters int              // Σ hist values, maintained incrementally
+	distinct [][]int32        // per-user sorted distinct fingerprint IDs
+	obsCount int64            // observations applied (duplicates included)
+}
+
+// Engine is the incremental analysis engine. Create with New; feed it
+// accepted submissions with Enqueue (or Bootstrap for recovery replay);
+// read consistent snapshots with the methods in snapshot.go. All methods
+// are safe for concurrent use.
+type Engine struct {
+	queueDepth int
+	amiEvery   int
+
+	mu      sync.RWMutex // guards all analysis state below
+	users   map[string]int32
+	userIDs []string   // dense ID → user ID, first-record order
+	surfs   [][]string // surface index → per-user current value
+	counts  []map[string]int64
+	vecs    []*vecState // indexed in vectors.All order
+	vecIdx  map[vectors.ID]int
+	records int64 // audio + auxiliary records applied
+
+	amiMu   sync.Mutex
+	ami     *AMISnapshot
+	lastAMI int64 // records at last refresh
+
+	qmu     sync.Mutex
+	qcond   *sync.Cond
+	enq     int64 // batches enqueued (or bootstrapped)
+	applied int64 // batches fully applied
+	closed  bool
+	lost    bool // a batch was dropped by shutdown
+
+	queue chan []storage.Record
+	quit  chan struct{}
+	done  chan struct{}
+
+	met engineMetrics
+}
+
+// Surface distribution order inside Engine.surfs / Engine.counts. The
+// User-Agent follows FromRecords' first-non-empty-wins rule; the others
+// follow its last-record-wins rule.
+const (
+	surfCanvas = iota
+	surfFonts
+	surfMathJS
+	surfPlatform
+	surfUA
+	numSurfaces
+)
+
+var surfaceNames = [numSurfaces]string{"Canvas", "Fonts", "MathJS", "Platform", "User-Agent"}
+var surfaceKeys = [numSurfaces]string{study.SurfaceCanvas, study.SurfaceFonts, study.SurfaceMathJS, study.SurfacePlatform, ""}
+
+// New returns a running engine: its consumer goroutine drains the update
+// queue until Close.
+func New(cfg Config) *Engine {
+	e := &Engine{
+		queueDepth: cfg.QueueDepth,
+		amiEvery:   cfg.AMIRefreshEvery,
+		users:      map[string]int32{},
+		vecIdx:     make(map[vectors.ID]int, len(vectors.All)),
+		quit:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	if e.queueDepth <= 0 {
+		e.queueDepth = 256
+	}
+	if e.amiEvery == 0 {
+		e.amiEvery = 4096
+	}
+	e.queue = make(chan []storage.Record, e.queueDepth)
+	e.qcond = sync.NewCond(&e.qmu)
+	e.surfs = make([][]string, numSurfaces)
+	e.counts = make([]map[string]int64, numSurfaces)
+	for i := range e.counts {
+		e.counts[i] = map[string]int64{}
+	}
+	e.vecs = make([]*vecState, len(vectors.All))
+	for i, v := range vectors.All {
+		e.vecIdx[v] = i
+		e.vecs[i] = &vecState{
+			g:      collate.NewIntGraph(0, 0),
+			intern: map[string]int32{},
+			hist:   map[int32]int64{},
+		}
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.Default
+	}
+	e.registerMetrics(reg)
+	go e.loop()
+	return e
+}
+
+// Enqueue hands a batch of accepted records to the engine off the caller's
+// critical path. It returns immediately while the queue has room and
+// blocks (counted) when it is full; after Close the batch is dropped.
+func (e *Engine) Enqueue(recs []storage.Record) {
+	if len(recs) == 0 {
+		return
+	}
+	e.qmu.Lock()
+	if e.closed {
+		e.qmu.Unlock()
+		return
+	}
+	e.enq++
+	e.qmu.Unlock()
+	select {
+	case e.queue <- recs:
+		return
+	default:
+	}
+	e.met.queueWaits.Inc()
+	select {
+	case e.queue <- recs:
+	case <-e.quit:
+		// Shutdown raced the send: the batch is dropped. Account it as
+		// applied so Sync waiters observe a consistent ledger, and record
+		// the loss so they learn the engine closed under them.
+		e.qmu.Lock()
+		e.applied++
+		e.lost = true
+		e.qcond.Broadcast()
+		e.qmu.Unlock()
+	}
+}
+
+// Apply folds a batch synchronously on the caller's goroutine, bypassing
+// the queue — the building block of Bootstrap and of benchmarks that
+// measure the per-record cost without queue hand-off noise.
+func (e *Engine) Apply(recs []storage.Record) {
+	e.qmu.Lock()
+	e.enq++
+	e.qmu.Unlock()
+	e.applyBatch(recs)
+}
+
+// Bootstrap replays records synchronously — the restart path after
+// storage.Recover() — and refreshes the AMI snapshot once at the end.
+func (e *Engine) Bootstrap(recs []storage.Record) {
+	e.Apply(recs)
+	e.RefreshAMI()
+}
+
+// Sync blocks until every batch enqueued so far has been applied, so
+// readers observe them. It returns ErrClosed if the engine closed before
+// applying everything (already-queued batches are still drained on Close,
+// but a batch racing shutdown can be dropped).
+func (e *Engine) Sync() error {
+	e.qmu.Lock()
+	defer e.qmu.Unlock()
+	target := e.enq
+	for e.applied < target {
+		e.qcond.Wait()
+	}
+	if e.lost {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Close stops the consumer after draining already-queued batches. It is
+// idempotent and safe to call concurrently with Enqueue.
+func (e *Engine) Close() {
+	e.qmu.Lock()
+	if e.closed {
+		e.qmu.Unlock()
+		<-e.done
+		return
+	}
+	e.closed = true
+	e.qmu.Unlock()
+	close(e.quit)
+	<-e.done
+	// The worker has exited; any batch that slipped into the queue after
+	// the drain is lost. Settle the ledger so Sync waiters wake.
+	e.qmu.Lock()
+	if e.applied < e.enq {
+		e.applied = e.enq
+		e.lost = true
+	}
+	e.qcond.Broadcast()
+	e.qmu.Unlock()
+}
+
+func (e *Engine) loop() {
+	defer close(e.done)
+	for {
+		select {
+		case batch := <-e.queue:
+			e.applyBatch(batch)
+		case <-e.quit:
+			for {
+				select {
+				case batch := <-e.queue:
+					e.applyBatch(batch)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (e *Engine) applyBatch(recs []storage.Record) {
+	start := time.Now()
+	e.mu.Lock()
+	for i := range recs {
+		e.applyLocked(&recs[i])
+	}
+	records := e.records
+	e.mu.Unlock()
+
+	e.met.applySeconds.Observe(time.Since(start).Seconds())
+	e.met.recordsApplied.Add(int64(len(recs)))
+	e.met.batchesApplied.Inc()
+
+	e.qmu.Lock()
+	e.applied++
+	e.qcond.Broadcast()
+	e.qmu.Unlock()
+
+	if e.amiEvery > 0 && records-e.loadLastAMI() >= int64(e.amiEvery) {
+		e.RefreshAMI()
+	}
+}
+
+func (e *Engine) loadLastAMI() int64 {
+	e.amiMu.Lock()
+	defer e.amiMu.Unlock()
+	return e.lastAMI
+}
+
+// applyLocked folds one record into the analysis state. Mirrors the
+// semantics of study.FromRecordsOpts(KeepAllObservations): users register
+// in first-record order (even for records whose vector does not parse),
+// User-Agent is first-non-empty-wins, surfaces are last-record-wins, and
+// unparseable vectors contribute nothing beyond user/surface bookkeeping.
+// O(α(n)) amortized per record plus the distinct-set insertion (bounded by
+// a user's distinct fingerprints for one vector — single digits in
+// practice, Table 1).
+func (e *Engine) applyLocked(r *storage.Record) {
+	uid, ok := e.users[r.UserID]
+	if !ok {
+		uid = int32(len(e.userIDs))
+		e.users[r.UserID] = uid
+		e.userIDs = append(e.userIDs, r.UserID)
+		for s := 0; s < numSurfaces; s++ {
+			e.surfs[s] = append(e.surfs[s], "")
+			e.counts[s][""]++
+		}
+		for _, vs := range e.vecs {
+			vs.g.AddUser()
+			vs.hist[1]++
+			vs.clusters++
+			vs.distinct = append(vs.distinct, nil)
+		}
+	}
+	if e.surfs[surfUA][uid] == "" && r.UserAgent != "" {
+		e.setSurface(surfUA, uid, r.UserAgent)
+	}
+	for s := 0; s < numSurfaces; s++ {
+		if surfaceKeys[s] == "" {
+			continue
+		}
+		if v, ok := r.Surfaces[surfaceKeys[s]]; ok && v != e.surfs[s][uid] {
+			e.setSurface(s, uid, v)
+		}
+	}
+	e.records++
+
+	v, err := vectors.ParseID(r.Vector)
+	if err != nil {
+		return // auxiliary rows ride in Surfaces, as in FromRecords
+	}
+	vs := e.vecs[e.vecIdx[v]]
+	fp, ok := vs.intern[r.Hash]
+	if !ok {
+		fp = int32(len(vs.intern))
+		vs.intern[r.Hash] = fp
+		vs.g.EnsureUniverse(int(fp) + 1)
+	}
+	if a, b, merged := vs.g.Observe(uid, fp); merged && b > 0 {
+		vs.hist[a]--
+		if vs.hist[a] == 0 {
+			delete(vs.hist, a)
+		}
+		vs.hist[b]--
+		if vs.hist[b] == 0 {
+			delete(vs.hist, b)
+		}
+		vs.hist[a+b]++
+		vs.clusters--
+	}
+	insertSorted(&vs.distinct[uid], fp)
+	vs.obsCount++
+}
+
+func (e *Engine) setSurface(s int, uid int32, v string) {
+	old := e.surfs[s][uid]
+	e.counts[s][old]--
+	if e.counts[s][old] == 0 {
+		delete(e.counts[s], old)
+	}
+	e.counts[s][v]++
+	e.surfs[s][uid] = v
+}
+
+// insertSorted inserts v into the sorted slice *s if absent.
+func insertSorted(s *[]int32, v int32) {
+	d := *s
+	lo, hi := 0, len(d)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(d) && d[lo] == v {
+		return
+	}
+	d = append(d, 0)
+	copy(d[lo+1:], d[lo:])
+	d[lo] = v
+	*s = d
+}

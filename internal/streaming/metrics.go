@@ -1,0 +1,57 @@
+package streaming
+
+import (
+	"repro/internal/obs"
+	"repro/internal/vectors"
+)
+
+// engineMetrics holds the engine's instrumentation on an obs registry.
+type engineMetrics struct {
+	recordsApplied *obs.Counter
+	batchesApplied *obs.Counter
+	queueWaits     *obs.Counter
+	amiRefreshes   *obs.Counter
+	applySeconds   *obs.Histogram
+	amiSeconds     *obs.Histogram
+}
+
+// registerMetrics creates the engine's counters/histograms and installs
+// gauge closures reading live state. Gauge reads take the engine's read
+// lock, so a /metrics scrape observes a consistent position.
+func (e *Engine) registerMetrics(reg *obs.Registry) {
+	e.met = engineMetrics{
+		recordsApplied: reg.Counter("streaming_records_applied_total",
+			"Collection records folded into the streaming engine.", nil),
+		batchesApplied: reg.Counter("streaming_batches_applied_total",
+			"Update-queue batches applied by the streaming engine.", nil),
+		queueWaits: reg.Counter("streaming_queue_full_waits_total",
+			"Enqueue calls that blocked on a full update queue (backpressure).", nil),
+		amiRefreshes: reg.Counter("streaming_ami_refreshes_total",
+			"Pairwise-AMI snapshot recomputations.", nil),
+		applySeconds: reg.Histogram("streaming_apply_seconds",
+			"Latency of applying one update batch.", obs.LatencyBuckets(), nil),
+		amiSeconds: reg.Histogram("streaming_ami_refresh_seconds",
+			"Latency of one pairwise-AMI snapshot refresh.", obs.LatencyBuckets(), nil),
+	}
+	reg.GaugeFunc("streaming_queue_depth",
+		"Update batches waiting in the engine queue.", nil,
+		func() float64 { return float64(len(e.queue)) })
+	reg.GaugeFunc("streaming_users",
+		"Users known to the streaming engine.", nil,
+		func() float64 {
+			e.mu.RLock()
+			defer e.mu.RUnlock()
+			return float64(len(e.userIDs))
+		})
+	for i, v := range vectors.All {
+		vs := e.vecs[i]
+		reg.GaugeFunc("streaming_clusters",
+			"Collated fingerprint clusters per vector.",
+			obs.Labels{"vector": v.String()},
+			func() float64 {
+				e.mu.RLock()
+				defer e.mu.RUnlock()
+				return float64(vs.clusters)
+			})
+	}
+}

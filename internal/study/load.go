@@ -53,12 +53,30 @@ func (ds *Dataset) ToRecords(receivedAt time.Time) []storage.Record {
 	return recs
 }
 
+// LoadOptions configures FromRecordsOpts.
+type LoadOptions struct {
+	// KeepAllObservations retains every record's hash in arrival order
+	// instead of compacting per-iteration maps to the minimum common
+	// coverage: rows become ragged, duplicate (vector, iteration) replays
+	// append rather than overwrite, and users missing a vector entirely get
+	// an empty row (they stay singleton clusters for that vector). This is
+	// the load mode whose collation graph and diversity rows the streaming
+	// engine reproduces bit-identically on any record prefix — the paper's
+	// batch analyses keep using the default compacting mode.
+	KeepAllObservations bool
+}
+
 // FromRecords reconstructs a Dataset from stored collection records — the
 // analysis entry point for real exports. Users appear in order of first
 // record. Every user must cover the same audio vectors; missing iterations
 // are tolerated by compacting each user's per-vector observations (analyses
 // operate on whatever repetition count the smallest coverage provides).
 func FromRecords(recs []storage.Record) (*Dataset, error) {
+	return FromRecordsOpts(recs, LoadOptions{})
+}
+
+// FromRecordsOpts is FromRecords with explicit load options.
+func FromRecordsOpts(recs []storage.Record, opt LoadOptions) (*Dataset, error) {
 	if len(recs) == 0 {
 		return nil, fmt.Errorf("study: no records")
 	}
@@ -67,6 +85,7 @@ func FromRecords(recs []storage.Record) (*Dataset, error) {
 		ua       string
 		surfaces map[string]string
 		obs      map[vectors.ID]map[int]string
+		seq      map[vectors.ID][]string // keep-all mode: hashes in arrival order
 	}
 	users := map[string]*userData{}
 	var order []string
@@ -74,7 +93,12 @@ func FromRecords(recs []storage.Record) (*Dataset, error) {
 	for _, r := range recs {
 		u := users[r.UserID]
 		if u == nil {
-			u = &userData{idx: len(order), obs: map[vectors.ID]map[int]string{}}
+			u = &userData{idx: len(order)}
+			if opt.KeepAllObservations {
+				u.seq = map[vectors.ID][]string{}
+			} else {
+				u.obs = map[vectors.ID]map[int]string{}
+			}
 			users[r.UserID] = u
 			order = append(order, r.UserID)
 		}
@@ -93,6 +117,10 @@ func FromRecords(recs []storage.Record) (*Dataset, error) {
 		if err != nil {
 			continue // auxiliary vectors (MathJS rows etc.) ride in Surfaces
 		}
+		if opt.KeepAllObservations {
+			u.seq[v] = append(u.seq[v], r.Hash)
+			continue
+		}
 		m := u.obs[v]
 		if m == nil {
 			m = map[int]string{}
@@ -102,16 +130,27 @@ func FromRecords(recs []storage.Record) (*Dataset, error) {
 	}
 
 	// Determine the common iteration count: the minimum per-user per-vector
-	// coverage (compacted).
+	// coverage (compacted), or the maximum row length when keeping all
+	// observations (rows stay ragged; Iterations is advisory).
 	iterations := -1
-	for _, u := range users {
-		for _, v := range vectors.All {
-			n := len(u.obs[v])
-			if n == 0 {
-				return nil, fmt.Errorf("study: a user has no %v observations", v)
+	if opt.KeepAllObservations {
+		for _, u := range users {
+			for _, v := range vectors.All {
+				if n := len(u.seq[v]); n > iterations {
+					iterations = n
+				}
 			}
-			if iterations < 0 || n < iterations {
-				iterations = n
+		}
+	} else {
+		for _, u := range users {
+			for _, v := range vectors.All {
+				n := len(u.obs[v])
+				if n == 0 {
+					return nil, fmt.Errorf("study: a user has no %v observations", v)
+				}
+				if iterations < 0 || n < iterations {
+					iterations = n
+				}
 			}
 		}
 	}
@@ -138,6 +177,10 @@ func FromRecords(recs []storage.Record) (*Dataset, error) {
 		ds.MathJS[u.idx] = u.surfaces[SurfaceMathJS]
 		ds.Platforms[u.idx] = u.surfaces[SurfacePlatform]
 		for _, v := range vectors.All {
+			if opt.KeepAllObservations {
+				ds.Obs[v][u.idx] = u.seq[v]
+				continue
+			}
 			// Compact observed iterations in ascending order.
 			its := make([]int, 0, len(u.obs[v]))
 			for it := range u.obs[v] {

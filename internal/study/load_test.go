@@ -139,3 +139,45 @@ func TestFromRecordsToleratesSparseIterations(t *testing.T) {
 		t.Errorf("gap not compacted: %q", ds.Obs[vectors.DC][1][1])
 	}
 }
+
+// TestFromRecordsKeepAll: the keep-all load mode retains every observation
+// in arrival order (duplicate iterations append, not overwrite), tolerates
+// users missing whole vectors, and leaves rows ragged.
+func TestFromRecordsKeepAll(t *testing.T) {
+	var recs []storage.Record
+	add := func(user, vec string, it int, h string) {
+		recs = append(recs, storage.Record{
+			UserID: user, Vector: vec, Iteration: it, Hash: h,
+			ReceivedAt: time.Now(),
+		})
+	}
+	add("u1", "DC", 0, "a0")
+	add("u2", "FFT", 0, "f0")
+	add("u1", "DC", 0, "a0b") // duplicate iteration: appended, not replaced
+	add("u1", "DC", 2, "a2")
+
+	ds, err := FromRecordsOpts(recs, LoadOptions{KeepAllObservations: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ds.Obs[vectors.DC][0]; len(got) != 3 || got[0] != "a0" || got[1] != "a0b" || got[2] != "a2" {
+		t.Errorf("u1 DC row = %v, want [a0 a0b a2]", got)
+	}
+	if got := ds.Obs[vectors.DC][1]; len(got) != 0 {
+		t.Errorf("u2 DC row = %v, want empty (missing vector tolerated)", got)
+	}
+	if got := ds.Obs[vectors.FFT][1]; len(got) != 1 || got[0] != "f0" {
+		t.Errorf("u2 FFT row = %v, want [f0]", got)
+	}
+	if ds.Iterations != 3 {
+		t.Errorf("Iterations = %d, want 3 (max row length)", ds.Iterations)
+	}
+	// Users missing a vector collate as singletons rather than erroring.
+	if got := ds.Labels(vectors.DC); len(got) != 2 || got[0] == got[1] {
+		t.Errorf("DC labels = %v, want two distinct clusters", got)
+	}
+	// Default mode still rejects the same records (u2 has no DC coverage).
+	if _, err := FromRecords(recs); err == nil {
+		t.Error("compacting mode accepted records with a user missing a vector")
+	}
+}
