@@ -22,16 +22,18 @@ test-short:
 	$(GO) test -short ./...
 
 # Everything CI should gate on: build, vet/gofmt, the race detector over the
-# internal packages (the telemetry registry/span tree first — they back every
-# other package — then the parallel sweeps and shared caches), the full
-# suite, and a short fuzz pass over the ingestion surfaces (10s per target,
-# seeded from the checked-in torn/corrupt corpora).
+# internal packages (the telemetry registry/span tree and the watch monitor
+# first — spans/exporter/alert evaluation cross goroutines in every binary —
+# then the parallel sweeps and shared caches), the full suite, and a short
+# fuzz pass over the ingestion surfaces (10s per target, seeded from the
+# checked-in torn/corrupt corpora).
 check: build vet
-	$(GO) test -race ./internal/obs/
+	$(GO) test -race ./internal/obs/ ./internal/watch/
 	$(GO) test -race ./internal/...
 	$(GO) test ./...
 	$(GO) test -run '^$$' -fuzz FuzzStoreScan -fuzztime 10s ./internal/storage/
 	$(GO) test -run '^$$' -fuzz FuzzSubmitHandler -fuzztime 10s ./internal/collectserver/
+	$(GO) test -run '^$$' -fuzz FuzzParseTraceparent -fuzztime 10s ./internal/obs/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -52,6 +54,7 @@ bench-stream:
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzStoreScan -fuzztime 20s ./internal/storage/
 	$(GO) test -run '^$$' -fuzz FuzzSubmitHandler -fuzztime 20s ./internal/collectserver/
+	$(GO) test -run '^$$' -fuzz FuzzParseTraceparent -fuzztime 20s ./internal/obs/
 
 # Regenerate every table and figure at paper scale.
 study:

@@ -25,6 +25,7 @@ import (
 	"repro/internal/collectclient"
 	"repro/internal/collectserver"
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/population"
 	"repro/internal/study"
@@ -53,11 +54,27 @@ func run(ctx context.Context, args []string, errw io.Writer) error {
 		brkThresh   = fs.Int("breaker-threshold", 0, "consecutive failures before the circuit breaker opens (0 disables)")
 		brkCooldown = fs.Duration("breaker-cooldown", 5*time.Second, "how long an open circuit breaker fails fast")
 		faults      = fs.String("faults", "", "fault-injection spec for chaos rehearsal, e.g. \"seed=7,drop=0.05,delay=0.1:10ms,http500=0.05\"")
+		export      = fs.String("export", "", "write telemetry (per-participant trace spans + periodic metrics snapshots) to this NDJSON file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	logger := log.New(errw, "fpagent ", log.LstdFlags|log.Lmsgprefix)
+
+	var exporter *obs.Exporter
+	if *export != "" {
+		var err error
+		exporter, err = obs.NewExporter(obs.ExportConfig{
+			Path:     *export,
+			Registry: obs.Default,
+			Service:  "fpagent",
+		})
+		if err != nil {
+			return err
+		}
+		defer exporter.Close()
+		logger.Printf("telemetry export to %s", *export)
+	}
 
 	cfg := population.Config{Seed: *seed, N: *users}
 	if *followUp {
@@ -110,7 +127,23 @@ func run(ctx context.Context, args []string, errw io.Writer) error {
 		go func(i int, d *platform.Device) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			if err := runParticipant(ctx, client, cache, jitter, d, *iterations, seeds[i]); err != nil {
+			// One trace per participant visit: the client stamps its
+			// traceparent onto every submission, so a trace-exporting
+			// server stitches its ingest spans onto this root.
+			pctx := ctx
+			var sp *obs.Span
+			if exporter != nil {
+				sp = obs.NewTrace("agent.participant")
+				sp.SetAttr("user", d.ID)
+				pctx = obs.ContextWithSpan(ctx, sp)
+			}
+			err := runParticipant(pctx, client, cache, jitter, d, *iterations, seeds[i])
+			if sp != nil {
+				sp.SetAttr("failed", err != nil)
+				sp.End()
+				exporter.ExportSpan(sp)
+			}
+			if err != nil {
 				mu.Lock()
 				failures++
 				mu.Unlock()
@@ -142,6 +175,9 @@ func reportTelemetry(logger *log.Logger, client *collectclient.Client, participa
 	}
 	logger.Printf("telemetry: %d HTTP requests (%d retries, %d failures, %d breaker opens), %.1f KiB sent, %s backing off",
 		tel.Requests, tel.Retries, tel.Failures, tel.BreakerOpens, float64(tel.BytesSent)/1024, tel.BackoffTotal.Round(time.Millisecond))
+	if tel.LastErrorCode != "" || tel.BreakerState != collectclient.BreakerClosed {
+		logger.Printf("telemetry: breaker %s, last error code %q", tel.BreakerState, tel.LastErrorCode)
+	}
 	logger.Printf("telemetry: %.1f requests/s, %.1f participants/s overall, %.2f participants/s per worker",
 		float64(tel.Requests)/secs, float64(participants)/secs, float64(participants)/secs/float64(workers))
 }

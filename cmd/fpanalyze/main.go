@@ -42,6 +42,7 @@ func run(runCtx context.Context, args []string, outw, errw io.Writer) error {
 		list      = fs.Bool("list", false, "list experiment ids and exit")
 		recover_  = fs.Bool("recover", false, "salvage the dataset up to the first torn write before analyzing")
 		traceJSON = fs.String("trace-json", "", "write the analysis span tree as JSON to this path")
+		export    = fs.String("export", "", "write telemetry (analysis spans + periodic metrics snapshots) to this NDJSON file")
 		traceText = fs.Bool("trace", false, "print the analysis span tree to stderr on exit")
 		pprofAddr = fs.String("pprof", "", "serve /debug/pprof and /metrics on this address")
 	)
@@ -76,6 +77,20 @@ func run(runCtx context.Context, args []string, outw, errw io.Writer) error {
 				logger.Printf("pprof server: %v", err)
 			}
 		}()
+	}
+	var exporter *obs.Exporter
+	if *export != "" {
+		var err error
+		exporter, err = obs.NewExporter(obs.ExportConfig{
+			Path:     *export,
+			Registry: obs.Default,
+			Service:  "fpanalyze",
+		})
+		if err != nil {
+			return err
+		}
+		defer exporter.Close()
+		logger.Printf("telemetry export to %s", *export)
 	}
 	root := obs.NewTrace("fpanalyze")
 	ctx := obs.ContextWithSpan(runCtx, root)
@@ -126,6 +141,9 @@ func run(runCtx context.Context, args []string, outw, errw io.Writer) error {
 	}
 	finish := func() {
 		root.End()
+		if exporter != nil {
+			exporter.ExportSpan(root)
+		}
 		if *traceJSON != "" {
 			f, err := os.Create(*traceJSON)
 			if err != nil {

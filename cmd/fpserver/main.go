@@ -24,6 +24,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/streaming"
+	"repro/internal/watch"
 )
 
 // onListen, when set by tests, receives the bound listener address so an
@@ -57,6 +58,8 @@ func run(ctx context.Context, args []string, errw io.Writer) error {
 		recover_   = fs.Bool("recover", true, "salvage the store's active file up to the first torn write on startup")
 		debug      = fs.Bool("debug", false, "mount /debug/pprof and /debug/vars (operational detail — keep off on public listeners)")
 		analytics  = fs.Bool("analytics", false, "serve live incremental analytics on /api/v1/analytics/* (rebuilt from the store on startup)")
+		watchFlag  = fs.Bool("watch", false, "run measurement-health watchers over the live analytics (implies -analytics); alerts on /api/v1/analytics/alerts and /debug/health")
+		export     = fs.String("export", "", "write telemetry (request/ingest/apply spans + periodic metrics snapshots) to this NDJSON file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,10 +86,29 @@ func run(ctx context.Context, args []string, errw io.Writer) error {
 	}
 	logger.Printf("store %s opened with %d existing records", st.Path(), st.Count())
 
+	var exporter *obs.Exporter
+	if *export != "" {
+		exporter, err = obs.NewExporter(obs.ExportConfig{
+			Path:     *export,
+			Registry: obs.Default,
+			Service:  "fpserver",
+		})
+		if err != nil {
+			return err
+		}
+		defer exporter.Close()
+		logger.Printf("telemetry export to %s", *export)
+	}
+
 	var eng *streaming.Engine
-	if *analytics {
-		// Same registry as the server so engine gauges land on /metrics.
-		eng = streaming.New(streaming.Config{Registry: obs.Default})
+	if *analytics || *watchFlag {
+		// Same registry as the server so engine gauges land on /metrics;
+		// same exporter so apply spans land in the trace file.
+		cfg := streaming.Config{Registry: obs.Default}
+		if exporter != nil {
+			cfg.Spans = exporter
+		}
+		eng = streaming.New(cfg)
 		defer eng.Close()
 		recs, err := st.All()
 		if err != nil {
@@ -97,7 +119,20 @@ func run(ctx context.Context, args []string, errw io.Writer) error {
 		logger.Printf("analytics engine rebuilt from %d records in %v", len(recs), time.Since(start).Round(time.Millisecond))
 	}
 
-	srv, err := collectserver.New(collectserver.Config{
+	var mon *watch.Monitor
+	if *watchFlag {
+		mon, err = watch.New(watch.Config{
+			Engine:   eng,
+			Registry: obs.Default,
+			Logger:   obs.NewLogger(obs.LogConfig{W: errw, Component: "watch"}),
+		})
+		if err != nil {
+			return err
+		}
+		logger.Printf("watch monitor running %d rules", len(watch.DefaultRules()))
+	}
+
+	srvCfg := collectserver.Config{
 		Store:             st,
 		AdminToken:        *adminToken,
 		MaxBatch:          *maxBatch,
@@ -107,7 +142,12 @@ func run(ctx context.Context, args []string, errw io.Writer) error {
 		SubmitRatePerSec:  *subRate,
 		EnableDebug:       *debug,
 		Analytics:         eng,
-	})
+		Watch:             mon,
+	}
+	if exporter != nil {
+		srvCfg.Trace = exporter
+	}
+	srv, err := collectserver.New(srvCfg)
 	if err != nil {
 		return err
 	}

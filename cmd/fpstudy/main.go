@@ -50,6 +50,7 @@ func run(runCtx context.Context, args []string, outw, errw io.Writer) error {
 		ablation   = fs.Bool("ablation", true, "render the graph-vs-naive collation ablation")
 		evolution  = fs.Int("evolution-users", 800, "users for the §6 era comparison (0 skips it)")
 		traceJSON  = fs.String("trace-json", "", "write the pipeline span tree as JSON to this path")
+		export     = fs.String("export", "", "write telemetry (pipeline spans + periodic metrics snapshots) to this NDJSON file")
 		traceText  = fs.Bool("trace", false, "print the pipeline span tree to stderr on exit")
 		progress   = fs.Bool("progress", false, "report rendering progress to stderr")
 		pprofAddr  = fs.String("pprof", "", "serve /debug/pprof and /metrics on this address (e.g. localhost:6060)")
@@ -66,6 +67,21 @@ func run(runCtx context.Context, args []string, outw, errw io.Writer) error {
 				logger.Printf("pprof server: %v", err)
 			}
 		}()
+	}
+
+	var exporter *obs.Exporter
+	if *export != "" {
+		var err error
+		exporter, err = obs.NewExporter(obs.ExportConfig{
+			Path:     *export,
+			Registry: obs.Default,
+			Service:  "fpstudy",
+		})
+		if err != nil {
+			return err
+		}
+		defer exporter.Close()
+		logger.Printf("telemetry export to %s", *export)
 	}
 
 	root := obs.NewTrace("fpstudy")
@@ -131,6 +147,9 @@ func run(runCtx context.Context, args []string, outw, errw io.Writer) error {
 		}
 	}
 	root.End()
+	if exporter != nil {
+		exporter.ExportSpan(root)
+	}
 	writeTrace(logger, root, *traceJSON, *traceText)
 	fmt.Fprintf(errw, "total runtime: %s\n", time.Since(start).Round(time.Millisecond))
 	return nil

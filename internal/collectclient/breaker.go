@@ -72,6 +72,33 @@ func (b *breaker) failure() {
 	b.mu.Unlock()
 }
 
+// Breaker states as reported by Telemetry.
+const (
+	BreakerClosed   = "closed"
+	BreakerOpen     = "open"
+	BreakerHalfOpen = "half-open"
+)
+
+// state reports the breaker's current position: "closed" while under the
+// failure threshold (or when no breaker is configured), "open" while the
+// cooldown clock runs, "half-open" once the cooldown has elapsed and the
+// next request is the probe.
+func (b *breaker) state() string {
+	if b == nil || b.threshold <= 0 {
+		return BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case b.failures < b.threshold:
+		return BreakerClosed
+	case b.now().Before(b.openUntil):
+		return BreakerOpen
+	default:
+		return BreakerHalfOpen
+	}
+}
+
 // openCount returns how many times the circuit has opened.
 func (b *breaker) openCount() int64 {
 	if b == nil {

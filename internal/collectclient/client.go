@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/collectserver"
+	"repro/internal/obs"
 )
 
 // Client talks to one collection server. Safe for concurrent use.
@@ -223,6 +224,9 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 			return nil
 		}
 		c.brk.failure()
+		if code := ErrorCode(lastErr); code != "" {
+			c.stats.lastErrCode.Store(code)
+		}
 		if !retryable(lastErr) {
 			c.stats.failures.Add(1)
 			mFailures.Inc()
@@ -285,6 +289,10 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// Distributed tracing: a caller whose context carries an obs span gets
+	// its identity stamped onto the wire, so the server's ingest spans
+	// join the same trace (DESIGN.md §11).
+	obs.Inject(ctx, req.Header)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err

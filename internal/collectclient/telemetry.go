@@ -38,6 +38,14 @@ type Telemetry struct {
 	BytesSent int64
 	// BreakerOpens counts how many times the circuit breaker tripped.
 	BreakerOpens int64
+	// BreakerState is the circuit breaker's current position — "closed",
+	// "open", or "half-open" ("closed" when no breaker is configured), so
+	// an operator reading an agent's exit report can tell "the server was
+	// refused traffic" from "the server never answered".
+	BreakerState string
+	// LastErrorCode is the stable v1 error code of the most recent failed
+	// attempt ("" when no enveloped failure has been seen).
+	LastErrorCode string
 }
 
 // clientStats is the Client-embedded counter block behind Telemetry.
@@ -47,16 +55,22 @@ type clientStats struct {
 	failures     atomic.Int64
 	backoffNanos atomic.Int64
 	bytesSent    atomic.Int64
+	lastErrCode  atomic.Value // string: most recent v1 error code
 }
 
 // Telemetry returns a snapshot of the client's own counters.
 func (c *Client) Telemetry() Telemetry {
-	return Telemetry{
+	t := Telemetry{
 		Requests:     c.stats.requests.Load(),
 		Retries:      c.stats.retries.Load(),
 		Failures:     c.stats.failures.Load(),
 		BackoffTotal: time.Duration(c.stats.backoffNanos.Load()),
 		BytesSent:    c.stats.bytesSent.Load(),
 		BreakerOpens: c.brk.openCount(),
+		BreakerState: c.brk.state(),
 	}
+	if code, ok := c.stats.lastErrCode.Load().(string); ok {
+		t.LastErrorCode = code
+	}
+	return t
 }

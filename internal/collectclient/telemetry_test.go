@@ -1,0 +1,86 @@
+package collectclient
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestTelemetryBreakerStateAndErrorCode walks the breaker through its
+// closed → open → half-open → closed cycle and checks Telemetry reports
+// each position plus the last enveloped error code along the way.
+func TestTelemetryBreakerStateAndErrorCode(t *testing.T) {
+	var failing atomic.Bool
+	failing.Store(true)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if failing.Load() {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusInternalServerError)
+			w.Write([]byte(`{"error":{"code":"storage_failure","message":"disk on fire"}}`))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"data":{"name":"ok"}}`))
+	}))
+	defer ts.Close()
+
+	clock := time.Unix(1700000000, 0)
+	now := func() time.Time { return clock }
+
+	c := New(ts.URL, WithRetries(0), WithBackoff(time.Millisecond),
+		WithBreaker(1, time.Minute))
+	c.brk.now = now
+
+	if got := c.Telemetry(); got.BreakerState != BreakerClosed || got.LastErrorCode != "" {
+		t.Fatalf("fresh client: state %q code %q", got.BreakerState, got.LastErrorCode)
+	}
+
+	if _, err := c.StudyInfo(context.Background()); err == nil {
+		t.Fatal("expected failure from failing server")
+	}
+	tel := c.Telemetry()
+	if tel.BreakerState != BreakerOpen {
+		t.Fatalf("after threshold failures: state %q, want %q", tel.BreakerState, BreakerOpen)
+	}
+	if tel.BreakerOpens != 1 {
+		t.Fatalf("BreakerOpens %d, want 1", tel.BreakerOpens)
+	}
+	if tel.LastErrorCode != "storage_failure" {
+		t.Fatalf("LastErrorCode %q, want storage_failure", tel.LastErrorCode)
+	}
+
+	// Cooldown elapsed: the breaker is half-open — the next request is the
+	// probe — and Telemetry must say so before anything is sent.
+	clock = clock.Add(61 * time.Second)
+	if got := c.Telemetry().BreakerState; got != BreakerHalfOpen {
+		t.Fatalf("after cooldown: state %q, want %q", got, BreakerHalfOpen)
+	}
+
+	// A successful probe closes the circuit again.
+	failing.Store(false)
+	if _, err := c.StudyInfo(context.Background()); err != nil {
+		t.Fatalf("probe failed: %v", err)
+	}
+	if got := c.Telemetry().BreakerState; got != BreakerClosed {
+		t.Fatalf("after successful probe: state %q, want %q", got, BreakerClosed)
+	}
+	// The last error code is a high-water mark, not cleared by success.
+	if got := c.Telemetry().LastErrorCode; got != "storage_failure" {
+		t.Fatalf("LastErrorCode after recovery %q", got)
+	}
+}
+
+// TestTelemetryWithoutBreaker pins the no-breaker defaults.
+func TestTelemetryWithoutBreaker(t *testing.T) {
+	c := New("http://127.0.0.1:0")
+	got := c.Telemetry()
+	if got.BreakerState != BreakerClosed {
+		t.Fatalf("breakerless client state %q, want closed", got.BreakerState)
+	}
+	if got.BreakerOpens != 0 || got.LastErrorCode != "" {
+		t.Fatalf("breakerless client: %+v", got)
+	}
+}

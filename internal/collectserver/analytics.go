@@ -1,6 +1,9 @@
 package collectserver
 
-import "net/http"
+import (
+	"fmt"
+	"net/http"
+)
 
 // Analytics handlers: thin reads over the streaming engine's snapshots.
 // All consistency decisions (exact vs snapshot-refreshed) live in
@@ -61,4 +64,27 @@ func (s *Server) handleAnalyticsStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	respondJSON(w, http.StatusOK, s.cfg.Analytics.Status())
+}
+
+// handleAnalyticsAlerts serves the watch monitor's alert snapshot in the
+// v1 envelope, or the stable watch_disabled code when the server runs
+// without -watch.
+func (s *Server) handleAnalyticsAlerts(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Watch == nil {
+		respondError(w, http.StatusServiceUnavailable, CodeWatchDisabled,
+			"watch monitor not enabled; start the server with -watch")
+		return
+	}
+	respondJSON(w, http.StatusOK, s.cfg.Watch.Snapshot())
+}
+
+// handleDebugHealth serves the plain-text measurement-health verdict —
+// grep-able from a shell, no JSON tooling required.
+func (s *Server) handleDebugHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.cfg.Watch == nil {
+		fmt.Fprintln(w, "status: watch disabled")
+		return
+	}
+	fmt.Fprint(w, s.cfg.Watch.HealthText())
 }

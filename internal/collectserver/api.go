@@ -47,6 +47,8 @@ const (
 	CodeExportDisabled = "export_disabled"
 	// CodeAnalyticsDisabled: /api/v1/analytics/* without -analytics.
 	CodeAnalyticsDisabled = "analytics_disabled"
+	// CodeWatchDisabled: /api/v1/analytics/alerts without -watch.
+	CodeWatchDisabled = "watch_disabled"
 	// CodeInternal: recovered panic or other unexpected failure.
 	CodeInternal = "internal"
 )

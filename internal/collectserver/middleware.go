@@ -143,7 +143,8 @@ func routeLabel(path string) string {
 		"/api/v1/stats", "/api/v1/export",
 		"/api/v1/analytics/entropy", "/api/v1/analytics/clusters",
 		"/api/v1/analytics/stability", "/api/v1/analytics/ami",
-		"/api/v1/analytics/status":
+		"/api/v1/analytics/status", "/api/v1/analytics/alerts",
+		"/debug/health":
 		return path
 	}
 	return "other"

@@ -204,3 +204,19 @@ func TestRouteLabelBoundsCardinality(t *testing.T) {
 		}
 	}
 }
+
+// TestMetricsContentType pins the exact Prometheus text exposition
+// Content-Type the scrape endpoint must advertise — collectors key parser
+// selection off the version parameter, so this is a wire-format contract.
+func TestMetricsContentType(t *testing.T) {
+	f := newFixture(t, nil)
+	resp, err := http.Get(f.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	const want = "text/plain; version=0.0.4; charset=utf-8"
+	if ct := resp.Header.Get("Content-Type"); ct != want {
+		t.Fatalf("/metrics Content-Type = %q, want %q", ct, want)
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"repro/internal/storage"
 	"repro/internal/streaming"
 	"repro/internal/vectors"
+	"repro/internal/watch"
 )
 
 // Config parameterizes the server.
@@ -87,6 +88,14 @@ type Config struct {
 	// the request critical path (bounded queue, see streaming.Engine) and
 	// backs the /api/v1/analytics/* routes. Nil disables them.
 	Analytics *streaming.Engine
+	// Trace, when set, turns on distributed tracing: every request gets a
+	// span that joins the client's traceparent header (obs.Extract) or
+	// starts a fresh trace, submission handling hangs ingest/store.append
+	// child spans under it, and finished request spans are exported here.
+	Trace obs.SpanExporter
+	// Watch, when set, backs GET /api/v1/analytics/alerts and the
+	// plain-text GET /debug/health measurement-health endpoint.
+	Watch *watch.Monitor
 }
 
 // Server is the collection backend. Create with New, mount via Handler.
@@ -193,6 +202,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/analytics/stability", s.handleAnalyticsStability)
 	mux.HandleFunc("GET /api/v1/analytics/ami", s.handleAnalyticsAMI)
 	mux.HandleFunc("GET /api/v1/analytics/status", s.handleAnalyticsStatus)
+	mux.HandleFunc("GET /api/v1/analytics/alerts", s.handleAnalyticsAlerts)
+	mux.HandleFunc("GET /debug/health", s.handleDebugHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.cfg.EnableDebug {
 		obs.RegisterDebug(mux)
@@ -224,6 +235,19 @@ func (s *Server) withMiddleware(next http.Handler) http.Handler {
 		}
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
+		var span *obs.Span
+		if s.cfg.Trace != nil {
+			// Join the caller's distributed trace when the request carries a
+			// valid traceparent; otherwise this request roots a fresh one.
+			if tc, ok := obs.Extract(r.Header); ok {
+				span = obs.NewRemoteChild("http.request", tc)
+			} else {
+				span = obs.NewTrace("http.request")
+			}
+			span.SetAttr("method", r.Method)
+			span.SetAttr("route", routeLabel(r.URL.Path))
+			ctx = obs.ContextWithSpan(ctx, span)
+		}
 		r = r.WithContext(ctx)
 		defer func() {
 			if p := recover(); p != nil {
@@ -237,6 +261,11 @@ func (s *Server) withMiddleware(next http.Handler) http.Handler {
 				}
 			}
 			s.met.request(routeLabel(r.URL.Path), rec.code, time.Since(start), r.ContentLength)
+			if span != nil {
+				span.SetAttr("status", rec.code)
+				span.End()
+				s.cfg.Trace.ExportSpan(span)
+			}
 			if s.cfg.Logger != nil {
 				s.cfg.Logger.Printf("%s %s %d (%s)", r.Method, r.URL.Path, rec.code,
 					time.Since(start).Round(time.Microsecond))
@@ -359,6 +388,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		respondError(w, http.StatusTooManyRequests, CodeRateLimited, "submission rate limit exceeded")
 		return
 	}
+	// Hang the ingest stage under the request span (nil-safe: untraced
+	// servers carry no span and every span call below no-ops). The ingest
+	// span becomes the context's active span so the streaming engine's
+	// eventual apply joins this trace across the queue hand-off.
+	ctx := r.Context()
+	ingest := obs.SpanFromContext(ctx).StartChild("ingest")
+	defer ingest.End()
+	if ingest != nil {
+		ctx = obs.ContextWithSpan(ctx, ingest)
+	}
 	var req SubmitRequest
 	if err := decodeJSON(r, &req); err != nil {
 		respondError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
@@ -420,15 +459,22 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			UserAgent: ua, Surfaces: fr.Surfaces, ReceivedAt: now.UTC(),
 		})
 	}
-	if err := s.cfg.Store.Append(recs...); err != nil {
+	appendSpan := ingest.StartChild("store.append")
+	err := s.cfg.Store.Append(recs...)
+	appendSpan.SetAttr("records", len(recs))
+	appendSpan.End()
+	if err != nil {
 		respondError(w, http.StatusInternalServerError, CodeStorageFailure, "storage failure")
 		return
 	}
 	if s.cfg.Analytics != nil {
 		// Off the critical path: hand the batch to the engine's bounded
 		// queue. recs is not retained by anything else past this point.
-		s.cfg.Analytics.Enqueue(recs)
+		// The context carries the ingest span, so a trace-configured
+		// engine stitches its async apply onto this request's trace.
+		s.cfg.Analytics.EnqueueContext(ctx, recs)
 	}
+	ingest.SetAttr("accepted", len(recs))
 	resp := SubmitResponse{Accepted: len(recs), Total: total}
 	if req.IdempotencyKey != "" {
 		// Cache only after the append succeeded: a failed attempt must stay

@@ -1,0 +1,271 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe in-memory sink.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// decodeLines parses every NDJSON line into a generic map.
+func decodeLines(t *testing.T, data string) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	sc := bufio.NewScanner(strings.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		if strings.TrimSpace(sc.Text()) == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func TestExporterWritesSpansAndMetrics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("demo_total", "demo", nil).Add(7)
+	sink := &syncBuffer{}
+	exp, err := NewExporter(ExportConfig{Sink: sink, Registry: reg, Interval: -1, Service: "unittest"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	root := NewTrace("request")
+	child := root.StartChild("store.append")
+	child.SetAttr("records", 3)
+	child.End()
+	root.End()
+	exp.ExportSpan(root)
+	if err := exp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := decodeLines(t, sink.String())
+	var spans, metrics []map[string]any
+	for _, l := range lines {
+		switch l["type"] {
+		case "span":
+			spans = append(spans, l)
+		case "metrics":
+			metrics = append(metrics, l)
+		}
+	}
+	if len(spans) != 2 {
+		t.Fatalf("got %d span lines, want 2", len(spans))
+	}
+	if spans[0]["name"] != "request" || spans[1]["name"] != "store.append" {
+		t.Fatalf("span order: %v, %v", spans[0]["name"], spans[1]["name"])
+	}
+	if spans[0]["traceId"] != root.TraceID() || spans[1]["traceId"] != root.TraceID() {
+		t.Fatal("span lines do not share the trace id")
+	}
+	if spans[1]["parentSpanId"] != root.SpanID() {
+		t.Fatalf("child parentSpanId %v, want %v", spans[1]["parentSpanId"], root.SpanID())
+	}
+	if spans[0]["service"] != "unittest" {
+		t.Fatalf("service %v", spans[0]["service"])
+	}
+	if spans[1]["endTimeUnixNano"] == float64(0) {
+		t.Fatal("finished span exported without an end time")
+	}
+	attrs, _ := spans[1]["attributes"].(map[string]any)
+	if attrs["records"] != float64(3) {
+		t.Fatalf("attributes %v", attrs)
+	}
+	// Close flushes a final registry snapshot including demo_total.
+	if len(metrics) == 0 {
+		t.Fatal("no metrics line written on Close")
+	}
+	found := false
+	for _, m := range metrics {
+		for _, s := range m["metrics"].([]any) {
+			sm := s.(map[string]any)
+			if sm["name"] == "demo_total" && sm["value"] == float64(7) {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("demo_total missing from metrics snapshot")
+	}
+}
+
+func TestExporterRotation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "telemetry.ndjson")
+	exp, err := NewExporter(ExportConfig{
+		Path: path, Registry: NewRegistry(), Interval: -1, MaxFileBytes: 2048,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		sp := NewTrace("rotate-me")
+		sp.SetAttr("i", i)
+		sp.End()
+		exp.ExportSpan(sp)
+	}
+	if err := exp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() > 2048+512 {
+		t.Fatalf("active file %d bytes despite 2048-byte rotation limit", st.Size())
+	}
+	if _, err := os.Stat(path + ".1"); err != nil {
+		t.Fatalf("no rotated file: %v", err)
+	}
+	// Both generations hold well-formed NDJSON.
+	for _, p := range []string{path, path + ".1"} {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decodeLines(t, string(data))
+	}
+}
+
+// gateWriter blocks every Write until the gate channel is closed.
+type gateWriter struct {
+	gate <-chan struct{}
+	sink *syncBuffer
+}
+
+func (g *gateWriter) Write(p []byte) (int, error) {
+	<-g.gate
+	return g.sink.Write(p)
+}
+
+func TestExporterNeverBlocksAndAccountsDrops(t *testing.T) {
+	reg := NewRegistry()
+	gate := make(chan struct{})
+	gw := &gateWriter{gate: gate, sink: &syncBuffer{}}
+	exp, err := NewExporter(ExportConfig{Sink: gw, Registry: reg, Interval: -1, Buffer: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const total = 200
+	start := time.Now()
+	for i := 0; i < total; i++ {
+		sp := NewTrace("burst")
+		sp.End()
+		exp.ExportSpan(sp)
+	}
+	elapsed := time.Since(start)
+	// The sink is fully wedged: every call must return without waiting on
+	// it. Generous bound — the loop is pure channel sends and drops.
+	if elapsed > 2*time.Second {
+		t.Fatalf("ExportSpan blocked: %d spans took %v against a wedged sink", total, elapsed)
+	}
+	close(gate)
+	if err := exp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	written := reg.Counter("obs_export_batches_written_total", "", nil).Value()
+	dropped := reg.Counter("obs_export_batches_dropped_total", "", Labels{"reason": "buffer_full"}).Value()
+	droppedW := reg.Counter("obs_export_batches_dropped_total", "", Labels{"reason": "write_error"}).Value()
+	if written+dropped+droppedW != total {
+		t.Fatalf("accounting leak: written %d + dropped %d + write-err %d != %d",
+			written, dropped, droppedW, total)
+	}
+	if dropped == 0 {
+		t.Fatal("a wedged sink with an 8-slot buffer should have dropped spans")
+	}
+	if written == 0 {
+		t.Fatal("draining after the gate opened should have written spans")
+	}
+}
+
+// errWriter fails every write.
+type errWriter struct{}
+
+func (errWriter) Write(p []byte) (int, error) { return 0, errors.New("sink wedged") }
+
+func TestExporterCountsWriteErrors(t *testing.T) {
+	reg := NewRegistry()
+	exp, err := NewExporter(ExportConfig{Sink: errWriter{}, Registry: reg, Interval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 20
+	for i := 0; i < total; i++ {
+		sp := NewTrace("doomed")
+		sp.End()
+		exp.ExportSpan(sp)
+	}
+	if err := exp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	written := reg.Counter("obs_export_batches_written_total", "", nil).Value()
+	droppedF := reg.Counter("obs_export_batches_dropped_total", "", Labels{"reason": "buffer_full"}).Value()
+	droppedW := reg.Counter("obs_export_batches_dropped_total", "", Labels{"reason": "write_error"}).Value()
+	if written != 0 {
+		t.Fatalf("%d spans written through a failing sink", written)
+	}
+	if droppedF+droppedW != total {
+		t.Fatalf("accounting leak: %d full + %d write-err != %d", droppedF, droppedW, total)
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c_total", "c", Labels{"kind": "a"}).Add(3)
+	reg.Gauge("g", "g", nil).Set(1.5)
+	reg.Histogram("h_seconds", "h", []float64{1, 10}, nil).Observe(2)
+	snap := reg.Snapshot()
+	byName := map[string][]Sample{}
+	for _, s := range snap {
+		byName[s.Name] = append(byName[s.Name], s)
+	}
+	if got := byName["c_total"]; len(got) != 1 || got[0].Value != 3 || got[0].Labels["kind"] != "a" {
+		t.Fatalf("counter samples %+v", got)
+	}
+	if got := byName["g"]; len(got) != 1 || got[0].Value != 1.5 {
+		t.Fatalf("gauge samples %+v", got)
+	}
+	buckets := byName["h_seconds_bucket"]
+	if len(buckets) != 3 {
+		t.Fatalf("bucket samples %+v", buckets)
+	}
+	// Cumulative: le=1 → 0, le=10 → 1, le=+Inf → 1.
+	if buckets[0].Value != 0 || buckets[1].Value != 1 || buckets[2].Value != 1 {
+		t.Fatalf("bucket cumulation %+v", buckets)
+	}
+	if byName["h_seconds_count"][0].Value != 1 || byName["h_seconds_sum"][0].Value != 2 {
+		t.Fatal("histogram sum/count wrong")
+	}
+}

@@ -1,0 +1,44 @@
+package obs
+
+import "testing"
+
+// FuzzParseTraceparent hammers the propagation parser with malformed
+// headers: whatever it accepts must be a valid identity that survives a
+// render/re-parse round trip, and nothing may panic. Seeds cover the
+// interesting boundaries (short ids, zero ids, forbidden version, flag
+// bytes, future-version extra fields); the checked-in corpus under
+// testdata/fuzz keeps regressions pinned.
+func FuzzParseTraceparent(f *testing.F) {
+	for _, seed := range []string{
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00",
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",
+		"00-4bf92f3577b34da6a3ce929d0e0e47-00f067aa0ba902b7-01",
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra",
+		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-ff",
+		"0-1-2-3",
+		"----",
+		"",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		tc, err := ParseTraceparent(s)
+		if err != nil {
+			return
+		}
+		if !tc.Valid() {
+			t.Fatalf("ParseTraceparent(%q) accepted invalid identity %+v", s, tc)
+		}
+		again, err := ParseTraceparent(tc.Traceparent())
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", tc.Traceparent(), s, err)
+		}
+		if again != tc {
+			t.Fatalf("round trip drifted: %+v → %+v", tc, again)
+		}
+	})
+}

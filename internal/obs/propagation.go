@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"strings"
+)
+
+// Cross-process trace propagation in the W3C Trace Context header format:
+// the collection client stamps every outgoing request with a traceparent
+// header carrying the active span's identity, and the collection server
+// joins its request span to that identity, so one trace id follows a
+// record from agent submit through ingest, store append, and streaming
+// apply — across the process boundary.
+//
+// Wire form (https://www.w3.org/TR/trace-context/):
+//
+//	traceparent: 00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//	             │  │                                │                │
+//	             │  trace-id (16 bytes hex)          parent-id        flags
+//	             version                             (8 bytes hex)
+//
+// ParseTraceparent is strict about the fields this implementation relies
+// on (lowercase hex, non-zero ids, known field widths) and — per the spec
+// — tolerates future versions that append extra fields.
+
+// TraceparentHeader is the canonical propagation header name.
+const TraceparentHeader = "traceparent"
+
+// traceFlagSampled is the only trace-flag bit the spec currently defines.
+const traceFlagSampled = 0x01
+
+// TraceContext is a span's cross-process identity: what travels in the
+// traceparent header.
+type TraceContext struct {
+	// TraceID is the 32-lowercase-hex-digit trace identity.
+	TraceID string
+	// SpanID is the 16-lowercase-hex-digit id of the calling span — the
+	// remote parent of whatever span the receiver starts.
+	SpanID string
+	// Sampled carries the sampled flag bit.
+	Sampled bool
+}
+
+// Valid reports whether the context carries a usable (non-zero, well-
+// formed) identity.
+func (tc TraceContext) Valid() bool {
+	return isHexID(tc.TraceID, 32) && isHexID(tc.SpanID, 16)
+}
+
+// Traceparent renders the context in the wire format (version 00).
+func (tc TraceContext) Traceparent() string {
+	flags := "00"
+	if tc.Sampled {
+		flags = "01"
+	}
+	return "00-" + tc.TraceID + "-" + tc.SpanID + "-" + flags
+}
+
+// ParseTraceparent parses a traceparent header value. It rejects malformed
+// versions, field widths, non-lowercase hex, and all-zero ids; a version
+// beyond 00 is accepted with the 00 field layout, including appended
+// extra fields (the spec's forward-compatibility rule).
+func ParseTraceparent(s string) (TraceContext, error) {
+	parts := strings.Split(s, "-")
+	if len(parts) < 4 {
+		return TraceContext{}, fmt.Errorf("obs: traceparent has %d fields, want 4", len(parts))
+	}
+	version := parts[0]
+	if !isHexField(version, 2) {
+		return TraceContext{}, fmt.Errorf("obs: bad traceparent version %q", version)
+	}
+	if version == "ff" {
+		return TraceContext{}, fmt.Errorf("obs: traceparent version ff is forbidden")
+	}
+	if version == "00" && len(parts) != 4 {
+		return TraceContext{}, fmt.Errorf("obs: version 00 traceparent has %d fields, want 4", len(parts))
+	}
+	tc := TraceContext{TraceID: parts[1], SpanID: parts[2]}
+	if !isHexID(tc.TraceID, 32) {
+		return TraceContext{}, fmt.Errorf("obs: bad trace-id %q", tc.TraceID)
+	}
+	if !isHexID(tc.SpanID, 16) {
+		return TraceContext{}, fmt.Errorf("obs: bad parent-id %q", tc.SpanID)
+	}
+	flags := parts[3]
+	if !isHexField(flags, 2) {
+		return TraceContext{}, fmt.Errorf("obs: bad trace-flags %q", flags)
+	}
+	b, _ := hex.DecodeString(flags)
+	tc.Sampled = b[0]&traceFlagSampled != 0
+	return tc, nil
+}
+
+// isHexField reports whether s is exactly n lowercase hex digits.
+func isHexField(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// isHexID is isHexField plus the spec's not-all-zero rule.
+func isHexID(s string, n int) bool {
+	if !isHexField(s, n) {
+		return false
+	}
+	return strings.Trim(s, "0") != ""
+}
+
+// TraceContextOf returns a span's propagation identity. The second return
+// is false for nil spans and spans created before tracing was wired (zero
+// identity).
+func TraceContextOf(s *Span) (TraceContext, bool) {
+	if s == nil {
+		return TraceContext{}, false
+	}
+	tc := TraceContext{TraceID: s.traceID, SpanID: s.spanID, Sampled: true}
+	return tc, tc.Valid()
+}
+
+// Inject stamps the context's active span onto h as a traceparent header.
+// A context without a span (or with an identity-less span) leaves h
+// untouched.
+func Inject(ctx context.Context, h http.Header) {
+	if tc, ok := TraceContextOf(SpanFromContext(ctx)); ok {
+		h.Set(TraceparentHeader, tc.Traceparent())
+	}
+}
+
+// Extract parses the traceparent header from h. ok is false when the
+// header is absent or malformed (a malformed header is deliberately
+// dropped rather than propagated, per the spec's restart rule).
+func Extract(h http.Header) (TraceContext, bool) {
+	v := h.Get(TraceparentHeader)
+	if v == "" {
+		return TraceContext{}, false
+	}
+	tc, err := ParseTraceparent(v)
+	if err != nil {
+		return TraceContext{}, false
+	}
+	return tc, true
+}
+
+// NewRemoteChild starts a local root span joined to a remote caller's
+// trace: it shares tc's trace id and records tc's span as its parent, so
+// an exporter on each side of the process boundary emits spans that
+// assemble into one distributed trace. An invalid tc degrades to NewTrace.
+func NewRemoteChild(name string, tc TraceContext) *Span {
+	if !tc.Valid() {
+		return NewTrace(name)
+	}
+	sp := NewTrace(name)
+	sp.traceID = tc.TraceID
+	sp.parent = tc.SpanID
+	return sp
+}
+
+// newTraceID returns 16 random bytes as lowercase hex, never all-zero.
+func newTraceID() string {
+	var b [16]byte
+	binary.BigEndian.PutUint64(b[:8], rand.Uint64())
+	binary.BigEndian.PutUint64(b[8:], rand.Uint64()|1)
+	return hex.EncodeToString(b[:])
+}
+
+// newSpanID returns 8 random bytes as lowercase hex, never all-zero.
+func newSpanID() string {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], rand.Uint64()|1)
+	return hex.EncodeToString(b[:])
+}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tc := TraceContext{
+		TraceID: "4bf92f3577b34da6a3ce929d0e0e4736",
+		SpanID:  "00f067aa0ba902b7",
+		Sampled: true,
+	}
+	wire := tc.Traceparent()
+	if wire != "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01" {
+		t.Fatalf("wire form %q", wire)
+	}
+	got, err := ParseTraceparent(wire)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if got != tc {
+		t.Fatalf("round trip: got %+v want %+v", got, tc)
+	}
+	unsampled := TraceContext{TraceID: tc.TraceID, SpanID: tc.SpanID}
+	if got, _ := ParseTraceparent(unsampled.Traceparent()); got.Sampled {
+		t.Fatal("flags 00 parsed as sampled")
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	bad := map[string]string{
+		"empty":            "",
+		"too few fields":   "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",
+		"short trace id":   "00-4bf92f3577b34da6a3ce929d0e0e47-00f067aa0ba902b7-01",
+		"long trace id":    "00-4bf92f3577b34da6a3ce929d0e0e473600-00f067aa0ba902b7-01",
+		"zero trace id":    "00-00000000000000000000000000000000-00f067aa0ba902b7-01",
+		"zero span id":     "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",
+		"short span id":    "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902-01",
+		"uppercase hex":    "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",
+		"non-hex trace id": "00-4bf92f3577b34da6a3ce929d0e0e473g-00f067aa0ba902b7-01",
+		"version ff":       "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"1-digit version":  "0-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"bad flags":        "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-0x",
+		"v00 extra field":  "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra",
+	}
+	for name, in := range bad {
+		if _, err := ParseTraceparent(in); err == nil {
+			t.Errorf("%s: ParseTraceparent(%q) accepted", name, in)
+		}
+	}
+}
+
+func TestParseTraceparentFutureVersion(t *testing.T) {
+	// Per the W3C forward-compatibility rule, a higher version with
+	// appended extra fields still yields the 00-layout identity.
+	got, err := ParseTraceparent("01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-future-stuff")
+	if err != nil {
+		t.Fatalf("future version rejected: %v", err)
+	}
+	if got.TraceID != "4bf92f3577b34da6a3ce929d0e0e4736" || !got.Sampled {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestSpanIdentity(t *testing.T) {
+	root := NewTrace("root")
+	if !isHexID(root.TraceID(), 32) || !isHexID(root.SpanID(), 16) {
+		t.Fatalf("root identity %q/%q not well-formed", root.TraceID(), root.SpanID())
+	}
+	if root.ParentSpanID() != "" {
+		t.Fatalf("root has parent %q", root.ParentSpanID())
+	}
+	child := root.StartChild("child")
+	if child.TraceID() != root.TraceID() {
+		t.Fatalf("child trace id %q != root %q", child.TraceID(), root.TraceID())
+	}
+	if child.ParentSpanID() != root.SpanID() {
+		t.Fatalf("child parent %q != root span %q", child.ParentSpanID(), root.SpanID())
+	}
+	if child.SpanID() == root.SpanID() {
+		t.Fatal("child reused the root's span id")
+	}
+	var nilSpan *Span
+	if nilSpan.TraceID() != "" || nilSpan.SpanID() != "" || nilSpan.ParentSpanID() != "" {
+		t.Fatal("nil span leaked an identity")
+	}
+}
+
+func TestInjectExtract(t *testing.T) {
+	root := NewTrace("client")
+	ctx := ContextWithSpan(context.Background(), root)
+	h := http.Header{}
+	Inject(ctx, h)
+	wire := h.Get(TraceparentHeader)
+	if !strings.HasPrefix(wire, "00-"+root.TraceID()+"-"+root.SpanID()) {
+		t.Fatalf("injected %q", wire)
+	}
+	tc, ok := Extract(h)
+	if !ok || tc.TraceID != root.TraceID() || tc.SpanID != root.SpanID() {
+		t.Fatalf("extract: ok=%v tc=%+v", ok, tc)
+	}
+
+	// No span, no header.
+	h2 := http.Header{}
+	Inject(context.Background(), h2)
+	if h2.Get(TraceparentHeader) != "" {
+		t.Fatal("inject without a span wrote a header")
+	}
+	// Malformed headers are dropped, not propagated.
+	h2.Set(TraceparentHeader, "garbage")
+	if _, ok := Extract(h2); ok {
+		t.Fatal("extracted a malformed traceparent")
+	}
+}
+
+func TestNewRemoteChild(t *testing.T) {
+	tc := TraceContext{TraceID: "4bf92f3577b34da6a3ce929d0e0e4736", SpanID: "00f067aa0ba902b7"}
+	sp := NewRemoteChild("server", tc)
+	if sp.TraceID() != tc.TraceID {
+		t.Fatalf("remote child trace id %q", sp.TraceID())
+	}
+	if sp.ParentSpanID() != tc.SpanID {
+		t.Fatalf("remote child parent %q", sp.ParentSpanID())
+	}
+	if sp.SpanID() == tc.SpanID || !isHexID(sp.SpanID(), 16) {
+		t.Fatalf("remote child span id %q", sp.SpanID())
+	}
+	// Invalid remote identity degrades to a fresh root.
+	fresh := NewRemoteChild("server", TraceContext{})
+	if fresh.TraceID() == "" || fresh.ParentSpanID() != "" {
+		t.Fatalf("degraded span %q/%q", fresh.TraceID(), fresh.ParentSpanID())
+	}
+}

@@ -399,6 +399,82 @@ func formatFloat(v float64) string {
 	return fmt.Sprintf("%g", v)
 }
 
+// Snapshot returns every sample in the registry as structured data —
+// the same flattening WriteTo renders as text (histograms expand into
+// cumulative _bucket/_sum/_count samples) — for consumers that need to
+// read values back rather than serve a scrape: the telemetry exporter's
+// periodic metrics flush and the watch monitor's error-budget rules.
+// Families and series come out in the deterministic exposition order.
+func (r *Registry) Snapshot() []Sample {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	r.mu.RUnlock()
+
+	var out []Sample
+	for _, f := range fams {
+		f.mu.RLock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		series := make([]any, len(keys))
+		for i, k := range keys {
+			series[i] = f.series[k]
+		}
+		f.mu.RUnlock()
+		for i, m := range series {
+			out = append(out, sampleSeries(f.name, keys[i], m)...)
+		}
+	}
+	return out
+}
+
+// sampleSeries flattens one series into Samples; labelBlock is the
+// rendered exposition label key (parsed back into a map).
+func sampleSeries(name, labelBlock string, m any) []Sample {
+	labels := func() map[string]string {
+		l := map[string]string{}
+		if labelBlock != "" {
+			_ = parseLabels(labelBlock, l) // rendered by seriesKey: always parses
+		}
+		return l
+	}
+	switch m := m.(type) {
+	case *Counter:
+		return []Sample{{Name: name, Labels: labels(), Value: float64(m.Value())}}
+	case *Gauge:
+		return []Sample{{Name: name, Labels: labels(), Value: m.Value()}}
+	case gaugeFunc:
+		return []Sample{{Name: name, Labels: labels(), Value: m()}}
+	case *Histogram:
+		out := make([]Sample, 0, len(m.bounds)+3)
+		var cum uint64
+		for i, bound := range m.bounds {
+			cum += m.counts[i].Load()
+			l := labels()
+			l["le"] = formatFloat(bound)
+			out = append(out, Sample{Name: name + "_bucket", Labels: l, Value: float64(cum)})
+		}
+		cum += m.counts[len(m.bounds)].Load()
+		l := labels()
+		l["le"] = "+Inf"
+		out = append(out, Sample{Name: name + "_bucket", Labels: l, Value: float64(cum)})
+		out = append(out, Sample{Name: name + "_sum", Labels: labels(), Value: m.Sum()})
+		out = append(out, Sample{Name: name + "_count", Labels: labels(), Value: float64(m.Count())})
+		return out
+	}
+	return nil
+}
+
 // Handler returns an http.Handler serving the registry exposition — mount
 // it at /metrics.
 func (r *Registry) Handler() http.Handler {

@@ -22,6 +22,14 @@ type Span struct {
 	name  string
 	start time.Time
 
+	// Propagation identity (immutable after creation): traceID is shared
+	// by every span of one logical trace — across processes, via the
+	// traceparent header — spanID names this span, and parent names the
+	// span it hangs under ("" for roots). See propagation.go.
+	traceID string
+	spanID  string
+	parent  string
+
 	mu       sync.Mutex
 	end      time.Time
 	attrs    []Attr
@@ -34,22 +42,50 @@ type Attr struct {
 	Value any
 }
 
-// NewTrace starts a root span. End it before exporting.
+// NewTrace starts a root span with a fresh trace identity. End it before
+// exporting.
 func NewTrace(name string) *Span {
-	return &Span{name: name, start: time.Now()}
+	return &Span{name: name, start: time.Now(), traceID: newTraceID(), spanID: newSpanID()}
 }
 
-// StartChild starts a sub-span under s. Safe to call from multiple
-// goroutines (parallel stages each open their own child).
+// StartChild starts a sub-span under s, inheriting its trace identity.
+// Safe to call from multiple goroutines (parallel stages each open their
+// own child).
 func (s *Span) StartChild(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	c := &Span{name: name, start: time.Now()}
+	c := &Span{name: name, start: time.Now(), traceID: s.traceID, spanID: newSpanID(), parent: s.spanID}
 	s.mu.Lock()
 	s.children = append(s.children, c)
 	s.mu.Unlock()
 	return c
+}
+
+// TraceID returns the span's 32-hex-digit trace identity ("" on nil).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.traceID
+}
+
+// SpanID returns the span's 16-hex-digit identity ("" on nil).
+func (s *Span) SpanID() string {
+	if s == nil {
+		return ""
+	}
+	return s.spanID
+}
+
+// ParentSpanID returns the span id this span hangs under — the in-process
+// parent, or the remote caller's span for NewRemoteChild spans ("" for
+// roots).
+func (s *Span) ParentSpanID() string {
+	if s == nil {
+		return ""
+	}
+	return s.parent
 }
 
 // SetAttr annotates the span.

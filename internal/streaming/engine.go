@@ -23,8 +23,10 @@
 package streaming
 
 import (
+	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/collate"
@@ -50,6 +52,11 @@ type Config struct {
 	// records (default 4096). Negative disables automatic refresh
 	// (RefreshAMI can still be called explicitly).
 	AMIRefreshEvery int
+	// Spans, when non-nil, receives one "streaming.apply" span per applied
+	// batch that carried a trace identity (EnqueueContext): the identity
+	// rides the queue across the async boundary, so the exported span
+	// joins the submitting request's distributed trace.
+	Spans obs.SpanExporter
 }
 
 // vecState is one audio vector's incremental analysis state.
@@ -69,6 +76,11 @@ type vecState struct {
 type Engine struct {
 	queueDepth int
 	amiEvery   int
+	spans      obs.SpanExporter
+
+	// observer is the watch hook: a func(records int64) invoked after
+	// each applied batch, off the state lock. See SetObserver.
+	observer atomic.Value
 
 	mu      sync.RWMutex // guards all analysis state below
 	users   map[string]int32
@@ -90,11 +102,18 @@ type Engine struct {
 	closed  bool
 	lost    bool // a batch was dropped by shutdown
 
-	queue chan []storage.Record
+	queue chan batch
 	quit  chan struct{}
 	done  chan struct{}
 
 	met engineMetrics
+}
+
+// batch is one queued update: the records plus the trace identity of the
+// request that produced them (zero when the caller was untraced).
+type batch struct {
+	recs []storage.Record
+	tc   obs.TraceContext
 }
 
 // Surface distribution order inside Engine.surfs / Engine.counts. The
@@ -129,7 +148,8 @@ func New(cfg Config) *Engine {
 	if e.amiEvery == 0 {
 		e.amiEvery = 4096
 	}
-	e.queue = make(chan []storage.Record, e.queueDepth)
+	e.spans = cfg.Spans
+	e.queue = make(chan batch, e.queueDepth)
 	e.qcond = sync.NewCond(&e.qmu)
 	e.surfs = make([][]string, numSurfaces)
 	e.counts = make([]map[string]int64, numSurfaces)
@@ -158,7 +178,22 @@ func New(cfg Config) *Engine {
 // critical path. It returns immediately while the queue has room and
 // blocks (counted) when it is full; after Close the batch is dropped.
 func (e *Engine) Enqueue(recs []storage.Record) {
-	if len(recs) == 0 {
+	e.enqueue(batch{recs: recs})
+}
+
+// EnqueueContext is Enqueue carrying the caller's trace identity: the
+// ingest request's active span rides the queue, and the eventual
+// "streaming.apply" span joins its distributed trace (Config.Spans).
+func (e *Engine) EnqueueContext(ctx context.Context, recs []storage.Record) {
+	b := batch{recs: recs}
+	if e.spans != nil {
+		b.tc, _ = obs.TraceContextOf(obs.SpanFromContext(ctx))
+	}
+	e.enqueue(b)
+}
+
+func (e *Engine) enqueue(b batch) {
+	if len(b.recs) == 0 {
 		return
 	}
 	e.qmu.Lock()
@@ -169,13 +204,13 @@ func (e *Engine) Enqueue(recs []storage.Record) {
 	e.enq++
 	e.qmu.Unlock()
 	select {
-	case e.queue <- recs:
+	case e.queue <- b:
 		return
 	default:
 	}
 	e.met.queueWaits.Inc()
 	select {
-	case e.queue <- recs:
+	case e.queue <- b:
 	case <-e.quit:
 		// Shutdown raced the send: the batch is dropped. Account it as
 		// applied so Sync waiters observe a consistent ledger, and record
@@ -195,8 +230,21 @@ func (e *Engine) Apply(recs []storage.Record) {
 	e.qmu.Lock()
 	e.enq++
 	e.qmu.Unlock()
-	e.applyBatch(recs)
+	e.applyBatch(batch{recs: recs})
 }
+
+// SetObserver installs fn to run after every applied batch with the total
+// applied record count, outside the engine's state lock — the hook the
+// watch monitor evaluates its rules from. A nil fn uninstalls. The call
+// happens on the applying goroutine (the engine's consumer for Enqueue,
+// the caller for Apply/Bootstrap), so a deterministic replay through
+// Apply yields a deterministic evaluation sequence.
+func (e *Engine) SetObserver(fn func(records int64)) {
+	e.observer.Store(observerBox{fn})
+}
+
+// observerBox wraps the func so atomic.Value accepts nil installs.
+type observerBox struct{ fn func(records int64) }
 
 // Bootstrap replays records synchronously — the restart path after
 // storage.Recover() — and refreshes the AMI snapshot once at the end.
@@ -265,23 +313,37 @@ func (e *Engine) loop() {
 	}
 }
 
-func (e *Engine) applyBatch(recs []storage.Record) {
+func (e *Engine) applyBatch(b batch) {
+	var sp *obs.Span
+	if e.spans != nil && b.tc.Valid() {
+		sp = obs.NewRemoteChild("streaming.apply", b.tc)
+	}
 	start := time.Now()
 	e.mu.Lock()
-	for i := range recs {
-		e.applyLocked(&recs[i])
+	for i := range b.recs {
+		e.applyLocked(&b.recs[i])
 	}
 	records := e.records
 	e.mu.Unlock()
 
 	e.met.applySeconds.Observe(time.Since(start).Seconds())
-	e.met.recordsApplied.Add(int64(len(recs)))
+	e.met.recordsApplied.Add(int64(len(b.recs)))
 	e.met.batchesApplied.Inc()
+	if sp != nil {
+		sp.SetAttr("records", len(b.recs))
+		sp.SetAttr("total_records", records)
+		sp.End()
+		e.spans.ExportSpan(sp)
+	}
 
 	e.qmu.Lock()
 	e.applied++
 	e.qcond.Broadcast()
 	e.qmu.Unlock()
+
+	if ob, _ := e.observer.Load().(observerBox); ob.fn != nil {
+		ob.fn(records)
+	}
 
 	if e.amiEvery > 0 && records-e.loadLastAMI() >= int64(e.amiEvery) {
 		e.RefreshAMI()

@@ -53,6 +53,10 @@ type Config struct {
 	// dataset comes out bit-identical to an uninterrupted run. A file
 	// written under a different Config is ignored and overwritten.
 	CheckpointPath string
+	// SpanSink, when non-nil, receives the finished "study.run" span tree
+	// when RunContext completes — the simulation's counterpart of the
+	// server's telemetry export (obs.Exporter satisfies the interface).
+	SpanSink obs.SpanExporter
 }
 
 // Dataset is the raw outcome of a study: the participants, their non-audio
@@ -119,9 +123,18 @@ func RunContext(ctx context.Context, cfg Config) (*Dataset, error) {
 			cfg.Users, cfg.Iterations)
 	}
 	ctx, runSpan := obsStart(ctx, "study.run")
+	if runSpan == nil && cfg.SpanSink != nil {
+		// A sink without an ambient trace still deserves spans: root one.
+		ctx, runSpan = obs.Start(ctx, "study.run")
+	}
 	runSpan.SetAttr("users", cfg.Users)
 	runSpan.SetAttr("iterations", cfg.Iterations)
-	defer runSpan.End()
+	defer func() {
+		runSpan.End()
+		if cfg.SpanSink != nil && runSpan != nil {
+			cfg.SpanSink.ExportSpan(runSpan)
+		}
+	}()
 
 	jitter := cfg.Jitter
 	if jitter == nil {

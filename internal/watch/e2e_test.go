@@ -1,0 +1,403 @@
+package watch_test
+
+// End-to-end monitoring tests that exercise the full wired pipeline —
+// collectclient → collectserver → storage/streaming → watch — so they
+// live in an external test package (watch itself must not import
+// collectserver; collectserver imports watch).
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/collectclient"
+	"repro/internal/collectserver"
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+	"repro/internal/storage"
+	"repro/internal/streaming"
+	"repro/internal/vectors"
+	"repro/internal/watch"
+)
+
+// exportedSpan is the subset of the exporter's NDJSON span line the tests
+// assert on.
+type exportedSpan struct {
+	Type         string         `json:"type"`
+	Name         string         `json:"name"`
+	TraceID      string         `json:"traceId"`
+	SpanID       string         `json:"spanId"`
+	ParentSpanID string         `json:"parentSpanId"`
+	Attributes   map[string]any `json:"attributes"`
+}
+
+func readSpans(t *testing.T, path string) []exportedSpan {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var out []exportedSpan
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var sp exportedSpan
+		if err := json.Unmarshal(sc.Bytes(), &sp); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if sp.Type == "span" {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// TestTraceFollowsRecordEndToEnd proves one trace id minted by the
+// submitting client appears on the server-side request, ingest and
+// store-append spans AND on the streaming engine's asynchronous apply
+// span — the record is traceable across the process boundary and across
+// the queue hand-off.
+func TestTraceFollowsRecordEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	st, err := storage.Open(filepath.Join(dir, "store.ndjson"), storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	exportPath := filepath.Join(dir, "telemetry.ndjson")
+	exp, err := obs.NewExporter(obs.ExportConfig{
+		Path: exportPath, Registry: obs.NewRegistry(), Interval: -1, Service: "e2e",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+	eng := streaming.New(streaming.Config{
+		Registry: obs.NewRegistry(), Spans: exp, AMIRefreshEvery: -1,
+	})
+	defer eng.Close()
+	srv, err := collectserver.New(collectserver.Config{
+		Store: st, Registry: obs.NewRegistry(), Analytics: eng, Trace: exp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// The agent side: one root span for the visit; the client stamps its
+	// traceparent on every outgoing request.
+	root := obs.NewTrace("agent.submit")
+	ctx := obs.ContextWithSpan(context.Background(), root)
+	client := collectclient.New(ts.URL)
+	sess, err := client.StartSession(ctx, "user-1", "test-agent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Submit(ctx, []collectserver.FPRecord{
+		{Vector: vectors.DC.String(), Iteration: 0, Hash: "00ff00ff"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	exp.ExportSpan(root)
+
+	// The server's request span is exported by deferred middleware that
+	// can run after the client saw the response: poll the file.
+	want := map[string]bool{
+		"agent.submit": false, "http.request": false, "ingest": false,
+		"store.append": false, "streaming.apply": false,
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	var spans []exportedSpan
+	for {
+		spans = readSpans(t, exportPath)
+		for k := range want {
+			want[k] = false
+		}
+		for _, sp := range spans {
+			if _, ok := want[sp.Name]; ok && sp.TraceID == root.TraceID() {
+				want[sp.Name] = true
+			}
+		}
+		all := true
+		for _, seen := range want {
+			all = all && seen
+		}
+		if all {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("exported spans never completed; have %v, spans: %+v", want, spans)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The apply span's remote parent is the ingest span of the same trace.
+	byName := map[string]exportedSpan{}
+	for _, sp := range spans {
+		if sp.TraceID == root.TraceID() && sp.Name != "http.request" {
+			byName[sp.Name] = sp
+		}
+		// Several http.request spans share the trace (session + submit);
+		// any of them proves propagation, checked above.
+	}
+	if got := byName["streaming.apply"].ParentSpanID; got != byName["ingest"].SpanID {
+		t.Fatalf("streaming.apply parent %q, want ingest span %q", got, byName["ingest"].SpanID)
+	}
+	if got := byName["store.append"].ParentSpanID; got != byName["ingest"].SpanID {
+		t.Fatalf("store.append parent %q, want ingest span %q", got, byName["ingest"].SpanID)
+	}
+}
+
+// alertRule is the deterministic entropy rule shared with the in-package
+// golden test (watch.TestEntropyCollapseGolden pins the same index).
+func alertRule() watch.Rule {
+	return watch.Rule{
+		Name: "entropy", Kind: watch.KindEntropyCollapse, Vector: vectors.DC.String(),
+		Every: 10, For: 2, MinSamples: 5, Alpha: 0.3, ZMax: 3,
+	}
+}
+
+// TestAlertsServedInEnvelope replays the seeded low-diversity stream and
+// reads the resulting entropy-collapse alert back through the public
+// GET /api/v1/analytics/alerts route in the v1 envelope.
+func TestAlertsServedInEnvelope(t *testing.T) {
+	dir := t.TempDir()
+	st, err := storage.Open(filepath.Join(dir, "store.ndjson"), storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	reg := obs.NewRegistry()
+	eng := streaming.New(streaming.Config{Registry: reg, AMIRefreshEvery: -1})
+	defer eng.Close()
+	mon, err := watch.New(watch.Config{Engine: eng, Registry: reg, Rules: []watch.Rule{alertRule()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := collectserver.New(collectserver.Config{
+		Store: st, Registry: reg, Analytics: eng, Watch: mon,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Seeded stream: 300 healthy records then a low-diversity tail, one
+	// record per batch so the evaluation sequence is deterministic.
+	for i := 0; i < 300; i++ {
+		eng.Apply([]storage.Record{{UserID: fmt.Sprintf("u%03d", i),
+			Vector: vectors.DC.String(), Hash: fmt.Sprintf("%08x", i)}})
+	}
+	for i := 0; i < 300; i++ {
+		eng.Apply([]storage.Record{{UserID: fmt.Sprintf("t%03d", i),
+			Vector: vectors.DC.String(), Hash: "deadbeef"}})
+	}
+
+	resp, err := http.Get(ts.URL + "/api/v1/analytics/alerts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("alerts route status %d", resp.StatusCode)
+	}
+	if v := resp.Header.Get("X-API-Version"); v != "1" {
+		t.Fatalf("X-API-Version %q", v)
+	}
+	var envelope struct {
+		Data watch.Snapshot `json:"data"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+		t.Fatal(err)
+	}
+	snap := envelope.Data
+	if snap.Records != 600 || snap.Firing != 1 {
+		t.Fatalf("snapshot records=%d firing=%d, want 600/1", snap.Records, snap.Firing)
+	}
+	var firing *watch.Alert
+	for i, a := range snap.Alerts {
+		if a.State == watch.StateFiring {
+			firing = &snap.Alerts[i]
+		}
+	}
+	if firing == nil {
+		t.Fatalf("no firing alert in %+v", snap.Alerts)
+	}
+	if firing.Rule != "entropy" || firing.Subject != vectors.DC.String() {
+		t.Fatalf("unexpected alert %+v", *firing)
+	}
+	// Same golden record index the in-package test pins.
+	if firing.FiredAtRecords != 330 {
+		t.Fatalf("alert fired at %d, golden 330", firing.FiredAtRecords)
+	}
+
+	// The plain-text health endpoint agrees.
+	hresp, err := http.Get(ts.URL + "/debug/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var buf [4096]byte
+	n, _ := hresp.Body.Read(buf[:])
+	if got := string(buf[:n]); !containsLine(got, "status: firing") {
+		t.Fatalf("/debug/health = %q, want status: firing", got)
+	}
+}
+
+func containsLine(s, line string) bool {
+	for len(s) > 0 {
+		i := 0
+		for i < len(s) && s[i] != '\n' {
+			i++
+		}
+		if s[:i] == line {
+			return true
+		}
+		if i == len(s) {
+			break
+		}
+		s = s[i+1:]
+	}
+	return false
+}
+
+// TestAlertsRouteWithoutWatch pins the stable disabled code.
+func TestAlertsRouteWithoutWatch(t *testing.T) {
+	dir := t.TempDir()
+	st, err := storage.Open(filepath.Join(dir, "store.ndjson"), storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	srv, err := collectserver.New(collectserver.Config{Store: st, Registry: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/api/v1/analytics/alerts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	var envelope struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+		t.Fatal(err)
+	}
+	if envelope.Error.Code != collectserver.CodeWatchDisabled {
+		t.Fatalf("error code %q, want %q", envelope.Error.Code, collectserver.CodeWatchDisabled)
+	}
+}
+
+// TestWedgedExporterNeverBlocksIngestion wedges the telemetry sink with a
+// faultinject writer that torn-writes every line and proves (a) ingestion
+// still completes promptly and every submission is accepted, and (b) the
+// exporter's drop counters account for every lost span tree.
+func TestWedgedExporterNeverBlocksIngestion(t *testing.T) {
+	const n = 50
+	dir := t.TempDir()
+	st, err := storage.Open(filepath.Join(dir, "store.ndjson"), storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	reg := obs.NewRegistry()
+	sched := faultinject.NewSchedule(7, map[faultinject.Class]float64{faultinject.TornWrite: 1}, 0, reg)
+	exp, err := obs.NewExporter(obs.ExportConfig{
+		Sink:     &faultinject.Writer{W: new(discardWriter), Schedule: sched},
+		Registry: reg, Interval: -1, Service: "wedged",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+	eng := streaming.New(streaming.Config{Registry: reg, Spans: exp, AMIRefreshEvery: -1})
+	defer eng.Close()
+	srv, err := collectserver.New(collectserver.Config{
+		Store: st, Registry: reg, Analytics: eng, Trace: exp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	root := obs.NewTrace("agent.submit")
+	ctx := obs.ContextWithSpan(context.Background(), root)
+	client := collectclient.New(ts.URL)
+	sess, err := client.StartSession(ctx, "user-1", "test-agent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := sess.Submit(ctx, []collectserver.FPRecord{
+			{Vector: vectors.DC.String(), Iteration: 0, Hash: fmt.Sprintf("%08x", i)},
+		}); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	elapsed := time.Since(start)
+	if err := eng.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed > 15*time.Second {
+		t.Fatalf("ingestion against wedged sink took %v", elapsed)
+	}
+	if got := st.Count(); got != n {
+		t.Fatalf("store holds %d records, want %d", got, n)
+	}
+
+	// Every exported tree — 1 session request + n submit requests + n
+	// apply spans — must be accounted as written or dropped once the
+	// worker has drained. The request spans export from deferred
+	// middleware, so poll briefly.
+	written := reg.Counter("obs_export_batches_written_total", "", nil)
+	dropFull := reg.Counter("obs_export_batches_dropped_total", "", obs.Labels{"reason": "buffer_full"})
+	dropWrite := reg.Counter("obs_export_batches_dropped_total", "", obs.Labels{"reason": "write_error"})
+	wantTrees := int64(1 + n + n)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if written.Value()+dropFull.Value()+dropWrite.Value() >= wantTrees {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("accounted %d+%d+%d trees, want %d",
+				written.Value(), dropFull.Value(), dropWrite.Value(), wantTrees)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if written.Value() != 0 {
+		t.Fatalf("wedged sink still wrote %d trees", written.Value())
+	}
+	if total := dropFull.Value() + dropWrite.Value(); total != wantTrees {
+		t.Fatalf("drops %d, want every tree (%d) accounted", total, wantTrees)
+	}
+}
+
+// discardWriter is io.Discard as a concrete type the faultinject writer
+// can wrap.
+type discardWriter struct{}
+
+func (*discardWriter) Write(p []byte) (int, error) { return len(p), nil }
