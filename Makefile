@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short check bench bench-json bench-stream fuzz study trace examples clean
+.PHONY: all build vet test test-short check bench bench-json bench-stream bench-render fuzz study trace examples clean
 
 all: build vet test
 
@@ -28,7 +28,7 @@ test-short:
 # fuzz pass over the ingestion surfaces (10s per target, seeded from the
 # checked-in torn/corrupt corpora).
 check: build vet
-	$(GO) test -race ./internal/obs/ ./internal/watch/
+	$(GO) test -race ./internal/obs/ ./internal/watch/ ./internal/webaudio/
 	$(GO) test -race ./internal/...
 	$(GO) test ./...
 	$(GO) test -run '^$$' -fuzz FuzzStoreScan -fuzztime 10s ./internal/storage/
@@ -43,6 +43,14 @@ bench:
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem ./... | $(GO) run ./cmd/benchjson > BENCH_$$(date +%F).json
 	@echo wrote BENCH_$$(date +%F).json
+
+# Block-vs-reference DSP engine comparison: per-kernel microbenchmarks plus
+# the full-vector render under both engines (DESIGN.md §12). The block/...
+# rows must come out ≥2× faster than their reference/... counterparts on the
+# full-vector render.
+bench-render:
+	$(GO) test -run '^$$' -bench 'Kernel|RenderVectors' -benchmem . | $(GO) run ./cmd/benchjson > BENCH_render.json
+	@echo wrote BENCH_render.json
 
 # Streaming-vs-batch cost at the paper's 2093-user scale: incremental apply
 # must come out ≥100× cheaper than the batch recompute (DESIGN.md §10.2).

@@ -265,6 +265,128 @@ func BenchmarkHashSummary(b *testing.B) {
 	}
 }
 
+// ---------------------------------------------------------------------------
+// Block-engine benchmarks (DESIGN.md §12): per-kernel microbenchmarks and the
+// full-vector render, each run under the compiled block engine and the
+// per-sample reference engine. The two are bit-identical by contract (the
+// webaudio differential tests), so the delta here is pure speedup.
+
+// benchEngines runs fn once per engine as a sub-benchmark.
+func benchEngines(b *testing.B, fn func(b *testing.B)) {
+	for _, eng := range []webaudio.Engine{webaudio.EngineBlock, webaudio.EngineReference} {
+		b.Run(eng.String(), func(b *testing.B) {
+			prev := webaudio.SetDefaultEngine(eng)
+			defer webaudio.SetDefaultEngine(prev)
+			fn(b)
+		})
+	}
+}
+
+// benchRenderGraph benchmarks steady-state quantum rendering of the graph
+// build wires into a fresh context (compile + warmup excluded).
+func benchRenderGraph(b *testing.B, build func(ctx *webaudio.Context)) {
+	b.Helper()
+	ctx := webaudio.NewContext(44100, webaudio.DefaultTraits())
+	build(ctx)
+	if err := ctx.RenderQuanta(2); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ctx.RenderQuanta(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKernelOscillator: the wavetable-read kernel alone.
+func BenchmarkKernelOscillator(b *testing.B) {
+	benchEngines(b, func(b *testing.B) {
+		benchRenderGraph(b, func(ctx *webaudio.Context) {
+			osc := ctx.NewOscillator(webaudio.Triangle, 10000)
+			osc.Start(0)
+			webaudio.Connect(osc, ctx.Destination())
+		})
+	})
+}
+
+// BenchmarkKernelBiquad: oscillator through a lowpass biquad.
+func BenchmarkKernelBiquad(b *testing.B) {
+	benchEngines(b, func(b *testing.B) {
+		benchRenderGraph(b, func(ctx *webaudio.Context) {
+			osc := ctx.NewOscillator(webaudio.Sawtooth, 2000)
+			osc.Start(0)
+			bq := ctx.NewBiquadFilter(webaudio.Lowpass)
+			bq.Frequency.SetValue(8000)
+			webaudio.Connect(osc, bq)
+			webaudio.Connect(bq, ctx.Destination())
+		})
+	})
+}
+
+// BenchmarkKernelCompressor: the DC vector's hot node (kernel Log/Pow per
+// sample — the fingerprint surface — dominates both engines).
+func BenchmarkKernelCompressor(b *testing.B) {
+	benchEngines(b, func(b *testing.B) {
+		benchRenderGraph(b, func(ctx *webaudio.Context) {
+			osc := ctx.NewOscillator(webaudio.Triangle, 10000)
+			osc.Start(0)
+			dc := ctx.NewDynamicsCompressor()
+			webaudio.Connect(osc, dc)
+			webaudio.Connect(dc, ctx.Destination())
+		})
+	})
+}
+
+// BenchmarkKernelDestinationMix: four oscillators fanned into the
+// destination — the Merged Signals mix shape, exercising the once-per-block
+// input mixer against per-sample virtual sumInputs.
+func BenchmarkKernelDestinationMix(b *testing.B) {
+	benchEngines(b, func(b *testing.B) {
+		benchRenderGraph(b, func(ctx *webaudio.Context) {
+			for _, f := range []float64{4000, 6000, 8000, 10000} {
+				osc := ctx.NewOscillator(webaudio.Sine, f)
+				osc.Start(0)
+				webaudio.Connect(osc, ctx.Destination())
+			}
+		})
+	})
+}
+
+// BenchmarkKernelAMGain: audio-rate param modulation (the AM vector's
+// carrier gain), the a-rate blockSample path.
+func BenchmarkKernelAMGain(b *testing.B) {
+	benchEngines(b, func(b *testing.B) {
+		benchRenderGraph(b, func(ctx *webaudio.Context) {
+			carrier := ctx.NewOscillator(webaudio.Sine, 10000)
+			carrier.Start(0)
+			mod := ctx.NewOscillator(webaudio.Sine, 50)
+			mod.Start(0)
+			am := ctx.NewGain(0.5)
+			webaudio.ConnectParam(mod, am.Gain)
+			webaudio.Connect(carrier, am)
+			webaudio.Connect(am, ctx.Destination())
+		})
+	})
+}
+
+// BenchmarkRenderVectors: all seven fingerprinting vectors end to end
+// (graph build + render + hash) — the study's per-platform unit of work and
+// the number the block engine exists to improve.
+func BenchmarkRenderVectors(b *testing.B) {
+	benchEngines(b, func(b *testing.B) {
+		r := vectors.NewRunner(webaudio.DefaultTraits(), 0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := r.RunAll(0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkAnalyserFFTSizes: analyser capture cost across fftSize choices —
 // why fingerprint scripts settled on 2048.
 func BenchmarkAnalyserFFTSizes(b *testing.B) {

@@ -25,6 +25,8 @@ import (
 	"repro/internal/population"
 	"repro/internal/storage"
 	"repro/internal/study"
+	"repro/internal/vectors"
+	"repro/internal/webaudio"
 )
 
 func main() {
@@ -54,11 +56,21 @@ func run(runCtx context.Context, args []string, outw, errw io.Writer) error {
 		traceText  = fs.Bool("trace", false, "print the pipeline span tree to stderr on exit")
 		progress   = fs.Bool("progress", false, "report rendering progress to stderr")
 		pprofAddr  = fs.String("pprof", "", "serve /debug/pprof and /metrics on this address (e.g. localhost:6060)")
+		engine     = fs.String("render-engine", "block", "DSP engine: block (compiled render programs) or reference (per-sample); outputs are bit-identical")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	logger := log.New(errw, "fpstudy ", log.LstdFlags|log.Lmsgprefix)
+
+	switch *engine {
+	case "block":
+		webaudio.SetDefaultEngine(webaudio.EngineBlock)
+	case "reference":
+		webaudio.SetDefaultEngine(webaudio.EngineReference)
+	default:
+		return fmt.Errorf("unknown -render-engine %q (want block or reference)", *engine)
+	}
 
 	if *pprofAddr != "" {
 		go func() {
@@ -87,12 +99,17 @@ func run(runCtx context.Context, args []string, outw, errw io.Writer) error {
 	root := obs.NewTrace("fpstudy")
 	ctx := obs.ContextWithSpan(runCtx, root)
 
+	// One render cache across both campaigns: platform classes shared
+	// between the main and follow-up mixes render once for the whole run.
+	renderCache := vectors.NewCache()
+
 	start := time.Now()
 	logger.Printf("simulating main study: %d users × %d iterations × 7 vectors", *users, *iterations)
 	mainDS, err := study.RunContext(ctx, study.Config{
 		Seed: *seed, Users: *users, Iterations: *iterations,
-		Progress:       progressFunc(*progress, logger, "main study"),
+		Progress:       progressFunc(*progress, logger, "main study", renderCache),
 		CheckpointPath: *checkpoint,
+		RenderCache:    renderCache,
 	})
 	if err != nil {
 		return fmt.Errorf("main study: %w", err)
@@ -104,7 +121,8 @@ func run(runCtx context.Context, args []string, outw, errw io.Writer) error {
 		followUp, err = study.RunContext(ctx, study.Config{
 			Seed: *fuSeed, Users: *fuUsers, Iterations: *iterations,
 			Mix: population.FollowUpMix(), IDPrefix: "f",
-			Progress: progressFunc(*progress, logger, "follow-up"),
+			Progress:    progressFunc(*progress, logger, "follow-up", renderCache),
+			RenderCache: renderCache,
 		})
 		if err != nil {
 			return fmt.Errorf("follow-up study: %w", err)
@@ -156,8 +174,9 @@ func run(runCtx context.Context, args []string, outw, errw io.Writer) error {
 }
 
 // progressFunc returns a goroutine-safe study.Config.Progress callback that
-// logs at most ~20 updates per run, or nil when reporting is off.
-func progressFunc(enabled bool, logger *log.Logger, stage string) func(done, total int) {
+// logs at most ~20 updates per run (each with the render cache's state), or
+// nil when reporting is off.
+func progressFunc(enabled bool, logger *log.Logger, stage string, cache *vectors.Cache) func(done, total int) {
 	if !enabled {
 		return nil
 	}
@@ -167,7 +186,9 @@ func progressFunc(enabled bool, logger *log.Logger, stage string) func(done, tot
 			step = 1
 		}
 		if done%step == 0 || done == total {
-			logger.Printf("%s: rendered %d/%d participants", stage, done, total)
+			st := cache.Stats()
+			logger.Printf("%s: rendered %d/%d participants (render cache: %d entries, %.1f%% hits)",
+				stage, done, total, st.Entries, 100*st.HitRatio())
 		}
 	}
 }

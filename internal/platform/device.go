@@ -210,7 +210,10 @@ func (d *Device) AudioTraits() webaudio.Traits {
 
 // AudioStackKey canonically identifies every trait- and rate-derived aspect
 // of the device's audio identity; devices with equal keys render identical
-// fingerprints (and may therefore share vector-cache entries).
+// fingerprints (and may therefore share vector-cache entries). The key is
+// deliberately engine-independent: the webaudio block and reference engines
+// are gated to bit-identical output, so a cache entry rendered under either
+// engine is valid for both.
 func (d *Device) AudioStackKey() string {
 	tr := d.AudioTraits()
 	return fmt.Sprintf("%s|%s|%g|%d|%d|%t|%g",

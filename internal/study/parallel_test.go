@@ -123,6 +123,40 @@ func TestRunAllStopsAfterError(t *testing.T) {
 	}
 }
 
+// TestParallelRenderSingleflight: under a parallel run with a shared cache,
+// concurrent misses on the same (stack, vector, offset) key must collapse to
+// one render — every cache miss corresponds to exactly one memoized entry —
+// and the dataset must be bit-identical to a serial run.
+func TestParallelRenderSingleflight(t *testing.T) {
+	cfg := Config{Seed: 5, Users: 60, Iterations: 6}
+
+	serial, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache := vectors.NewCache()
+	par := cfg
+	par.Parallelism = 8
+	par.RenderCache = cache
+	parallel, err := Run(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(serial.Obs, parallel.Obs) {
+		t.Error("parallel run with shared cache produced different observations than serial run")
+	}
+	st := cache.Stats()
+	if st.Misses != int64(cache.Len()) {
+		t.Errorf("misses (%d) != entries (%d): duplicate renders slipped past singleflight",
+			st.Misses, cache.Len())
+	}
+	if st.Hits == 0 {
+		t.Error("expected cache hits in a 60-user study (platform classes repeat)")
+	}
+}
+
 // TestConcurrentCacheAndGraphStress exercises the shared vectors.Cache and
 // the dataset's lazily built caches (FullGraph, Index, dense labels) from
 // many goroutines — run under -race via `make check`.

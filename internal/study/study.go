@@ -57,6 +57,12 @@ type Config struct {
 	// when RunContext completes — the simulation's counterpart of the
 	// server's telemetry export (obs.Exporter satisfies the interface).
 	SpanSink obs.SpanExporter
+	// RenderCache, when non-nil, memoizes fingerprint renders across runs:
+	// passing one cache to several studies (as fpstudy does for the main
+	// and follow-up populations) shares renders between them, and the
+	// caller can read its Stats for progress reporting. Nil means a fresh
+	// private cache per run. Results are bit-identical either way.
+	RenderCache *vectors.Cache
 }
 
 // Dataset is the raw outcome of a study: the participants, their non-audio
@@ -207,7 +213,10 @@ func RunContext(ctx context.Context, cfg Config) (*Dataset, error) {
 
 	_, renderSpan := obsStart(ctx, "render")
 	var done atomic.Int64
-	cache := vectors.NewCache()
+	cache := cfg.RenderCache
+	if cache == nil {
+		cache = vectors.NewCache()
+	}
 	if err := runAll(len(devs), cfg.Parallelism, func(i int) error {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -230,7 +239,11 @@ func RunContext(ctx context.Context, cfg Config) (*Dataset, error) {
 		renderSpan.End()
 		return nil, err
 	}
-	renderSpan.SetAttr("distinct_renders", cache.Len())
+	cst := cache.Stats()
+	renderSpan.SetAttr("distinct_renders", cst.Entries)
+	renderSpan.SetAttr("cache_hits", int(cst.Hits))
+	renderSpan.SetAttr("cache_misses", int(cst.Misses))
+	renderSpan.SetAttr("cache_singleflight_waits", int(cst.Waits))
 	renderSpan.End()
 
 	ds.Parallelism = cfg.Parallelism

@@ -1,6 +1,9 @@
 package vectors
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Cache memoizes fingerprints by (audio-stack key, vector, capture offset).
 // Rendering is bit-deterministic given those three inputs (asserted by the
@@ -8,9 +11,23 @@ import "sync"
 // re-renders only once per distinct platform class and capture state,
 // turning an O(users × iterations) rendering bill into O(platform classes ×
 // offsets). Safe for concurrent use.
+//
+// Misses are deduplicated singleflight-style: when N goroutines miss on the
+// same key concurrently (the common case in a parallel study sweep, where
+// every worker meets the same few dozen platform classes), exactly one
+// renders and the rest wait for its result. Without this, raising
+// study.Config.Parallelism multiplies redundant renders instead of
+// throughput.
 type Cache struct {
-	mu sync.RWMutex
-	m  map[cacheKey]Fingerprint
+	mu       sync.Mutex
+	m        map[cacheKey]Fingerprint
+	inflight map[cacheKey]*inflightCall
+	max      int // 0 = unbounded
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	waits     atomic.Int64
+	evictions atomic.Int64
 }
 
 type cacheKey struct {
@@ -19,37 +36,138 @@ type cacheKey struct {
 	offset int
 }
 
-// NewCache returns an empty cache.
+// inflightCall is one in-progress render other goroutines can wait on.
+type inflightCall struct {
+	done chan struct{}
+	fp   Fingerprint
+	err  error
+}
+
+// NewCache returns an empty, unbounded cache.
 func NewCache() *Cache {
-	return &Cache{m: make(map[cacheKey]Fingerprint)}
+	return &Cache{
+		m:        make(map[cacheKey]Fingerprint),
+		inflight: make(map[cacheKey]*inflightCall),
+	}
+}
+
+// SetMaxEntries bounds the cache to n memoized renders (0 restores
+// unbounded). When full, an arbitrary entry is evicted per insert —
+// acceptable because every entry is equally cheap to recompute and study
+// sweeps revisit keys uniformly.
+func (c *Cache) SetMaxEntries(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.max = n
+	c.evictLocked()
+}
+
+func (c *Cache) evictLocked() {
+	if c.max <= 0 {
+		return
+	}
+	for len(c.m) > c.max {
+		for k := range c.m {
+			delete(c.m, k)
+			c.evictions.Add(1)
+			mCacheEvictions.Inc()
+			break
+		}
+	}
 }
 
 // Len reports the number of memoized renders.
 func (c *Cache) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return len(c.m)
+}
+
+// CacheStats is a snapshot of the cache's behavior counters.
+type CacheStats struct {
+	// Hits counts lookups served from the memo map.
+	Hits int64
+	// Misses counts lookups that ran the render themselves.
+	Misses int64
+	// Waits counts lookups that joined another goroutine's in-progress
+	// render instead of starting their own.
+	Waits int64
+	// Evictions counts entries dropped by the SetMaxEntries bound.
+	Evictions int64
+	// Entries is the current number of memoized renders.
+	Entries int
+}
+
+// HitRatio returns the fraction of lookups that avoided a render (hits and
+// singleflight waits over all lookups), or 0 before any lookup.
+func (s CacheStats) HitRatio() float64 {
+	total := s.Hits + s.Waits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Waits) / float64(total)
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	entries := len(c.m)
+	c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Waits:     c.waits.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   entries,
+	}
 }
 
 // Run returns the fingerprint for (stackKey, id, offset), rendering through
 // r on a cache miss. stackKey must uniquely identify r's traits: two runners
 // with different traits must never share a key.
 func (c *Cache) Run(stackKey string, r *Runner, id ID, offset int) (Fingerprint, error) {
+	return c.Do(stackKey, id, offset, func() (Fingerprint, error) {
+		return r.Run(id, offset)
+	})
+}
+
+// Do returns the memoized fingerprint for (stackKey, id, offset), invoking
+// render on a miss. Concurrent misses on the same key are collapsed: one
+// caller renders, the rest block until it finishes and share its result.
+// Errors are returned to every waiter but never cached — a later lookup
+// retries the render.
+func (c *Cache) Do(stackKey string, id ID, offset int, render func() (Fingerprint, error)) (Fingerprint, error) {
 	k := cacheKey{stack: stackKey, vector: id, offset: offset}
-	c.mu.RLock()
-	fp, ok := c.m[k]
-	c.mu.RUnlock()
-	if ok {
+
+	c.mu.Lock()
+	if fp, ok := c.m[k]; ok {
+		c.mu.Unlock()
+		c.hits.Add(1)
 		mCacheHits.Inc()
 		return fp, nil
 	}
-	mCacheMisses.Inc()
-	fp, err := r.Run(id, offset)
-	if err != nil {
-		return Fingerprint{}, err
+	if call, ok := c.inflight[k]; ok {
+		c.mu.Unlock()
+		c.waits.Add(1)
+		mCacheWaits.Inc()
+		<-call.done
+		return call.fp, call.err
 	}
-	c.mu.Lock()
-	c.m[k] = fp
+	call := &inflightCall{done: make(chan struct{})}
+	c.inflight[k] = call
 	c.mu.Unlock()
-	return fp, nil
+
+	c.misses.Add(1)
+	mCacheMisses.Inc()
+	call.fp, call.err = render()
+
+	c.mu.Lock()
+	delete(c.inflight, k)
+	if call.err == nil {
+		c.m[k] = call.fp
+		c.evictLocked()
+	}
+	c.mu.Unlock()
+	close(call.done)
+	return call.fp, call.err
 }

@@ -1,0 +1,129 @@
+package vectors
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCacheSingleflight: N concurrent misses on one key run exactly one
+// render; the rest block on the in-flight call and share its result.
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache()
+	gate := make(chan struct{})
+	var renders atomic.Int64
+
+	const workers = 8
+	var wg sync.WaitGroup
+	results := make([]Fingerprint, workers)
+	errs := make([]error, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g], errs[g] = c.Do("stack", DC, 0, func() (Fingerprint, error) {
+				renders.Add(1)
+				<-gate // hold the render open until every waiter has arrived
+				return Fingerprint{Vector: DC, Hash: "h", Sum: 1}, nil
+			})
+		}(g)
+	}
+
+	// Wait until the other seven goroutines have joined the in-flight call,
+	// then release the render.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Stats().Waits < workers-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out: %d waiters joined, want %d", c.Stats().Waits, workers-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+
+	for g := 0; g < workers; g++ {
+		if errs[g] != nil {
+			t.Fatalf("worker %d: %v", g, errs[g])
+		}
+		if results[g].Hash != "h" {
+			t.Fatalf("worker %d got %q", g, results[g].Hash)
+		}
+	}
+	if n := renders.Load(); n != 1 {
+		t.Errorf("render ran %d times, want 1", n)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Waits != workers-1 || st.Hits != 0 {
+		t.Errorf("stats = %+v, want 1 miss, %d waits, 0 hits", st, workers-1)
+	}
+	if _, err := c.Do("stack", DC, 0, func() (Fingerprint, error) {
+		t.Error("render ran on a warm key")
+		return Fingerprint{}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Hits != 1 {
+		t.Errorf("hits = %d after warm lookup, want 1", st.Hits)
+	}
+	if r := c.Stats().HitRatio(); r <= 0 || r > 1 {
+		t.Errorf("hit ratio %v out of (0, 1]", r)
+	}
+}
+
+// TestCacheErrorNotCached: a failed render is reported to every waiter but
+// leaves no entry, so the next lookup retries.
+func TestCacheErrorNotCached(t *testing.T) {
+	c := NewCache()
+	boom := errors.New("render failed")
+	if _, err := c.Do("stack", FFT, 0, func() (Fingerprint, error) {
+		return Fingerprint{}, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("error was cached: len %d", c.Len())
+	}
+	fp, err := c.Do("stack", FFT, 0, func() (Fingerprint, error) {
+		return Fingerprint{Hash: "ok"}, nil
+	})
+	if err != nil || fp.Hash != "ok" {
+		t.Fatalf("retry after error = %v, %v", fp, err)
+	}
+}
+
+// TestCacheMaxEntries: the entry bound holds and evictions are counted.
+func TestCacheMaxEntries(t *testing.T) {
+	c := NewCache()
+	c.SetMaxEntries(3)
+	for i := 0; i < 6; i++ {
+		if _, err := c.Do("stack", DC, i, func() (Fingerprint, error) {
+			return Fingerprint{Hash: fmt.Sprintf("h%d", i)}, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() > 3 {
+		t.Errorf("len %d exceeds bound 3", c.Len())
+	}
+	if st := c.Stats(); st.Evictions != 3 {
+		t.Errorf("evictions = %d, want 3", st.Evictions)
+	}
+	// Shrinking evicts immediately.
+	c.SetMaxEntries(1)
+	if c.Len() > 1 {
+		t.Errorf("len %d after shrinking bound to 1", c.Len())
+	}
+	// Restoring unbounded keeps entries.
+	c.SetMaxEntries(0)
+	if _, err := c.Do("stack", DC, 100, func() (Fingerprint, error) {
+		return Fingerprint{Hash: "x"}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Errorf("len %d after unbounding, want 2", c.Len())
+	}
+}

@@ -1,0 +1,46 @@
+package vectors_test
+
+import (
+	"testing"
+
+	"repro/internal/population"
+	"repro/internal/vectors"
+	"repro/internal/webaudio"
+)
+
+// TestEnginesBitIdenticalAcrossPopulation is the vector-level gate on the
+// block engine: for a sample of simulated devices, every fingerprint a
+// vector produces must be identical under the block and per-sample
+// reference engines — same hash, same scalar summary. The cache keys
+// fingerprints by platform alone, so this equivalence is what makes the
+// engine flag invisible to every consumer of the package.
+func TestEnginesBitIdenticalAcrossPopulation(t *testing.T) {
+	devices := population.Sample(population.Config{Seed: 71, N: 6})
+	ids := []vectors.ID{vectors.DC, vectors.FFT, vectors.AM, vectors.MergedSignals}
+	offsets := []int{0, 2}
+
+	prev := webaudio.SetDefaultEngine(webaudio.EngineBlock)
+	defer webaudio.SetDefaultEngine(prev)
+
+	for _, d := range devices {
+		r := vectors.NewRunner(d.AudioTraits(), 0)
+		for _, id := range ids {
+			for _, off := range offsets {
+				webaudio.SetDefaultEngine(webaudio.EngineBlock)
+				blk, err := r.Run(id, off)
+				if err != nil {
+					t.Fatalf("%s %v offset %d (block): %v", d.ID, id, off, err)
+				}
+				webaudio.SetDefaultEngine(webaudio.EngineReference)
+				ref, err := r.Run(id, off)
+				if err != nil {
+					t.Fatalf("%s %v offset %d (reference): %v", d.ID, id, off, err)
+				}
+				if blk.Hash != ref.Hash || blk.Sum != ref.Sum {
+					t.Errorf("%s %v offset %d: block (%s, %v) != reference (%s, %v)",
+						d.ID, id, off, blk.Hash, blk.Sum, ref.Hash, ref.Sum)
+				}
+			}
+		}
+	}
+}

@@ -15,7 +15,26 @@ var (
 		"memoized fingerprint renders served from cache", nil)
 	mCacheMisses = obs.Default.Counter("vectors_cache_misses_total",
 		"fingerprint renders that had to run the engine", nil)
+	mCacheWaits = obs.Default.Counter("vectors_cache_singleflight_waits_total",
+		"lookups that joined an in-progress render instead of starting one", nil)
+	mCacheEvictions = obs.Default.Counter("vectors_cache_evictions_total",
+		"memoized renders dropped by the cache entry bound", nil)
 )
+
+func init() {
+	// Process-wide hit ratio across every Cache instance: the fraction of
+	// lookups that avoided running the engine.
+	obs.Default.GaugeFunc("vectors_cache_hit_ratio",
+		"fraction of cache lookups served without rendering", nil,
+		func() float64 {
+			h := float64(mCacheHits.Value() + mCacheWaits.Value())
+			total := h + float64(mCacheMisses.Value())
+			if total == 0 {
+				return 0
+			}
+			return h / total
+		})
+}
 
 func renderObserved(id ID, elapsed time.Duration) {
 	labels := obs.Labels{"vector": id.String()}

@@ -94,6 +94,24 @@ func (a *AnalyserNode) process(frameTime int64) {
 	}
 }
 
+// processBlock is the analyser block kernel: pass-through round plus the
+// ring-buffer capture, over the pre-mixed block.
+func (a *AnalyserNode) processBlock(_ int64, in *[RenderQuantum]float64) {
+	flush := a.ctx.traits.FlushDenormals
+	mask := a.fftSize - 1
+	ringPos := a.ringPos
+	for i := 0; i < RenderQuantum; i++ {
+		v := flushRound(flush, in[i])
+		a.output[i] = v
+		a.ring[ringPos] = v
+		ringPos = (ringPos + 1) & mask
+	}
+	a.ringPos = ringPos
+	if a.filled < a.fftSize {
+		a.filled += RenderQuantum
+	}
+}
+
 // computeSpectrum runs the capture pipeline of the spec — ring unroll →
 // Blackman window → FFT → 1/fftSize magnitude scaling → smoothing over
 // time — updating a.smoothed in place. Scratch buffers are reused across

@@ -174,15 +174,7 @@ func (b *BiquadFilterNode) computeCoefficients(freq, q, gainDB float64) {
 
 func (b *BiquadFilterNode) process(frameTime int64) {
 	tr := b.ctx.traits
-	freq := b.Frequency.sampleAt(frameTime, 0)
-	if det := b.Detune.sampleAt(frameTime, 0); det != 0 {
-		freq *= tr.Kernel.Pow(2, det/1200)
-	}
-	q := b.Q.sampleAt(frameTime, 0)
-	g := b.Gain.sampleAt(frameTime, 0)
-	if !b.haveCoeffs || freq != b.cf || q != b.cq || g != b.cg {
-		b.computeCoefficients(freq, q, g)
-	}
+	b.updateCoefficients(frameTime)
 	for i := 0; i < RenderQuantum; i++ {
 		x := b.sumInputs(i)
 		y := b.b0*x + b.b1*b.x1 + b.b2*b.x2 - b.a1*b.y1 - b.a2*b.y2
@@ -190,4 +182,37 @@ func (b *BiquadFilterNode) process(frameTime int64) {
 		b.y2, b.y1 = b.y1, y
 		b.output[i] = tr.round32(y)
 	}
+}
+
+// updateCoefficients refreshes the cached coefficients from the per-quantum
+// parameter snapshot (biquad params are k-rate by construction: the spec
+// samples them once per render quantum).
+func (b *BiquadFilterNode) updateCoefficients(frameTime int64) {
+	freq := b.Frequency.sampleAt(frameTime, 0)
+	if det := b.Detune.sampleAt(frameTime, 0); det != 0 {
+		freq *= b.ctx.traits.Kernel.Pow(2, det/1200)
+	}
+	q := b.Q.sampleAt(frameTime, 0)
+	g := b.Gain.sampleAt(frameTime, 0)
+	if !b.haveCoeffs || freq != b.cf || q != b.cq || g != b.cg {
+		b.computeCoefficients(freq, q, g)
+	}
+}
+
+// processBlock is the biquad block kernel: direct-form-1 over the pre-mixed
+// block with filter state in locals, a tight loop the compiler can keep in
+// registers.
+func (b *BiquadFilterNode) processBlock(frameTime int64, in *[RenderQuantum]float64) {
+	flush := b.ctx.traits.FlushDenormals
+	b.updateCoefficients(frameTime)
+	b0, b1, b2, a1, a2 := b.b0, b.b1, b.b2, b.a1, b.a2
+	x1, x2, y1, y2 := b.x1, b.x2, b.y1, b.y2
+	for i := 0; i < RenderQuantum; i++ {
+		x := in[i]
+		y := b0*x + b1*x1 + b2*x2 - a1*y1 - a2*y2
+		x2, x1 = x1, x
+		y2, y1 = y1, y
+		b.output[i] = flushRound(flush, y)
+	}
+	b.x1, b.x2, b.y1, b.y2 = x1, x2, y1, y2
 }

@@ -136,3 +136,98 @@ func (d *DynamicsCompressorNode) process(frameTime int64) {
 		d.output[i] = tr.round32(delayed * gainLin)
 	}
 }
+
+// processBlock is the compressor block kernel: same per-quantum coefficient
+// preamble and per-sample envelope/gain recurrence as process, but over the
+// pre-mixed block with the detector state held in locals. The kernel Log/Pow
+// calls per sample are the fingerprint surface and stay untouched.
+func (d *DynamicsCompressorNode) processBlock(frameTime int64, xs *[RenderQuantum]float64) {
+	tr := d.ctx.traits
+	k := tr.Kernel
+	sr := d.ctx.sampleRate
+
+	threshold := d.Threshold.sampleAt(frameTime, 0)
+	knee := d.Knee.sampleAt(frameTime, 0)
+	ratio := d.Ratio.sampleAt(frameTime, 0)
+	attack := d.Attack.sampleAt(frameTime, 0)
+	release := d.Release.sampleAt(frameTime, 0)
+
+	aAtt := 1.0
+	if attack > 0 {
+		aAtt = 1 - k.Exp(-1/(sr*attack))
+	}
+	aRel := 1.0
+	if release > 0 {
+		aRel = 1 - k.Exp(-1/(sr*release))
+	}
+
+	if !d.haveMakeup {
+		fullDB := d.curveDB(0, threshold, knee, ratio)
+		fullLin := k.Pow(10, fullDB/20)
+		if fullLin > 0 {
+			d.makeup = k.Pow(1/fullLin, 0.6)
+		} else {
+			d.makeup = 1
+		}
+		d.haveMakeup = true
+	}
+
+	// Hoisted gain-computer constants: each expression below reproduces
+	// the corresponding curveDB subterm with the identical operation
+	// sequence, so per-sample results stay bit-equal to the reference.
+	kneeEps := tr.CompressorKneeEps
+	ke1 := 1 + kneeEps
+	rInv := 1/ratio - 1
+	knee2 := 2 * knee
+	kneeTop := threshold + knee
+	kneeEnd := threshold + knee + (1/ratio-1)*knee/2*(1+kneeEps)
+
+	flush := tr.FlushDenormals
+	env := d.env
+	delay := d.delay
+	delayPos := d.delayPos
+	delayLen := len(delay)
+	makeup := d.makeup
+	gainDB := 0.0
+	for i := 0; i < RenderQuantum; i++ {
+		in := xs[i]
+
+		a := math.Abs(in)
+		coeff := aRel
+		if a > env {
+			coeff = aAtt
+		}
+		env += (a - env) * coeff
+
+		gainDB = 0
+		if env > 1e-10 {
+			levelDB := 20 * (k.Log(env) / math.Ln10)
+			var outDB float64
+			switch {
+			case levelDB < threshold:
+				outDB = levelDB
+			case knee > 0 && levelDB < kneeTop:
+				t := levelDB - threshold
+				outDB = levelDB + rInv*t*t/knee2*ke1
+			default:
+				outDB = kneeEnd + (levelDB-threshold-knee)/ratio
+			}
+			gainDB = outDB - levelDB
+		}
+		gainLin := k.Pow(10, gainDB/20) * makeup
+
+		// delayPos < delayLen always holds, so the conditional reset
+		// computes the same index as the reference's modulo.
+		delay[delayPos] = float32(in)
+		delayPos++
+		if delayPos == delayLen {
+			delayPos = 0
+		}
+		delayed := float64(delay[delayPos])
+
+		d.output[i] = flushRound(flush, delayed*gainLin)
+	}
+	d.env = env
+	d.delayPos = delayPos
+	d.reduction = gainDB
+}

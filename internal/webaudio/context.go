@@ -16,6 +16,9 @@ type Context struct {
 	dirty      bool
 	order      []Node
 	frame      int64
+	engine     Engine
+	prog       renderProgram
+	scratch    blockScratch
 }
 
 // NewContext creates a context with the given sample rate (Hz) and platform
@@ -24,7 +27,7 @@ func NewContext(sampleRate float64, traits Traits) *Context {
 	if traits.Kernel == nil {
 		traits = DefaultTraits()
 	}
-	c := &Context{sampleRate: sampleRate, traits: traits}
+	c := &Context{sampleRate: sampleRate, traits: traits, engine: DefaultEngine()}
 	c.dest = &DestinationNode{nodeBase: nodeBase{ctx: c, label: "destination"}}
 	c.register(c.dest)
 	statContexts.Inc()
@@ -51,7 +54,9 @@ func (c *Context) register(n Node) {
 	c.dirty = true
 }
 
-// RenderQuanta advances the graph clock by n render quanta.
+// RenderQuanta advances the graph clock by n render quanta. When the graph
+// changed it recompiles the topo order and (for the block engine) the render
+// program first; the steady-state path after compilation allocates nothing.
 func (c *Context) RenderQuanta(n int) error {
 	if c.dirty {
 		order, err := c.topoOrder()
@@ -59,13 +64,23 @@ func (c *Context) RenderQuanta(n int) error {
 			return err
 		}
 		c.order = order
+		c.compileProgram()
 		c.dirty = false
 	}
-	for q := 0; q < n; q++ {
-		for _, node := range c.order {
-			node.process(c.frame)
+	if c.engine == EngineReference {
+		for q := 0; q < n; q++ {
+			for _, node := range c.order {
+				node.process(c.frame)
+			}
+			c.frame += RenderQuantum
 		}
-		c.frame += RenderQuantum
+		statReferenceQuanta.Add(int64(n))
+	} else {
+		for q := 0; q < n; q++ {
+			c.prog.run(c)
+			c.frame += RenderQuantum
+		}
+		statBlockQuanta.Add(int64(n))
 	}
 	statQuanta.Add(int64(n))
 	statNodes.Add(int64(n) * int64(len(c.order)))
@@ -106,6 +121,17 @@ func (d *DestinationNode) process(frameTime int64) {
 	tr := d.ctx.traits
 	for i := 0; i < RenderQuantum; i++ {
 		d.output[i] = tr.round32(d.sumInputs(i))
+	}
+	if d.record {
+		d.recorded = append(d.recorded, d.output[:]...)
+	}
+}
+
+// processBlock is the destination's mix/round block kernel.
+func (d *DestinationNode) processBlock(_ int64, in *[RenderQuantum]float64) {
+	flush := d.ctx.traits.FlushDenormals
+	for i := 0; i < RenderQuantum; i++ {
+		d.output[i] = flushRound(flush, in[i])
 	}
 	if d.record {
 		d.recorded = append(d.recorded, d.output[:]...)

@@ -27,6 +27,26 @@ func (g *GainNode) process(frameTime int64) {
 	}
 }
 
+// processBlock is the gain block kernel: a constant-folded multiply when
+// the param is k-rate (every fingerprinting vector's mute and depth gains),
+// or a block multiply against the param's sampled block (the AM vector's
+// modulated carrier gain).
+func (g *GainNode) processBlock(frameTime int64, in *[RenderQuantum]float64) {
+	flush := g.ctx.traits.FlushDenormals
+	if g.Gain.isKRate() {
+		gv := g.Gain.constValue()
+		for i := 0; i < RenderQuantum; i++ {
+			g.output[i] = flushRound(flush, in[i]*gv)
+		}
+		return
+	}
+	p := &g.ctx.scratch.param
+	g.Gain.blockSample(frameTime, p)
+	for i := 0; i < RenderQuantum; i++ {
+		g.output[i] = flushRound(flush, in[i]*p[i])
+	}
+}
+
 // ChannelMergerNode combines several mono inputs. The engine is mono, so
 // merging is an input sum followed by the usual down-mix normalization the
 // destination would apply; what matters for fingerprinting is that the sum
@@ -48,5 +68,14 @@ func (m *ChannelMergerNode) process(frameTime int64) {
 	tr := m.ctx.traits
 	for i := 0; i < RenderQuantum; i++ {
 		m.output[i] = tr.round32(m.sumInputs(i))
+	}
+}
+
+// processBlock rounds the pre-mixed block — the merger's whole job is the
+// trait-precision sum the program driver already performed.
+func (m *ChannelMergerNode) processBlock(_ int64, in *[RenderQuantum]float64) {
+	flush := m.ctx.traits.FlushDenormals
+	for i := 0; i < RenderQuantum; i++ {
+		m.output[i] = flushRound(flush, in[i])
 	}
 }

@@ -73,3 +73,25 @@ func (n *IIRFilterNode) process(frameTime int64) {
 		n.output[i] = tr.round32(out)
 	}
 }
+
+// processBlock is the IIR block kernel: the direct-form-1 recurrence over
+// the pre-mixed block.
+func (n *IIRFilterNode) processBlock(_ int64, in *[RenderQuantum]float64) {
+	flush := n.ctx.traits.FlushDenormals
+	for i := 0; i < RenderQuantum; i++ {
+		copy(n.x[1:], n.x)
+		n.x[0] = in[i]
+		out := 0.0
+		for k, b := range n.ff {
+			out += b * n.x[k]
+		}
+		for k, a := range n.fb {
+			out -= a * n.y[k]
+		}
+		if len(n.y) > 0 {
+			copy(n.y[1:], n.y)
+			n.y[0] = out
+		}
+		n.output[i] = flushRound(flush, out)
+	}
+}

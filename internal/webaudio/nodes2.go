@@ -60,6 +60,34 @@ func (w *WaveShaperNode) process(frameTime int64) {
 	}
 }
 
+// processBlock is the waveshaper block kernel: the same curve lookup over
+// the pre-mixed block.
+func (w *WaveShaperNode) processBlock(_ int64, in *[RenderQuantum]float64) {
+	flush := w.ctx.traits.FlushDenormals
+	n := len(w.curve)
+	if n == 0 {
+		for i := 0; i < RenderQuantum; i++ {
+			w.output[i] = flushRound(flush, in[i])
+		}
+		return
+	}
+	for i := 0; i < RenderQuantum; i++ {
+		x := in[i]
+		v := (x + 1) / 2 * float64(n-1)
+		switch {
+		case v <= 0:
+			w.output[i] = w.curve[0]
+		case v >= float64(n-1):
+			w.output[i] = w.curve[n-1]
+		default:
+			idx := int(v)
+			frac := float32(v - float64(idx))
+			s := w.curve[idx] + (w.curve[idx+1]-w.curve[idx])*frac
+			w.output[i] = flushRound(flush, float64(s))
+		}
+	}
+}
+
 // DelayNode delays its input by DelayTime seconds (audio-rate modulable, up
 // to the construction-time maximum), with linear interpolation between
 // samples.
@@ -112,6 +140,45 @@ func (d *DelayNode) process(frameTime int64) {
 	}
 }
 
+// processBlock is the delay block kernel. A k-rate DelayTime (no automation,
+// no modulators) folds the read offset to a constant; otherwise the offset
+// is recomputed per sample exactly as the reference loop does.
+func (d *DelayNode) processBlock(frameTime int64, in *[RenderQuantum]float64) {
+	flush := d.ctx.traits.FlushDenormals
+	n := len(d.buf)
+	sr := d.ctx.sampleRate
+	kRate := d.DelayTime.isKRate()
+	constDelay := 0.0
+	if kRate {
+		constDelay = d.DelayTime.constValue() * sr
+		if constDelay < 0 {
+			constDelay = 0
+		}
+	}
+	pos := d.pos
+	for i := 0; i < RenderQuantum; i++ {
+		d.buf[pos] = flushRound(flush, in[i])
+		delay := constDelay
+		if !kRate {
+			delay = d.DelayTime.sampleAt(frameTime, i) * sr
+			if delay < 0 {
+				delay = 0
+			}
+		}
+		readPos := float64(pos) - delay
+		for readPos < 0 {
+			readPos += float64(n)
+		}
+		idx := int(readPos)
+		frac := float32(readPos - float64(idx))
+		s0 := d.buf[idx%n]
+		s1 := d.buf[(idx+1)%n]
+		d.output[i] = flushRound(flush, float64(s0+(s1-s0)*frac))
+		pos = (pos + 1) % n
+	}
+	d.pos = pos
+}
+
 // ConstantSourceNode outputs its Offset parameter — the spec's DC source,
 // handy for biasing modulation graphs.
 type ConstantSourceNode struct {
@@ -150,6 +217,23 @@ func (n *ConstantSourceNode) process(frameTime int64) {
 			continue
 		}
 		n.output[i] = tr.round32(n.Offset.sampleAt(frameTime, i))
+	}
+}
+
+// processBlock is the constant-source block kernel: when the whole quantum
+// is inside [start, stop) and Offset is k-rate, the output is one rounded
+// constant. Everything else takes the reference loop.
+func (n *ConstantSourceNode) processBlock(frameTime int64, _ *[RenderQuantum]float64) {
+	sr := n.ctx.sampleRate
+	t0 := float64(frameTime) / sr
+	tLast := (float64(frameTime) + RenderQuantum - 1) / sr
+	if !(n.started && t0 >= n.startTime && tLast < n.stopTime) || !n.Offset.isKRate() {
+		n.process(frameTime)
+		return
+	}
+	v := n.ctx.traits.round32(n.Offset.constValue())
+	for i := 0; i < RenderQuantum; i++ {
+		n.output[i] = v
 	}
 }
 

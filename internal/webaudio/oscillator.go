@@ -111,104 +111,90 @@ func (o *OscillatorNode) params() []*AudioParam {
 	return []*AudioParam{o.Frequency, o.Detune}
 }
 
-// buildTable synthesizes the band-limited wavetable for the oscillator's
-// waveform at its nominal frequency using the kernel's sine.
+// buildTable resolves the band-limited wavetable for the oscillator's
+// waveform at its nominal frequency using the kernel's sine. Synthesis and
+// the process-wide table cache live in wavetable.go; the resulting table is
+// shared read-only across every oscillator with identical synthesis inputs.
 func (o *OscillatorNode) buildTable() {
-	k := o.ctx.traits.Kernel
-	nyquist := o.ctx.sampleRate / 2
 	f0 := math.Abs(o.Frequency.Value())
 	if f0 == 0 {
 		f0 = 440
 	}
-	maxHarm := int(nyquist / f0)
-	if maxHarm < 1 {
-		maxHarm = 1
-	}
+	o.table = wavetableFor(o.ctx.traits.Kernel, o.typ, o.wave,
+		f0, o.ctx.sampleRate, o.ctx.traits.OscillatorPhaseOffset)
+}
 
-	var real, imag []float64
-	switch o.typ {
-	case Sine:
-		real = []float64{0, 0}
-		imag = []float64{0, 1}
-	case Square:
-		// b_n = 4/(nπ) for odd n.
-		n := maxHarm + 1
-		real = make([]float64, n)
-		imag = make([]float64, n)
-		for h := 1; h < n; h += 2 {
-			imag[h] = 4 / (float64(h) * math.Pi)
-		}
-	case Sawtooth:
-		// b_n = 2/(nπ) · (−1)^{n+1}.
-		n := maxHarm + 1
-		real = make([]float64, n)
-		imag = make([]float64, n)
-		sign := 1.0
-		for h := 1; h < n; h++ {
-			imag[h] = sign * 2 / (float64(h) * math.Pi)
-			sign = -sign
-		}
-	case Triangle:
-		// b_n = 8/(n²π²) · (−1)^{(n−1)/2} for odd n.
-		n := maxHarm + 1
-		real = make([]float64, n)
-		imag = make([]float64, n)
-		sign := 1.0
-		for h := 1; h < n; h += 2 {
-			imag[h] = sign * 8 / (float64(h) * float64(h) * math.Pi * math.Pi)
-			sign = -sign
-		}
-	case Custom:
-		if o.wave == nil {
-			panic("webaudio: custom oscillator without a PeriodicWave")
-		}
-		nc := len(o.wave.Real)
-		if len(o.wave.Imag) < nc {
-			nc = len(o.wave.Imag)
-		}
-		if nc > maxHarm+1 {
-			nc = maxHarm + 1 // band-limit to Nyquist
-		}
-		real = append([]float64(nil), o.wave.Real[:nc]...)
-		imag = append([]float64(nil), o.wave.Imag[:nc]...)
+// processBlock is the oscillator's wavetable-read block kernel. The k-rate
+// fast path — no automation and no modulators on Frequency/Detune, the
+// whole quantum inside [start, stop) — folds the frequency to a constant
+// and runs a tight table-read loop. Anything else (FM modulation, ramps,
+// start/stop straddling the block) takes the per-sample reference loop,
+// which is bit-identical by definition.
+func (o *OscillatorNode) processBlock(frameTime int64, _ *[RenderQuantum]float64) {
+	tr := o.ctx.traits
+	if o.table == nil {
+		o.buildTable()
 	}
-
-	tbl := make([]float64, tableSize)
-	phaseOff := o.ctx.traits.OscillatorPhaseOffset
-	for i := 0; i < tableSize; i++ {
-		phi := 2*math.Pi*float64(i)/tableSize + phaseOff
-		var v float64
-		for h := 1; h < len(real); h++ {
-			hphi := float64(h) * phi
-			// cos via the kernel's sine, as the engine's table builder would.
-			v += real[h]*k.Sin(hphi+math.Pi/2) + imag[h]*k.Sin(hphi)
-		}
-		tbl[i] = v
+	sr := o.ctx.sampleRate
+	// t is nondecreasing in the in-quantum index, so block-edge times decide
+	// whether the gate is constant across the quantum.
+	t0 := float64(frameTime) / sr
+	tLast := (float64(frameTime) + RenderQuantum - 1) / sr
+	if !(o.started && t0 >= o.startTime && tLast < o.stopTime) ||
+		!o.Frequency.isKRate() || !o.Detune.isKRate() {
+		o.process(frameTime)
+		return
 	}
-
-	normalize := true
-	if o.typ == Custom && o.wave.DisableNormalization {
-		normalize = false
+	freq := o.Frequency.constValue()
+	if det := o.Detune.constValue(); det != 0 {
+		freq *= tr.Kernel.Pow(2, det/1200)
 	}
-	if normalize {
-		var peak float64
-		for _, v := range tbl {
-			if a := math.Abs(v); a > peak {
-				peak = a
+	inc := freq / sr
+	// The table always has tableSize+1 entries (guard sample), and the
+	// phase wrap keeps phase in [0, 1), so idx ∈ [0, tableSize). The
+	// fixed-size array view plus the mask (a no-op for in-range idx) lets
+	// the compiler drop both bounds checks from the read loop.
+	tbl := (*[tableSize + 1]float32)(o.table)
+	phase := o.phase
+	flush := tr.FlushDenormals
+	if inc >= -0.5 && inc <= 0.5 {
+		// With |inc| ≤ 0.5 and phase ∈ [0, 1), phase+inc ∈ [-0.5, 1.5),
+		// so Floor is exactly -1, 0, or 1 and the conditional ±1 wrap
+		// computes the identical float64. The interpolated sample is
+		// already a float32, so the reference's float64 round trip
+		// through round32 is the identity and only the denormal flush
+		// remains. Both shortcuts keep the serial phase recurrence off
+		// the Floor call's latency.
+		for i := 0; i < RenderQuantum; i++ {
+			pos := phase * tableSize
+			idx := int(pos) & (tableSize - 1)
+			frac := float32(pos - float64(idx))
+			s := tbl[idx] + (tbl[idx+1]-tbl[idx])*frac
+			if flush && s != 0 && s < 1.1754944e-38 && s > -1.1754944e-38 {
+				s = 0
+			}
+			o.output[i] = s
+			phase += inc
+			if phase >= 1 {
+				phase--
+			} else if phase < 0 {
+				phase++
 			}
 		}
-		if peak > 0 {
-			inv := 1 / peak
-			for i := range tbl {
-				tbl[i] *= inv
-			}
+	} else {
+		// Detune can scale the frequency past Nyquist, where the wrap can
+		// cross more than one cycle — keep the reference Floor there.
+		for i := 0; i < RenderQuantum; i++ {
+			pos := phase * tableSize
+			idx := int(pos) & (tableSize - 1)
+			frac := float32(pos - float64(idx))
+			s := tbl[idx] + (tbl[idx+1]-tbl[idx])*frac
+			o.output[i] = flushRound(flush, float64(s))
+			phase += inc
+			phase -= math.Floor(phase)
 		}
 	}
-	o.table = make([]float32, tableSize+1)
-	for i, v := range tbl {
-		o.table[i] = float32(v)
-	}
-	o.table[tableSize] = o.table[0]
+	o.phase = phase
 }
 
 func (o *OscillatorNode) process(frameTime int64) {

@@ -156,3 +156,40 @@ func (p *AudioParam) sampleAt(frameTime int64, i int) float64 {
 	}
 	return p.clamp(v)
 }
+
+// isKRate reports whether the param is constant over every render quantum:
+// no automation events and no audio-rate modulators. This is the common
+// case for every fingerprinting vector's non-modulated parameters, and what
+// the block kernels' constant-folded fast paths key on.
+func (p *AudioParam) isKRate() bool { return len(p.events) == 0 && len(p.inputs) == 0 }
+
+// constValue returns the effective value of a k-rate param — identical to
+// sampleAt at any frame when isKRate holds.
+func (p *AudioParam) constValue() float64 { return p.clamp(p.value) }
+
+// blockSample fills dst[i] with sampleAt(frameTime, i) for the whole
+// quantum: per-sample automation evaluation, then each modulator's block
+// added in connection order, then the clamp — the same value sequence the
+// per-sample path produces, computed block-at-a-time.
+func (p *AudioParam) blockSample(frameTime int64, dst *[RenderQuantum]float64) {
+	if len(p.events) == 0 {
+		for i := range dst {
+			dst[i] = p.value
+		}
+	} else {
+		sr := p.ctx.sampleRate
+		for i := range dst {
+			t := (float64(frameTime) + float64(i)) / sr
+			dst[i] = p.automatedValue(t)
+		}
+	}
+	for _, in := range p.inputs {
+		src := &in.base().output
+		for i := range dst {
+			dst[i] += float64(src[i])
+		}
+	}
+	for i := range dst {
+		dst[i] = p.clamp(dst[i])
+	}
+}

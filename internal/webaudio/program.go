@@ -1,0 +1,131 @@
+package webaudio
+
+// The block engine. When RenderQuanta compiles the topo order it also
+// compiles a render program: one renderOp per node, carrying the node's
+// block kernel and direct pointers to its input buffers. Running a quantum
+// is then a flat loop over ops — mix the op's inputs once into a contiguous
+// scratch block, call the kernel — instead of 128 per-sample virtual
+// sumInputs calls per node. Kernels are written as tight 128-sample loops
+// over fixed-size arrays (bounds checks eliminate; float32↔float64
+// round-trips happen once per sample instead of per connection), and every
+// kernel is bit-identical to the node's per-sample process() by
+// construction: same operations, same order, same widths.
+
+// blockNode is implemented by nodes with a block kernel. processBlock
+// renders one quantum into base().output given the pre-mixed input block
+// (the engine's sumInputs result for every frame of the quantum). Nodes
+// without audio inputs receive the scratch untouched and must ignore it.
+type blockNode interface {
+	Node
+	processBlock(frameTime int64, in *[RenderQuantum]float64)
+}
+
+// renderOp is one compiled step of a render program.
+type renderOp struct {
+	node  Node
+	block blockNode // nil → per-sample fallback via node.process
+	// srcs are the op's input buffers, resolved at compile time.
+	srcs []*[RenderQuantum]float32
+	// noMix marks source nodes whose kernel ignores the input block, so the
+	// driver can skip zeroing the scratch.
+	noMix bool
+}
+
+// renderProgram is the compiled form of a graph's topo order.
+type renderProgram struct {
+	ops []renderOp
+}
+
+// blockScratch holds the per-context scratch blocks the program driver and
+// kernels reuse across quanta, keeping the steady-state render path
+// allocation-free.
+type blockScratch struct {
+	// mix receives each op's summed input block.
+	mix [RenderQuantum]float64
+	// param receives audio-rate parameter blocks (AudioParam.blockSample).
+	param [RenderQuantum]float64
+}
+
+// compileProgram rebuilds the render program from the current topo order.
+// Called whenever the graph is recompiled (c.dirty).
+func (c *Context) compileProgram() {
+	ops := c.prog.ops[:0]
+	for _, n := range c.order {
+		op := renderOp{node: n}
+		if bn, ok := n.(blockNode); ok {
+			op.block = bn
+		}
+		for _, in := range n.base().inputs {
+			op.srcs = append(op.srcs, &in.base().output)
+		}
+		switch n.(type) {
+		case *OscillatorNode, *ConstantSourceNode:
+			op.noMix = true
+		}
+		ops = append(ops, op)
+	}
+	c.prog.ops = ops
+}
+
+// run renders one quantum through the compiled program.
+func (p *renderProgram) run(c *Context) {
+	frame := c.frame
+	mix32 := c.traits.MixPrecision == Mix32
+	for i := range p.ops {
+		op := &p.ops[i]
+		if op.block == nil {
+			// No block kernel for this node type: the per-sample reference
+			// path renders it (reading the same, already-filled buffers).
+			op.node.process(frame)
+			continue
+		}
+		if !op.noMix {
+			mixInto(&c.scratch.mix, op.srcs, mix32)
+		}
+		op.block.processBlock(frame, &c.scratch.mix)
+	}
+}
+
+// mixInto sums the source blocks into dst exactly as nodeBase.sumInputs
+// does per sample: single inputs widen directly; multi-input fan-in sums in
+// the trait-selected precision, accumulating sources in connection order so
+// every dst[i] sees the same addition sequence as the per-sample path.
+func mixInto(dst *[RenderQuantum]float64, srcs []*[RenderQuantum]float32, mix32 bool) {
+	switch len(srcs) {
+	case 0:
+		for i := range dst {
+			dst[i] = 0
+		}
+	case 1:
+		s := srcs[0]
+		for i := range dst {
+			dst[i] = float64(s[i])
+		}
+	default:
+		if mix32 {
+			var acc [RenderQuantum]float32
+			s0 := srcs[0]
+			for i := range acc {
+				acc[i] = s0[i]
+			}
+			for _, s := range srcs[1:] {
+				for i := range acc {
+					acc[i] += s[i]
+				}
+			}
+			for i := range dst {
+				dst[i] = float64(acc[i])
+			}
+			return
+		}
+		s0 := srcs[0]
+		for i := range dst {
+			dst[i] = float64(s0[i])
+		}
+		for _, s := range srcs[1:] {
+			for i := range dst {
+				dst[i] += float64(s[i])
+			}
+		}
+	}
+}

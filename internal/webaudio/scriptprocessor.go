@@ -69,3 +69,30 @@ func (s *ScriptProcessorNode) process(frameTime int64) {
 		}
 	}
 }
+
+// processBlock is the script-processor block kernel: the same pass-through,
+// accumulate, and event-dispatch logic over the pre-mixed block. Event
+// timing is unchanged because bufferSize is a multiple of RenderQuantum.
+func (s *ScriptProcessorNode) processBlock(frameTime int64, in *[RenderQuantum]float64) {
+	tr := s.ctx.traits
+	flush := tr.FlushDenormals
+	for i := 0; i < RenderQuantum; i++ {
+		v := flushRound(flush, in[i])
+		s.output[i] = v
+		s.buf[s.fill] = v
+		s.fill++
+		if s.fill == s.bufferSize {
+			s.fill = 0
+			if s.OnAudioProcess != nil {
+				start := frameTime + int64(i) + 1 - int64(s.bufferSize)
+				tr.Farble.farbleInPlace(s.buf)
+				s.OnAudioProcess(AudioProcessEvent{
+					InputBuffer:  s.buf,
+					PlaybackTime: float64(start) / s.ctx.sampleRate,
+					EventIndex:   s.events,
+				})
+			}
+			s.events++
+		}
+	}
+}

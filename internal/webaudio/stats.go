@@ -12,6 +12,10 @@ var (
 		"128-frame render quanta processed", nil)
 	statNodes = obs.Default.Counter("webaudio_node_ticks_total",
 		"node process() invocations (nodes × quanta)", nil)
+	statBlockQuanta = obs.Default.Counter("webaudio_block_quanta_total",
+		"render quanta processed by the compiled block engine", nil)
+	statReferenceQuanta = obs.Default.Counter("webaudio_reference_quanta_total",
+		"render quanta processed by the per-sample reference engine", nil)
 )
 
 // RenderStats is a snapshot of the engine-wide render counters.
@@ -22,13 +26,20 @@ type RenderStats struct {
 	Quanta int64
 	// NodeTicks is the number of node process() invocations.
 	NodeTicks int64
+	// BlockQuanta counts quanta rendered by the compiled block engine.
+	BlockQuanta int64
+	// ReferenceQuanta counts quanta rendered by the per-sample reference
+	// engine.
+	ReferenceQuanta int64
 }
 
 // Stats returns the engine-wide render counters (process lifetime).
 func Stats() RenderStats {
 	return RenderStats{
-		Contexts:  statContexts.Value(),
-		Quanta:    statQuanta.Value(),
-		NodeTicks: statNodes.Value(),
+		Contexts:        statContexts.Value(),
+		Quanta:          statQuanta.Value(),
+		NodeTicks:       statNodes.Value(),
+		BlockQuanta:     statBlockQuanta.Value(),
+		ReferenceQuanta: statReferenceQuanta.Value(),
 	}
 }

@@ -70,8 +70,16 @@ func DefaultTraits() Traits {
 // round32 applies the trait-dependent float32 rounding (with optional
 // denormal flushing) that ends every node's sample computation.
 func (t Traits) round32(v float64) float32 {
+	return flushRound(t.FlushDenormals, v)
+}
+
+// flushRound is round32 with the flush flag hoisted out: the block kernels
+// read FlushDenormals once per quantum and pass it as a plain bool, keeping
+// the per-sample loop free of both the Traits copy a value receiver costs
+// and the address-taken local a pointer receiver costs.
+func flushRound(flush bool, v float64) float32 {
 	f := float32(v)
-	if t.FlushDenormals {
+	if flush {
 		if f != 0 && f < 1.1754944e-38 && f > -1.1754944e-38 {
 			f = 0
 		}
