@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short check bench bench-json bench-stream bench-render fuzz study trace examples clean
+.PHONY: all build vet test test-short check bench bench-json bench-stream bench-render bench-gate fuzz study trace examples clean
 
 all: build vet test
 
@@ -22,18 +22,21 @@ test-short:
 	$(GO) test -short ./...
 
 # Everything CI should gate on: build, vet/gofmt, the race detector over the
-# internal packages (the telemetry registry/span tree and the watch monitor
-# first — spans/exporter/alert evaluation cross goroutines in every binary —
-# then the parallel sweeps and shared caches), the full suite, and a short
-# fuzz pass over the ingestion surfaces (10s per target, seeded from the
-# checked-in torn/corrupt corpora).
+# internal packages (the telemetry registry/span tree, series store and the
+# watch monitor first — spans/exporter/series ticks/alert evaluation cross
+# goroutines in every binary — then the parallel sweeps and shared caches),
+# the full suite, a short fuzz pass over the ingestion surfaces (10s per
+# target, seeded from the checked-in torn/corrupt corpora), and a
+# report-only bench-gate comparison against the committed render trajectory
+# (shared CI runners are too noisy to enforce here; nightly enforces).
 check: build vet
-	$(GO) test -race ./internal/obs/ ./internal/watch/ ./internal/webaudio/
+	$(GO) test -race ./internal/obs/ ./internal/obs/series/ ./internal/watch/ ./internal/webaudio/
 	$(GO) test -race ./internal/...
 	$(GO) test ./...
 	$(GO) test -run '^$$' -fuzz FuzzStoreScan -fuzztime 10s ./internal/storage/
 	$(GO) test -run '^$$' -fuzz FuzzSubmitHandler -fuzztime 10s ./internal/collectserver/
 	$(GO) test -run '^$$' -fuzz FuzzParseTraceparent -fuzztime 10s ./internal/obs/
+	$(MAKE) bench-gate GATE_FLAGS=-report-only GATE_COUNT=1
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -51,6 +54,19 @@ bench-json:
 bench-render:
 	$(GO) test -run '^$$' -bench 'Kernel|RenderVectors' -benchmem . | $(GO) run ./cmd/benchjson > BENCH_render.json
 	@echo wrote BENCH_render.json
+
+# Regression gate: rerun the render benchmarks (min of GATE_COUNT samples)
+# and compare against the committed BENCH_render.json trajectory. Fails on
+# >GATE_TOL relative slowdown or any allocation on a zero-alloc baseline.
+# GATE_FLAGS=-report-only prints the comparison without failing.
+GATE_COUNT ?= 3
+GATE_TOL   ?= 0.30
+GATE_BENCHTIME ?= 10x
+bench-gate:
+	$(GO) test -run '^$$' -bench 'Kernel|RenderVectors' -benchmem -benchtime $(GATE_BENCHTIME) -count $(GATE_COUNT) . \
+		| $(GO) run ./cmd/benchjson > /tmp/BENCH_gate.json
+	$(GO) run ./cmd/benchgate -base BENCH_render.json -new /tmp/BENCH_gate.json \
+		-tolerance $(GATE_TOL) $(GATE_FLAGS)
 
 # Streaming-vs-batch cost at the paper's 2093-user scale: incremental apply
 # must come out ≥100× cheaper than the batch recompute (DESIGN.md §10.2).

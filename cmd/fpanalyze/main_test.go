@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -78,6 +79,55 @@ func TestRunRecoverFlag(t *testing.T) {
 	}
 	if !strings.Contains(logs.String(), "recovery dropped") {
 		t.Errorf("recovery log missing:\n%s", logs.String())
+	}
+}
+
+// TestRunExportTelemetry: -export writes the analysis span tree plus at
+// least one registry snapshot as NDJSON — the same parity fpstudy and
+// fpserver have, consumable by the series/exemplar tooling.
+func TestRunExportTelemetry(t *testing.T) {
+	path := writeFixtureDataset(t)
+	exportPath := filepath.Join(t.TempDir(), "telemetry.ndjson")
+	var stdout, logs bytes.Buffer
+	err := run(context.Background(),
+		[]string{"-data", path, "-exp", "table2", "-export", exportPath}, &stdout, &logs)
+	if err != nil {
+		t.Fatalf("run with -export: %v\n%s", err, logs.String())
+	}
+	raw, err := os.ReadFile(exportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans, metrics := 0, 0
+	var sawRoot, sawLoad bool
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		var rec struct {
+			Type    string `json:"type"`
+			Service string `json:"service"`
+			Name    string `json:"name"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("non-JSON telemetry line %q: %v", line, err)
+		}
+		if rec.Service != "fpanalyze" {
+			t.Fatalf("line service = %q, want fpanalyze", rec.Service)
+		}
+		switch rec.Type {
+		case "span":
+			spans++
+			sawRoot = sawRoot || rec.Name == "fpanalyze"
+			sawLoad = sawLoad || rec.Name == "load-dataset"
+		case "metrics":
+			metrics++
+		default:
+			t.Fatalf("unknown telemetry line type %q", rec.Type)
+		}
+	}
+	if spans < 2 || !sawRoot || !sawLoad {
+		t.Fatalf("span lines = %d (root %v, load %v), want the analysis tree", spans, sawRoot, sawLoad)
+	}
+	if metrics == 0 {
+		t.Fatal("no metrics snapshot in the export")
 	}
 }
 

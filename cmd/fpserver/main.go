@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/collectserver"
 	"repro/internal/obs"
+	"repro/internal/obs/series"
 	"repro/internal/storage"
 	"repro/internal/streaming"
 	"repro/internal/watch"
@@ -60,6 +61,9 @@ func run(ctx context.Context, args []string, errw io.Writer) error {
 		analytics  = fs.Bool("analytics", false, "serve live incremental analytics on /api/v1/analytics/* (rebuilt from the store on startup)")
 		watchFlag  = fs.Bool("watch", false, "run measurement-health watchers over the live analytics (implies -analytics); alerts on /api/v1/analytics/alerts and /debug/health")
 		export     = fs.String("export", "", "write telemetry (request/ingest/apply spans + periodic metrics snapshots) to this NDJSON file")
+		seriesFlag = fs.Bool("series", false, "retain metric time-series in memory and serve them on /api/v1/obs/query and /api/v1/obs/series")
+		seriesTick = fs.Duration("series-interval", 5*time.Second, "series snapshot interval (with -series)")
+		seriesCap  = fs.Int("series-capacity", 720, "retained points per series (with -series)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -119,6 +123,18 @@ func run(ctx context.Context, args []string, errw io.Writer) error {
 		logger.Printf("analytics engine rebuilt from %d records in %v", len(recs), time.Since(start).Round(time.Millisecond))
 	}
 
+	var ts *series.Store
+	if *seriesFlag {
+		ts = series.New(series.Config{
+			Registry: obs.Default,
+			Interval: *seriesTick,
+			Capacity: *seriesCap,
+		})
+		ts.Start()
+		defer ts.Close()
+		logger.Printf("series store ticking every %v, %d points per series", *seriesTick, *seriesCap)
+	}
+
 	var mon *watch.Monitor
 	if *watchFlag {
 		mon, err = watch.New(watch.Config{
@@ -143,6 +159,7 @@ func run(ctx context.Context, args []string, errw io.Writer) error {
 		EnableDebug:       *debug,
 		Analytics:         eng,
 		Watch:             mon,
+		Series:            ts,
 	}
 	if exporter != nil {
 		srvCfg.Trace = exporter

@@ -12,6 +12,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -57,6 +58,9 @@ func run(runCtx context.Context, args []string, outw, errw io.Writer) error {
 		progress   = fs.Bool("progress", false, "report rendering progress to stderr")
 		pprofAddr  = fs.String("pprof", "", "serve /debug/pprof and /metrics on this address (e.g. localhost:6060)")
 		engine     = fs.String("render-engine", "block", "DSP engine: block (compiled render programs) or reference (per-sample); outputs are bit-identical")
+		shadow     = fs.Int("shadow", 0, "audit 1 in N cache-miss renders by re-rendering through both engines in lockstep (0 disables)")
+		shadowOut  = fs.String("shadow-out", "", "write the shadow auditor's flight-record summary as JSON to this path (with -shadow)")
+		kernelTime = fs.Bool("kernel-timing", false, "record per-kernel block timing histograms with trace exemplars (adds clock overhead per op)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -99,9 +103,25 @@ func run(runCtx context.Context, args []string, outw, errw io.Writer) error {
 	root := obs.NewTrace("fpstudy")
 	ctx := obs.ContextWithSpan(runCtx, root)
 
+	if *kernelTime {
+		webaudio.SetKernelTiming(true)
+		defer webaudio.SetKernelTiming(false)
+		// Kernel-timing exemplars carry the run's trace id, so a slow kernel
+		// seen on a scrape links back to this campaign's span tree.
+		webaudio.SetRenderTraceID(root.TraceID())
+		defer webaudio.SetRenderTraceID("")
+	}
+
 	// One render cache across both campaigns: platform classes shared
 	// between the main and follow-up mixes render once for the whole run.
 	renderCache := vectors.NewCache()
+
+	var auditor *vectors.ShadowAuditor
+	if *shadow > 0 {
+		auditor = vectors.NewShadowAuditor(vectors.ShadowConfig{Every: *shadow})
+		renderCache.SetShadow(auditor)
+		logger.Printf("shadow audit: lockstep-comparing 1 in %d cache-miss renders", *shadow)
+	}
 
 	start := time.Now()
 	logger.Printf("simulating main study: %d users × %d iterations × 7 vectors", *users, *iterations)
@@ -168,6 +188,20 @@ func run(runCtx context.Context, args []string, outw, errw io.Writer) error {
 	if exporter != nil {
 		exporter.ExportSpan(root)
 	}
+	if auditor != nil {
+		sum := auditor.Summary()
+		logger.Printf("shadow audit: %d checks, %d divergences, %d errors",
+			sum.Checks, sum.Divergences, sum.Errors)
+		if sum.Divergences > 0 {
+			logger.Printf("WARNING: engine divergence detected — fingerprints from this run are suspect; see -shadow-out")
+		}
+		if *shadowOut != "" {
+			if err := writeShadowSummary(*shadowOut, sum); err != nil {
+				return fmt.Errorf("shadow-out: %w", err)
+			}
+			logger.Printf("shadow audit summary written to %s", *shadowOut)
+		}
+	}
 	writeTrace(logger, root, *traceJSON, *traceText)
 	fmt.Fprintf(errw, "total runtime: %s\n", time.Since(start).Round(time.Millisecond))
 	return nil
@@ -212,6 +246,21 @@ func writeTrace(logger *log.Logger, root *obs.Span, jsonPath string, text bool) 
 			logger.Printf("trace: %v", err)
 		}
 	}
+}
+
+// writeShadowSummary persists the flight-record dump for postmortems.
+func writeShadowSummary(path string, sum vectors.ShadowSummary) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sum); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func writeDataset(path string, ds *study.Dataset) error {

@@ -49,6 +49,11 @@ const (
 	CodeAnalyticsDisabled = "analytics_disabled"
 	// CodeWatchDisabled: /api/v1/analytics/alerts without -watch.
 	CodeWatchDisabled = "watch_disabled"
+	// CodeSeriesDisabled: /api/v1/obs/* without -series.
+	CodeSeriesDisabled = "series_disabled"
+	// CodeUnknownMetric: /api/v1/obs/query for a metric the series store
+	// has never snapshotted.
+	CodeUnknownMetric = "unknown_metric"
 	// CodeInternal: recovered panic or other unexpected failure.
 	CodeInternal = "internal"
 )

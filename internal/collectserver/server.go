@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/series"
 	"repro/internal/storage"
 	"repro/internal/streaming"
 	"repro/internal/vectors"
@@ -96,6 +97,13 @@ type Config struct {
 	// Watch, when set, backs GET /api/v1/analytics/alerts and the
 	// plain-text GET /debug/health measurement-health endpoint.
 	Watch *watch.Monitor
+	// Series, when set, backs the flight-recorder query routes
+	// GET /api/v1/obs/query and GET /api/v1/obs/series. The caller owns the
+	// store's lifecycle (Start/Close).
+	Series *series.Store
+	// RenderAudit, when set, backs GET /debug/render/divergence with the
+	// shadow auditor's flight-record dump.
+	RenderAudit *vectors.ShadowAuditor
 }
 
 // Server is the collection backend. Create with New, mount via Handler.
@@ -203,6 +211,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/analytics/ami", s.handleAnalyticsAMI)
 	mux.HandleFunc("GET /api/v1/analytics/status", s.handleAnalyticsStatus)
 	mux.HandleFunc("GET /api/v1/analytics/alerts", s.handleAnalyticsAlerts)
+	mux.HandleFunc("GET /api/v1/obs/query", s.handleObsQuery)
+	mux.HandleFunc("GET /api/v1/obs/series", s.handleObsSeries)
+	mux.HandleFunc("GET /debug/render/divergence", s.handleRenderDivergence)
 	mux.HandleFunc("GET /debug/health", s.handleDebugHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.cfg.EnableDebug {

@@ -450,7 +450,14 @@ func writeDemographics(w io.Writer, ds *study.Dataset) error {
 		for k, v := range m {
 			rows = append(rows, kv{k, v})
 		}
-		sort.Slice(rows, func(i, j int) bool { return rows[i].v > rows[j].v })
+		// Tie-break by name: rows come out of map iteration, and a
+		// count-only sort would order equal counts nondeterministically.
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].v != rows[j].v {
+				return rows[i].v > rows[j].v
+			}
+			return rows[i].k < rows[j].k
+		})
 		for _, r := range rows {
 			tb.AddRow(r.k, r.v, fmt.Sprintf("%.1f%%", 100*float64(r.v)/n))
 		}
@@ -475,7 +482,14 @@ func writeDemographics(w io.Writer, ds *study.Dataset) error {
 		for k, v := range countryCount {
 			rows = append(rows, kv{k, v})
 		}
-		sort.Slice(rows, func(i, j int) bool { return rows[i].v > rows[j].v })
+		// Same name tie-break as writeShare: the top-10 cutoff must not
+		// depend on map iteration order when counts tie at the boundary.
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].v != rows[j].v {
+				return rows[i].v > rows[j].v
+			}
+			return rows[i].k < rows[j].k
+		})
 		tb := report.NewTable(fmt.Sprintf("Participants — top countries (%d total)", len(countryCount)),
 			"Country", "Users")
 		for i := 0; i < len(rows) && i < 10; i++ {

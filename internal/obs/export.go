@@ -103,6 +103,9 @@ type metricSample struct {
 	Name   string            `json:"name"`
 	Labels map[string]string `json:"labels,omitempty"`
 	Value  float64           `json:"value"`
+	// Exemplar carries a histogram's most recent traced observation, so
+	// the NDJSON telemetry file alone links a distribution to a trace id.
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
 }
 
 // NewExporter opens the sink and starts the export worker.
@@ -192,7 +195,7 @@ func (e *Exporter) FlushMetrics() error {
 		Metrics:      make([]metricSample, len(samples)),
 	}
 	for i, s := range samples {
-		ms := metricSample{Name: s.Name, Value: s.Value}
+		ms := metricSample{Name: s.Name, Value: s.Value, Exemplar: s.Exemplar}
 		if len(s.Labels) > 0 {
 			ms.Labels = s.Labels
 		}

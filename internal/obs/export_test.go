@@ -269,3 +269,76 @@ func TestRegistrySnapshot(t *testing.T) {
 		t.Fatal("histogram sum/count wrong")
 	}
 }
+
+// TestExporterRotatesAtExactBoundary pins the rotation predicate at the
+// byte edge: a line landing the file at exactly MaxFileBytes stays in the
+// active generation, the very next byte rotates, and an oversized first
+// line is written in place rather than rotating an empty file forever.
+func TestExporterRotatesAtExactBoundary(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "telemetry.ndjson")
+	exp, err := NewExporter(ExportConfig{
+		Path: path, Registry: NewRegistry(), Interval: -1, MaxFileBytes: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustWrite := func(n int, c byte) {
+		t.Helper()
+		if err := exp.writeLine(bytes.Repeat([]byte{c}, n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	mustWrite(59, 'a') // 59 + newline = 60 bytes written
+	mustWrite(39, 'b') // 60 + 39 + 1 = 100: exactly at the limit, must fit
+	if _, err := os.Stat(path + ".1"); !os.IsNotExist(err) {
+		t.Fatalf("rotated at the exact boundary (stat .1: %v)", err)
+	}
+	if st, _ := os.Stat(path); st.Size() != 100 {
+		t.Fatalf("active file %d bytes, want exactly 100", st.Size())
+	}
+
+	mustWrite(1, 'c') // one byte over: rotates first
+	st1, err := os.Stat(path + ".1")
+	if err != nil {
+		t.Fatalf("no rotation one byte past the limit: %v", err)
+	}
+	if st1.Size() != 100 {
+		t.Fatalf("sealed generation %d bytes, want the full 100", st1.Size())
+	}
+	if st, _ := os.Stat(path); st.Size() != 2 {
+		t.Fatalf("fresh active file %d bytes, want 2", st.Size())
+	}
+	if err := exp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A first line larger than the whole limit is written, not rotated:
+	// renaming an empty file would loop without ever making progress.
+	path2 := filepath.Join(dir, "tiny.ndjson")
+	exp2, err := NewExporter(ExportConfig{
+		Path: path2, Registry: NewRegistry(), Interval: -1, MaxFileBytes: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exp2.writeLine(bytes.Repeat([]byte{'x'}, 50)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path2 + ".1"); !os.IsNotExist(err) {
+		t.Fatal("rotated an empty file for an oversized first line")
+	}
+	if st, _ := os.Stat(path2); st.Size() != 51 {
+		t.Fatalf("oversized line not written whole: %d bytes", st.Size())
+	}
+	if err := exp2.writeLine([]byte{'y'}); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := os.Stat(path2 + ".1"); err != nil || st.Size() != 51 {
+		t.Fatalf("oversized generation not sealed on the next write: %v", err)
+	}
+	if err := exp2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -23,6 +23,15 @@ type Sample struct {
 	Labels map[string]string
 	// Value is the sample value.
 	Value float64
+	// Type is the declaring family's kind ("counter", "gauge",
+	// "histogram"). Registry.Snapshot always fills it; the text parser
+	// leaves it empty (use Exposition.Types there). Consumers needing
+	// cumulative semantics (the series store's delta queries) treat
+	// counter and histogram samples as monotonic.
+	Type string
+	// Exemplar is the histogram series' most recent traced observation,
+	// attached to the _count sample by Registry.Snapshot; nil otherwise.
+	Exemplar *Exemplar
 }
 
 // Exposition is a parsed scrape: declared type per family plus every

@@ -228,6 +228,18 @@ type Histogram struct {
 	counts []atomic.Uint64 // len(bounds)+1, per-bucket (non-cumulative)
 	count  atomic.Uint64
 	sum    atomicFloat
+	ex     atomic.Pointer[Exemplar]
+}
+
+// Exemplar ties a histogram's distribution back to one concrete traced
+// event: the most recent observation recorded with a trace identity. A
+// scrape showing a slow bucket then answers "which request/render was
+// that?" from the trace file alone.
+type Exemplar struct {
+	// TraceID is the 32-hex trace the observation happened under.
+	TraceID string `json:"trace_id"`
+	// Value is the observed value.
+	Value float64 `json:"value"`
 }
 
 // atomicFloat accumulates float64 values with CAS.
@@ -259,6 +271,24 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[i].Add(1)
 	h.count.Add(1)
 	h.sum.add(v)
+}
+
+// ObserveWithExemplar records one value and, when traceID is non-empty,
+// retains it as the series' exemplar (last writer wins — "most recent
+// traced observation" is the useful semantic for attribution).
+func (h *Histogram) ObserveWithExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID != "" {
+		h.ex.Store(&Exemplar{TraceID: traceID, Value: v})
+	}
+}
+
+// Exemplar returns the most recent traced observation, if any.
+func (h *Histogram) Exemplar() (Exemplar, bool) {
+	if e := h.ex.Load(); e != nil {
+		return *e, true
+	}
+	return Exemplar{}, false
 }
 
 // Count returns the number of observations.
@@ -432,7 +462,7 @@ func (r *Registry) Snapshot() []Sample {
 		}
 		f.mu.RUnlock()
 		for i, m := range series {
-			out = append(out, sampleSeries(f.name, keys[i], m)...)
+			out = append(out, sampleSeries(f.name, f.kind.String(), keys[i], m)...)
 		}
 	}
 	return out
@@ -440,7 +470,7 @@ func (r *Registry) Snapshot() []Sample {
 
 // sampleSeries flattens one series into Samples; labelBlock is the
 // rendered exposition label key (parsed back into a map).
-func sampleSeries(name, labelBlock string, m any) []Sample {
+func sampleSeries(name, kind, labelBlock string, m any) []Sample {
 	labels := func() map[string]string {
 		l := map[string]string{}
 		if labelBlock != "" {
@@ -450,11 +480,11 @@ func sampleSeries(name, labelBlock string, m any) []Sample {
 	}
 	switch m := m.(type) {
 	case *Counter:
-		return []Sample{{Name: name, Labels: labels(), Value: float64(m.Value())}}
+		return []Sample{{Name: name, Labels: labels(), Value: float64(m.Value()), Type: kind}}
 	case *Gauge:
-		return []Sample{{Name: name, Labels: labels(), Value: m.Value()}}
+		return []Sample{{Name: name, Labels: labels(), Value: m.Value(), Type: kind}}
 	case gaugeFunc:
-		return []Sample{{Name: name, Labels: labels(), Value: m()}}
+		return []Sample{{Name: name, Labels: labels(), Value: m(), Type: kind}}
 	case *Histogram:
 		out := make([]Sample, 0, len(m.bounds)+3)
 		var cum uint64
@@ -462,14 +492,18 @@ func sampleSeries(name, labelBlock string, m any) []Sample {
 			cum += m.counts[i].Load()
 			l := labels()
 			l["le"] = formatFloat(bound)
-			out = append(out, Sample{Name: name + "_bucket", Labels: l, Value: float64(cum)})
+			out = append(out, Sample{Name: name + "_bucket", Labels: l, Value: float64(cum), Type: kind})
 		}
 		cum += m.counts[len(m.bounds)].Load()
 		l := labels()
 		l["le"] = "+Inf"
-		out = append(out, Sample{Name: name + "_bucket", Labels: l, Value: float64(cum)})
-		out = append(out, Sample{Name: name + "_sum", Labels: labels(), Value: m.Sum()})
-		out = append(out, Sample{Name: name + "_count", Labels: labels(), Value: float64(m.Count())})
+		out = append(out, Sample{Name: name + "_bucket", Labels: l, Value: float64(cum), Type: kind})
+		out = append(out, Sample{Name: name + "_sum", Labels: labels(), Value: m.Sum(), Type: kind})
+		countSample := Sample{Name: name + "_count", Labels: labels(), Value: float64(m.Count()), Type: kind}
+		if ex, ok := m.Exemplar(); ok {
+			countSample.Exemplar = &ex
+		}
+		out = append(out, countSample)
 		return out
 	}
 	return nil

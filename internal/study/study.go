@@ -63,6 +63,12 @@ type Config struct {
 	// caller can read its Stats for progress reporting. Nil means a fresh
 	// private cache per run. Results are bit-identical either way.
 	RenderCache *vectors.Cache
+	// ShadowAudit, when non-nil, attaches the divergence auditor to the run's
+	// render cache: a deterministic sample of cache-miss renders is re-rendered
+	// through the block and reference engines in lockstep, and any bit
+	// divergence lands in the auditor's flight-record ring and on
+	// vectors_render_divergence_total.
+	ShadowAudit *vectors.ShadowAuditor
 }
 
 // Dataset is the raw outcome of a study: the participants, their non-audio
@@ -216,6 +222,9 @@ func RunContext(ctx context.Context, cfg Config) (*Dataset, error) {
 	cache := cfg.RenderCache
 	if cache == nil {
 		cache = vectors.NewCache()
+	}
+	if cfg.ShadowAudit != nil {
+		cache.SetShadow(cfg.ShadowAudit)
 	}
 	if err := runAll(len(devs), cfg.Parallelism, func(i int) error {
 		if err := ctx.Err(); err != nil {

@@ -28,6 +28,11 @@ type Cache struct {
 	misses    atomic.Int64
 	waits     atomic.Int64
 	evictions atomic.Int64
+
+	// shadow, when set, samples this cache's miss-path renders through the
+	// lockstep engine audit. Hung off the cache because the miss path is
+	// exactly the set of renders that actually execute the engine.
+	shadow atomic.Pointer[ShadowAuditor]
 }
 
 type cacheKey struct {
@@ -122,12 +127,27 @@ func (c *Cache) Stats() CacheStats {
 	}
 }
 
+// SetShadow attaches a shadow auditor that samples this cache's miss-path
+// renders through the lockstep engine comparison (nil detaches). Audits run
+// synchronously inside the singleflight, so the 1-in-N sampling rate is the
+// latency control.
+func (c *Cache) SetShadow(a *ShadowAuditor) { c.shadow.Store(a) }
+
+// Shadow returns the attached shadow auditor, if any.
+func (c *Cache) Shadow() *ShadowAuditor { return c.shadow.Load() }
+
 // Run returns the fingerprint for (stackKey, id, offset), rendering through
 // r on a cache miss. stackKey must uniquely identify r's traits: two runners
 // with different traits must never share a key.
 func (c *Cache) Run(stackKey string, r *Runner, id ID, offset int) (Fingerprint, error) {
 	return c.Do(stackKey, id, offset, func() (Fingerprint, error) {
-		return r.Run(id, offset)
+		fp, err := r.Run(id, offset)
+		if err == nil {
+			if a := c.shadow.Load(); a != nil {
+				a.MaybeAudit(stackKey, r, id, offset)
+			}
+		}
+		return fp, err
 	})
 }
 

@@ -44,7 +44,23 @@ func (r *Runner) RunExtended(id ID, captureOffset int) (Fingerprint, error) {
 }
 
 func (r *Runner) renderExtended(id ID, captureOffset int) (Fingerprint, error) {
-	rt := webaudio.NewRealtimeSim(r.rate, r.traits)
+	rt := r.newRealtime()
+	signal, err := buildExtendedSignal(rt, id)
+	if err != nil {
+		return Fingerprint{}, err
+	}
+	tail, err := buildHybridTail(rt, signal)
+	if err != nil {
+		return Fingerprint{}, err
+	}
+	if err := rt.CaptureAfter(captureBaseQuanta, captureOffset); err != nil {
+		return Fingerprint{}, err
+	}
+	return tail.fingerprint(id, r.digest)
+}
+
+// buildExtendedSignal wires the signal stage of one extension vector.
+func buildExtendedSignal(rt *webaudio.RealtimeSim, id ID) (webaudio.Node, error) {
 	var signal webaudio.Node
 
 	switch id {
@@ -70,25 +86,14 @@ func (r *Runner) renderExtended(id ID, captureOffset int) (Fingerprint, error) {
 			curve[i] = float32(math.Tanh(3 * x))
 		}
 		if err := ws.SetCurve(curve); err != nil {
-			return Fingerprint{}, err
+			return nil, err
 		}
 		webaudio.Connect(osc, ws)
 		signal = ws
 
 	default:
-		return Fingerprint{}, fmt.Errorf("vectors: %d is not an extension vector", int(id))
+		return nil, fmt.Errorf("vectors: %d is not an extension vector", int(id))
 	}
 
-	tail, err := buildHybridTail(rt, signal)
-	if err != nil {
-		return Fingerprint{}, err
-	}
-	if err := rt.CaptureAfter(captureBaseQuanta, captureOffset); err != nil {
-		return Fingerprint{}, err
-	}
-	fp, err := tail.fingerprint(id, r.digest)
-	if err != nil {
-		return Fingerprint{}, err
-	}
-	return fp, nil
+	return signal, nil
 }

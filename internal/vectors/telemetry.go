@@ -23,17 +23,24 @@ var (
 
 func init() {
 	// Process-wide hit ratio across every Cache instance: the fraction of
-	// lookups that avoided running the engine.
+	// lookups that avoided running the engine. Registered once at package
+	// init, so sharing one study.Config.RenderCache across campaigns (or
+	// constructing many Caches) never duplicates the series.
 	obs.Default.GaugeFunc("vectors_cache_hit_ratio",
 		"fraction of cache lookups served without rendering", nil,
 		func() float64 {
-			h := float64(mCacheHits.Value() + mCacheWaits.Value())
-			total := h + float64(mCacheMisses.Value())
-			if total == 0 {
-				return 0
-			}
-			return h / total
+			return hitRatio(mCacheHits.Value()+mCacheWaits.Value(), mCacheMisses.Value())
 		})
+}
+
+// hitRatio is served/(served+misses), defined as 0 — not NaN — before the
+// first lookup so a fresh process scrapes clean and dashboards don't gap.
+func hitRatio(served, misses int64) float64 {
+	total := served + misses
+	if total == 0 {
+		return 0
+	}
+	return float64(served) / float64(total)
 }
 
 func renderObserved(id ID, elapsed time.Duration) {

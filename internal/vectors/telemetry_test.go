@@ -1,0 +1,56 @@
+package vectors
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/webaudio"
+)
+
+// TestHitRatioNeverNaN: the gauge must scrape as 0 on a fresh process, not
+// NaN (Prometheus text exposition would otherwise emit "NaN" and break
+// dashboards that sum/average the series).
+func TestHitRatioNeverNaN(t *testing.T) {
+	if got := hitRatio(0, 0); got != 0 || math.IsNaN(got) {
+		t.Fatalf("hitRatio(0, 0) = %v, want 0", got)
+	}
+	if got := hitRatio(3, 1); got != 0.75 {
+		t.Fatalf("hitRatio(3, 1) = %v, want 0.75", got)
+	}
+	if got := hitRatio(0, 5); got != 0 {
+		t.Fatalf("hitRatio(0, 5) = %v, want 0", got)
+	}
+}
+
+// TestHitRatioGaugeRegistersOnce: the process-wide gauge is one series no
+// matter how many Cache instances exist, and its scraped value is finite.
+func TestHitRatioGaugeRegistersOnce(t *testing.T) {
+	// Multiple caches sharing the package metrics, as when one RenderCache
+	// spans the main and follow-up campaigns.
+	a, b := NewCache(), NewCache()
+	r := NewRunner(webaudio.DefaultTraits(), 44100)
+	if _, err := a.Run("ratio-stack", r, DC, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Run("ratio-stack", r, DC, 0); err != nil { // hit
+		t.Fatal(err)
+	}
+	if _, err := b.Run("ratio-stack-b", r, DC, 0); err != nil { // miss, cache b
+		t.Fatal(err)
+	}
+
+	seen := 0
+	for _, s := range obs.Default.Snapshot() {
+		if s.Name != "vectors_cache_hit_ratio" {
+			continue
+		}
+		seen++
+		if math.IsNaN(s.Value) || s.Value < 0 || s.Value > 1 {
+			t.Fatalf("vectors_cache_hit_ratio = %v, want finite in [0,1]", s.Value)
+		}
+	}
+	if seen != 1 {
+		t.Fatalf("vectors_cache_hit_ratio series count = %d, want exactly 1", seen)
+	}
+}

@@ -115,6 +115,13 @@ type Runner struct {
 	traits webaudio.Traits
 	rate   float64
 	hasher Hasher
+
+	// engine, when engineSet, pins the DSP engine this runner's contexts
+	// render under instead of the process-wide default. The shadow auditor
+	// uses this to re-render samples through the reference engine without
+	// flipping webaudio.SetDefaultEngine under concurrent renders.
+	engine    webaudio.Engine
+	engineSet bool
 }
 
 // NewRunner returns a Runner for the given platform traits. A zero sample
@@ -128,6 +135,28 @@ func NewRunner(traits webaudio.Traits, sampleRate float64) *Runner {
 
 // SetHasher selects the fingerprint digest (default SHA256).
 func (r *Runner) SetHasher(h Hasher) { r.hasher = h }
+
+// SetEngine pins the DSP engine this runner renders under (by default new
+// contexts follow webaudio.DefaultEngine).
+func (r *Runner) SetEngine(e webaudio.Engine) { r.engine, r.engineSet = e, true }
+
+// newOffline constructs an offline context honoring the engine override.
+func (r *Runner) newOffline(length int, rate float64) *webaudio.OfflineContext {
+	oc := webaudio.NewOfflineContext(length, rate, r.traits)
+	if r.engineSet {
+		oc.SetEngine(r.engine)
+	}
+	return oc
+}
+
+// newRealtime constructs a realtime sim honoring the engine override.
+func (r *Runner) newRealtime() *webaudio.RealtimeSim {
+	rt := webaudio.NewRealtimeSim(r.rate, r.traits)
+	if r.engineSet {
+		rt.SetEngine(r.engine)
+	}
+	return rt
+}
 
 // digest hashes observed bytes with the runner's hasher.
 func (r *Runner) digest(data []byte) string {
@@ -207,12 +236,8 @@ func (r *Runner) RunAll(captureOffset int) ([]Fingerprint, error) {
 // DC is immune to the device's native sample rate — one of the reasons the
 // FFT-path vectors carry more entropy than DC in the paper's Table 2.
 func (r *Runner) runDC() (Fingerprint, error) {
-	oc := webaudio.NewOfflineContext(dcRenderFrames, 44100, r.traits)
-	osc := oc.NewOscillator(webaudio.Triangle, toneHz)
-	comp := oc.NewDynamicsCompressor()
-	webaudio.Connect(osc, comp)
-	webaudio.Connect(comp, oc.Destination())
-	osc.Start(0)
+	oc := r.newOffline(dcRenderFrames, 44100)
+	buildDCGraph(oc.Context)
 	buf, err := oc.StartRendering()
 	if err != nil {
 		return Fingerprint{}, err
@@ -225,28 +250,27 @@ func (r *Runner) runDC() (Fingerprint, error) {
 	}, nil
 }
 
+// buildDCGraph wires the Fig. 1 graph (triangle oscillator →
+// DynamicsCompressor → destination) on ctx and starts the source.
+func buildDCGraph(ctx *webaudio.Context) {
+	osc := ctx.NewOscillator(webaudio.Triangle, toneHz)
+	comp := ctx.NewDynamicsCompressor()
+	webaudio.Connect(osc, comp)
+	webaudio.Connect(comp, ctx.Destination())
+	osc.Start(0)
+}
+
 // runFFT implements the FFT vector (paper Fig. 2): live context → triangle
 // oscillator (10 kHz) → AnalyserNode → ScriptProcessor → GainNode(0) →
 // destination. The script hashes getFloatFrequencyData output from inside an
 // audioprocess callback; which callback fires when the script looks is load-
 // dependent, hence captureOffset.
 func (r *Runner) runFFT(captureOffset int) (Fingerprint, error) {
-	rt := webaudio.NewRealtimeSim(r.rate, r.traits)
-	osc := rt.NewOscillator(webaudio.Triangle, toneHz)
-	an, err := rt.NewAnalyser(fftSize)
+	rt := r.newRealtime()
+	an, err := buildFFTGraph(rt)
 	if err != nil {
 		return Fingerprint{}, err
 	}
-	sp, err := rt.NewScriptProcessor(spBufferSize)
-	if err != nil {
-		return Fingerprint{}, err
-	}
-	mute := rt.NewGain(0)
-	webaudio.Connect(osc, an)
-	webaudio.Connect(an, sp)
-	webaudio.Connect(sp, mute)
-	webaudio.Connect(mute, rt.Destination())
-	osc.Start(0)
 	if err := rt.CaptureAfter(captureBaseQuanta, captureOffset); err != nil {
 		return Fingerprint{}, err
 	}
@@ -259,6 +283,27 @@ func (r *Runner) runFFT(captureOffset int) (Fingerprint, error) {
 		Hash:   r.digest(dsp.Float32SliceToBytes(freq)),
 		Sum:    sumFinite(freq),
 	}, nil
+}
+
+// buildFFTGraph wires the Fig. 2 graph (triangle oscillator → Analyser →
+// ScriptProcessor → Gain(0) → destination) and returns the analyser tap.
+func buildFFTGraph(rt *webaudio.RealtimeSim) (*webaudio.AnalyserNode, error) {
+	osc := rt.NewOscillator(webaudio.Triangle, toneHz)
+	an, err := rt.NewAnalyser(fftSize)
+	if err != nil {
+		return nil, err
+	}
+	sp, err := rt.NewScriptProcessor(spBufferSize)
+	if err != nil {
+		return nil, err
+	}
+	mute := rt.NewGain(0)
+	webaudio.Connect(osc, an)
+	webaudio.Connect(an, sp)
+	webaudio.Connect(sp, mute)
+	webaudio.Connect(mute, rt.Destination())
+	osc.Start(0)
+	return an, nil
 }
 
 // hybridTail wires signal → Analyser → DynamicsCompressor → ScriptProcessor
@@ -340,7 +385,24 @@ func customWaveCoefficients() *webaudio.PeriodicWave {
 //   - FM: the same arrangement with the modulator driving the carriers'
 //     frequency parameters instead (App. B)
 func (r *Runner) runHybridFamily(id ID, captureOffset int) (Fingerprint, error) {
-	rt := webaudio.NewRealtimeSim(r.rate, r.traits)
+	rt := r.newRealtime()
+	signal, err := buildHybridSignal(rt, id)
+	if err != nil {
+		return Fingerprint{}, err
+	}
+	tail, err := buildHybridTail(rt, signal)
+	if err != nil {
+		return Fingerprint{}, err
+	}
+	if err := rt.CaptureAfter(captureBaseQuanta, captureOffset); err != nil {
+		return Fingerprint{}, err
+	}
+	return tail.fingerprint(id, r.digest)
+}
+
+// buildHybridSignal wires the signal stage feeding the Fig. 6 tail for one
+// hybrid-family vector and returns the node the tail should consume.
+func buildHybridSignal(rt *webaudio.RealtimeSim, id ID) (webaudio.Node, error) {
 	var signal webaudio.Node
 
 	switch id {
@@ -417,17 +479,10 @@ func (r *Runner) runHybridFamily(id ID, captureOffset int) (Fingerprint, error) 
 		signal = mix
 
 	default:
-		return Fingerprint{}, fmt.Errorf("vectors: %v is not in the hybrid family", id)
+		return nil, fmt.Errorf("vectors: %v is not in the hybrid family", id)
 	}
 
-	tail, err := buildHybridTail(rt, signal)
-	if err != nil {
-		return Fingerprint{}, err
-	}
-	if err := rt.CaptureAfter(captureBaseQuanta, captureOffset); err != nil {
-		return Fingerprint{}, err
-	}
-	return tail.fingerprint(id, r.digest)
+	return signal, nil
 }
 
 // hashBytes returns the hex SHA-256 of data.

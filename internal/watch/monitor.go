@@ -93,6 +93,13 @@ type budgetState struct {
 	total  float64
 }
 
+// divState is one render-divergence rule's previous counter position. The
+// baseline starts at zero (not "unseen"): divergences that happened before
+// the monitor attached still fire on the first evaluation.
+type divState struct {
+	prev float64
+}
+
 // alertState is one live (pending or firing) alert plus its breach run.
 type alertState struct {
 	alert    Alert
@@ -106,6 +113,7 @@ type ruleState struct {
 	ewma     map[string]*ewmaState
 	churn    map[string]*churnState
 	budget   budgetState
+	div      divState
 }
 
 // sigmaFloor keeps the z-score finite on flat history: a perfectly
@@ -172,7 +180,7 @@ func New(cfg Config) (*Monitor, error) {
 			return nil, errors.New("watch: rule without a name")
 		}
 		switch r.Kind {
-		case KindEntropyCollapse, KindClusterChurn, KindErrorBudget:
+		case KindEntropyCollapse, KindClusterChurn, KindErrorBudget, KindRenderDivergence:
 		default:
 			return nil, fmt.Errorf("watch: rule %q has unknown kind %q", r.Name, r.Kind)
 		}
@@ -216,6 +224,8 @@ func (m *Monitor) Observe(records int64) {
 			m.evalChurn(rs, records)
 		case KindErrorBudget:
 			m.evalBudget(rs, records)
+		case KindRenderDivergence:
+			m.evalDivergence(rs, records)
 		}
 	}
 }
@@ -333,6 +343,31 @@ func (m *Monitor) evalBudget(rs *ruleState, records int64) {
 	st.seen = true
 	st.errors = errSum
 	st.total = totSum
+}
+
+// evalDivergence compares the shadow auditor's divergence counter against
+// its previous position and breaches on any increase beyond the rule's
+// tolerance (default 0: one confirmed mismatch fires). Caller holds m.mu.
+func (m *Monitor) evalDivergence(rs *ruleState, records int64) {
+	var sum float64
+	for _, s := range m.reg.Snapshot() {
+		if s.Name == rs.rule.DivergenceMetric {
+			sum += s.Value
+		}
+	}
+	st := &rs.div
+	d := sum - st.prev
+	if d < 0 {
+		d = sum // counter reset: the new value bounds the new divergences
+	}
+	if d > rs.rule.MaxDivergences {
+		m.breach(rs.rule, rs.rule.Name, records, d, rs.rule.MaxDivergences, fmt.Sprintf(
+			"%.0f new engine divergences since last evaluation (%s total %.0f)",
+			d, rs.rule.DivergenceMetric, sum))
+	} else {
+		m.clear(rs.rule, rs.rule.Name, records)
+	}
+	st.prev = sum
 }
 
 // labelsMatch reports whether have contains every key=value of want.

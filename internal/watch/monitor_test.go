@@ -229,7 +229,7 @@ func TestHealthText(t *testing.T) {
 	if !strings.HasPrefix(txt, "status: ok\n") {
 		t.Fatalf("fresh monitor health = %q", txt)
 	}
-	for _, want := range []string{"records: 0", "rules: 3", "firing: 0"} {
+	for _, want := range []string{"records: 0", "rules: 4", "firing: 0"} {
 		if !strings.Contains(txt, want) {
 			t.Fatalf("health text missing %q:\n%s", want, txt)
 		}
@@ -250,5 +250,77 @@ func TestRuleValidation(t *testing.T) {
 	}
 	if _, err := New(Config{}); err == nil {
 		t.Fatal("nil engine accepted")
+	}
+}
+
+// TestAlertRefiresAfterResolve: the lifecycle is cyclic, not one-shot — a
+// rule whose alert resolved must go pending→firing again on a fresh
+// breach, with each firing counted on watch_alerts_total and each
+// resolution kept in the history.
+func TestAlertRefiresAfterResolve(t *testing.T) {
+	rule := Rule{
+		Name: "churn", Kind: KindClusterChurn, Vector: vectors.DC.String(),
+		Every: 10, For: 1, MaxChurn: 0.5,
+	}
+	reg := obs.NewRegistry()
+	eng, mon := newTestMonitor(t, reg, []Rule{rule})
+
+	calm := func(prefix string) {
+		for i := 0; i < 10; i++ {
+			eng.Apply([]storage.Record{rec(fmt.Sprintf("%s%02d", prefix, i), fmt.Sprintf("%s%06x", prefix, i))})
+		}
+	}
+	storm := func(prefix, hash string) {
+		for i := 0; i < 10; i++ {
+			eng.Apply([]storage.Record{rec(fmt.Sprintf("%s%02d", prefix, i), hash)})
+		}
+	}
+	firedTotal := func() int64 {
+		return reg.Counter("watch_alerts_total", "", obs.Labels{"rule": "churn"}).Value()
+	}
+
+	// Baseline, first storm (users a* converge), first calm stretch.
+	calm("aa")
+	calm("ab")
+	storm("aa", "beefbeef")
+	if snap := mon.Snapshot(); snap.Firing != 1 {
+		t.Fatalf("first storm did not fire: %+v", snap.Alerts)
+	}
+	calm("ac")
+	snap := mon.Snapshot()
+	if snap.Firing != 0 || snap.Resolved != 1 {
+		t.Fatalf("first storm did not resolve: %+v", snap)
+	}
+	if got := firedTotal(); got != 1 {
+		t.Fatalf("watch_alerts_total = %d after first cycle, want 1", got)
+	}
+
+	// Second storm: the ac* users converge — the same rule must re-fire.
+	storm("ac", "cafecafe")
+	snap = mon.Snapshot()
+	if snap.Firing != 1 {
+		t.Fatalf("rule did not re-fire after resolving: %+v", snap)
+	}
+	if got := firedTotal(); got != 2 {
+		t.Fatalf("watch_alerts_total = %d after re-fire, want 2", got)
+	}
+
+	// Second calm stretch: both cycles end up in the resolved history.
+	calm("ad")
+	snap = mon.Snapshot()
+	if snap.Firing != 0 || snap.Resolved != 2 {
+		t.Fatalf("second cycle did not resolve into history: %+v", snap)
+	}
+	resolved := 0
+	for _, a := range snap.Alerts {
+		if a.Rule == "churn" && a.State == StateResolved {
+			resolved++
+			if a.ResolvedAtRecords <= a.FiredAtRecords {
+				t.Fatalf("history entry out of order: %+v", a)
+			}
+		}
+	}
+	if resolved != 2 {
+		t.Fatalf("resolved history entries = %d, want 2", resolved)
 	}
 }

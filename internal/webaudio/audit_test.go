@@ -1,0 +1,155 @@
+package webaudio
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// auditGraph builds the FFT-vector-shaped chain (oscillator → biquad →
+// compressor → gain → destination) on a fresh context with the given
+// engine.
+func auditGraph(e Engine) *Context {
+	c := NewContext(44100, DefaultTraits())
+	c.SetEngine(e)
+	osc := c.NewOscillator(Triangle, 10000)
+	bq := c.NewBiquadFilter(Lowpass)
+	comp := c.NewDynamicsCompressor()
+	g := c.NewGain(0.5)
+	Connect(osc, bq)
+	Connect(bq, comp)
+	Connect(comp, g)
+	Connect(g, c.Destination())
+	osc.Start(0)
+	return c
+}
+
+func TestLockstepCompareAgreesOnHealthyGraph(t *testing.T) {
+	got := auditGraph(EngineBlock)
+	want := auditGraph(EngineReference)
+	div, err := LockstepCompare(got, want, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if div != nil {
+		t.Fatalf("healthy engines diverged: %v", div)
+	}
+}
+
+func TestLockstepCompareCatchesInjectedFault(t *testing.T) {
+	SetBlockFault("gain", 17, 1<<19)
+	defer SetBlockFault("", 0, 0)
+
+	got := auditGraph(EngineBlock)
+	want := auditGraph(EngineReference)
+	div, err := LockstepCompare(got, want, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if div == nil {
+		t.Fatal("injected block fault not detected")
+	}
+	if div.Op != "gain" {
+		t.Fatalf("offending op = %q, want gain", div.Op)
+	}
+	if div.Sample != 17 {
+		t.Fatalf("sample = %d, want 17", div.Sample)
+	}
+	if div.Quantum != 0 {
+		t.Fatalf("quantum = %d, want 0 (fault applies every quantum)", div.Quantum)
+	}
+	if div.GotBits == div.WantBits {
+		t.Fatal("divergence with equal bits")
+	}
+	if math.Float32bits(math.Float32frombits(div.GotBits))^div.WantBits != 1<<19 {
+		t.Fatalf("bit pattern: got 0x%08x want 0x%08x", div.GotBits, div.WantBits)
+	}
+	if s := div.String(); !strings.Contains(s, "gain") || !strings.Contains(s, "sample 17") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestBlockFaultOnlyHitsBlockEngine(t *testing.T) {
+	SetBlockFault("gain", 0, 1<<20)
+	defer SetBlockFault("", 0, 0)
+	ref := auditGraph(EngineReference)
+	ref2 := auditGraph(EngineReference)
+	div, err := LockstepCompare(ref, ref2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if div != nil {
+		t.Fatalf("reference engine affected by block fault: %v", div)
+	}
+}
+
+func TestKernelTimingHistograms(t *testing.T) {
+	prev := SetKernelTiming(true)
+	defer SetKernelTiming(prev)
+	SetRenderTraceID("0123456789abcdef0123456789abcdef")
+	defer SetRenderTraceID("")
+
+	before := kernelHist("oscillator").Count()
+	c := auditGraph(EngineBlock)
+	if err := c.RenderQuanta(10); err != nil {
+		t.Fatal(err)
+	}
+	h := kernelHist("oscillator")
+	if h.Count() != before+10 {
+		t.Fatalf("oscillator kernel observations = %d, want %d", h.Count(), before+10)
+	}
+	ex, ok := h.Exemplar()
+	if !ok {
+		t.Fatal("no exemplar recorded")
+	}
+	if ex.TraceID != "0123456789abcdef0123456789abcdef" {
+		t.Fatalf("exemplar trace = %q", ex.TraceID)
+	}
+	if ex.Value <= 0 {
+		t.Fatalf("exemplar value = %v", ex.Value)
+	}
+
+	// The exemplar must surface on a registry snapshot (that is how the
+	// exporter's trace file and the series store see it).
+	var found bool
+	for _, s := range obs.Default.Snapshot() {
+		if s.Name == "webaudio_kernel_block_seconds_count" && s.Labels["op"] == "oscillator" {
+			if s.Exemplar == nil || s.Exemplar.TraceID != ex.TraceID {
+				t.Fatalf("snapshot exemplar = %+v", s.Exemplar)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("kernel timing series missing from snapshot")
+	}
+}
+
+func TestKernelTimingOffByDefaultKeepsHistogramsQuiet(t *testing.T) {
+	if kernelTimingOn.Load() {
+		t.Fatal("kernel timing must default to off")
+	}
+	before := kernelHist("compressor").Count()
+	c := auditGraph(EngineBlock)
+	if err := c.RenderQuanta(5); err != nil {
+		t.Fatal(err)
+	}
+	if got := kernelHist("compressor").Count(); got != before {
+		t.Fatalf("untimed render observed %d kernel timings", got-before)
+	}
+}
+
+func TestOpClass(t *testing.T) {
+	for in, want := range map[string]string{
+		"oscillator:triangle": "oscillator",
+		"biquad:lowpass":      "biquad",
+		"gain":                "gain",
+		"destination":         "destination",
+	} {
+		if got := opClass(in); got != want {
+			t.Fatalf("opClass(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

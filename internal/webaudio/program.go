@@ -11,6 +11,8 @@ package webaudio
 // kernel is bit-identical to the node's per-sample process() by
 // construction: same operations, same order, same widths.
 
+import "repro/internal/obs"
+
 // blockNode is implemented by nodes with a block kernel. processBlock
 // renders one quantum into base().output given the pre-mixed input block
 // (the engine's sumInputs result for every frame of the quantum). Nodes
@@ -29,6 +31,10 @@ type renderOp struct {
 	// noMix marks source nodes whose kernel ignores the input block, so the
 	// driver can skip zeroing the scratch.
 	noMix bool
+	// hist is the op class's kernel-timing histogram, resolved at compile
+	// time so the timed path (SetKernelTiming) never touches the registry
+	// per quantum.
+	hist *obs.Histogram
 }
 
 // renderProgram is the compiled form of a graph's topo order.
@@ -54,6 +60,7 @@ func (c *Context) compileProgram() {
 		op := renderOp{node: n}
 		if bn, ok := n.(blockNode); ok {
 			op.block = bn
+			op.hist = kernelHist(opClass(n.base().label))
 		}
 		for _, in := range n.base().inputs {
 			op.srcs = append(op.srcs, &in.base().output)
@@ -71,6 +78,8 @@ func (c *Context) compileProgram() {
 func (p *renderProgram) run(c *Context) {
 	frame := c.frame
 	mix32 := c.traits.MixPrecision == Mix32
+	timed := kernelTimingOn.Load()
+	fault := blockFaultHook.Load()
 	for i := range p.ops {
 		op := &p.ops[i]
 		if op.block == nil {
@@ -82,7 +91,14 @@ func (p *renderProgram) run(c *Context) {
 		if !op.noMix {
 			mixInto(&c.scratch.mix, op.srcs, mix32)
 		}
-		op.block.processBlock(frame, &c.scratch.mix)
+		if timed {
+			timeBlock(op, frame, &c.scratch.mix)
+		} else {
+			op.block.processBlock(frame, &c.scratch.mix)
+		}
+		if fault != nil {
+			fault.apply(op.node)
+		}
 	}
 }
 
