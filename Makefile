@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short check bench bench-json bench-stream bench-render bench-gate fuzz study trace examples clean
+.PHONY: all build vet test test-short check bench bench-json bench-stream bench-render bench-shard bench-gate fuzz study trace examples clean
 
 all: build vet test
 
@@ -31,11 +31,14 @@ test-short:
 # (shared CI runners are too noisy to enforce here; nightly enforces).
 check: build vet
 	$(GO) test -race ./internal/obs/ ./internal/obs/series/ ./internal/watch/ ./internal/webaudio/
+	$(GO) test -race ./internal/shard/
 	$(GO) test -race ./internal/...
 	$(GO) test ./...
 	$(GO) test -run '^$$' -fuzz FuzzStoreScan -fuzztime 10s ./internal/storage/
 	$(GO) test -run '^$$' -fuzz FuzzSubmitHandler -fuzztime 10s ./internal/collectserver/
 	$(GO) test -run '^$$' -fuzz FuzzParseTraceparent -fuzztime 10s ./internal/obs/
+	$(GO) test -run '^$$' -fuzz FuzzShardOf -fuzztime 10s ./internal/shard/
+	$(GO) test -run '^$$' -fuzz FuzzMergedSnapshotJSON -fuzztime 10s ./internal/shard/
 	$(MAKE) bench-gate GATE_FLAGS=-report-only GATE_COUNT=1
 
 bench:
@@ -74,11 +77,19 @@ bench-stream:
 	$(GO) test -run '^$$' -bench BenchmarkStream -benchmem ./internal/streaming/ | $(GO) run ./cmd/benchjson > BENCH_stream.json
 	@echo wrote BENCH_stream.json
 
+# Sharded-vs-single cost at the paper's 2093-user scale: per-record routing
+# overhead, the cold cross-shard merge, and the cached read (DESIGN.md §14).
+bench-shard:
+	$(GO) test -run '^$$' -bench BenchmarkShard -benchmem ./internal/shard/ | $(GO) run ./cmd/benchjson > BENCH_shard.json
+	@echo wrote BENCH_shard.json
+
 # Short fuzzing passes over the parsing/ingestion surfaces.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzStoreScan -fuzztime 20s ./internal/storage/
 	$(GO) test -run '^$$' -fuzz FuzzSubmitHandler -fuzztime 20s ./internal/collectserver/
 	$(GO) test -run '^$$' -fuzz FuzzParseTraceparent -fuzztime 20s ./internal/obs/
+	$(GO) test -run '^$$' -fuzz FuzzShardOf -fuzztime 20s ./internal/shard/
+	$(GO) test -run '^$$' -fuzz FuzzMergedSnapshotJSON -fuzztime 20s ./internal/shard/
 
 # Regenerate every table and figure at paper scale.
 study:

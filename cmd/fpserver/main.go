@@ -11,6 +11,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"io"
 	"log"
 	"net"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/collectserver"
 	"repro/internal/obs"
 	"repro/internal/obs/series"
+	"repro/internal/shard"
 	"repro/internal/storage"
 	"repro/internal/streaming"
 	"repro/internal/watch"
@@ -56,6 +58,7 @@ func run(ctx context.Context, args []string, errw io.Writer) error {
 		maxInFly   = fs.Int("max-inflight", 256, "concurrently served requests before shedding with 503 (negative disables)")
 		subRate    = fs.Float64("rate", 50, "fingerprint submissions per client IP per second before shedding with 429")
 		segBytes   = fs.Int64("max-segment", 0, "rotate the store file beyond this many bytes (0 disables)")
+		shards     = fs.Int("shards", 1, "partition ingest+analytics by user-id hash into this many shards (1 = single store/engine, bit-for-bit the unsharded behavior)")
 		recover_   = fs.Bool("recover", true, "salvage the store's active file up to the first torn write on startup")
 		debug      = fs.Bool("debug", false, "mount /debug/pprof and /debug/vars (operational detail — keep off on public listeners)")
 		analytics  = fs.Bool("analytics", false, "serve live incremental analytics on /api/v1/analytics/* (rebuilt from the store on startup)")
@@ -70,25 +73,65 @@ func run(ctx context.Context, args []string, errw io.Writer) error {
 	}
 	logger := log.New(errw, "fpserver ", log.LstdFlags|log.Lmsgprefix)
 
-	st, err := storage.Open(*storePath, storage.Options{
+	var err error
+	if *shards < 1 {
+		return fmt.Errorf("-shards must be >= 1, got %d", *shards)
+	}
+	if *shards > 1 && *watchFlag {
+		// The watch monitor evaluates rules from a single engine's apply
+		// hook; it has no merged-state equivalent yet.
+		return errors.New("-watch is not supported with -shards > 1")
+	}
+
+	opts := storage.Options{
 		SyncEveryAppend: *syncWrites,
 		MaxSegmentBytes: *segBytes,
-	})
-	if err != nil {
-		return err
 	}
-	defer st.Close()
-	if *recover_ {
-		rep, err := st.Recover()
+	// st is the single-store path (shards == 1, bit-for-bit the unsharded
+	// behavior: same file, no seq stamping); sst the partitioned one.
+	var st *storage.Store
+	var sst *shard.Stores
+	var store collectserver.RecordStore
+	if *shards == 1 {
+		st, err = storage.Open(*storePath, opts)
 		if err != nil {
 			return err
 		}
-		if rep.DroppedBytes > 0 {
-			logger.Printf("recovery dropped %d bytes of torn tail at offset %d",
-				rep.DroppedBytes, rep.TruncatedAt)
+		defer st.Close()
+		store = st
+		if *recover_ {
+			rep, err := st.Recover()
+			if err != nil {
+				return err
+			}
+			if rep.DroppedBytes > 0 {
+				logger.Printf("recovery dropped %d bytes of torn tail at offset %d",
+					rep.DroppedBytes, rep.TruncatedAt)
+			}
 		}
+		logger.Printf("store %s opened with %d existing records", st.Path(), st.Count())
+	} else {
+		sst, err = shard.OpenStores(*storePath, *shards, opts)
+		if err != nil {
+			return err
+		}
+		defer sst.Close()
+		store = sst
+		if *recover_ {
+			reps, err := sst.Recover()
+			if err != nil {
+				return err
+			}
+			for i, rep := range reps {
+				if rep.DroppedBytes > 0 {
+					logger.Printf("shard %d recovery dropped %d bytes of torn tail at offset %d",
+						i, rep.DroppedBytes, rep.TruncatedAt)
+				}
+			}
+		}
+		logger.Printf("sharded store %s opened: %d shards, %d existing records",
+			sst.Path(), sst.Shards(), sst.Count())
 	}
-	logger.Printf("store %s opened with %d existing records", st.Path(), st.Count())
 
 	var exporter *obs.Exporter
 	if *export != "" {
@@ -105,6 +148,7 @@ func run(ctx context.Context, args []string, errw io.Writer) error {
 	}
 
 	var eng *streaming.Engine
+	var analyticsPlane collectserver.Analytics
 	if *analytics || *watchFlag {
 		// Same registry as the server so engine gauges land on /metrics;
 		// same exporter so apply spans land in the trace file.
@@ -112,15 +156,27 @@ func run(ctx context.Context, args []string, errw io.Writer) error {
 		if exporter != nil {
 			cfg.Spans = exporter
 		}
-		eng = streaming.New(cfg)
-		defer eng.Close()
-		recs, err := st.All()
+		recs, err := store.All()
 		if err != nil {
 			return err
 		}
 		start := time.Now()
-		eng.Bootstrap(recs)
-		logger.Printf("analytics engine rebuilt from %d records in %v", len(recs), time.Since(start).Round(time.Millisecond))
+		if *shards == 1 {
+			eng = streaming.New(cfg)
+			defer eng.Close()
+			eng.Bootstrap(recs)
+			analyticsPlane = eng
+		} else {
+			rt, err := shard.NewRouter(shard.Config{Shards: *shards, Engine: cfg})
+			if err != nil {
+				return err
+			}
+			defer rt.Close()
+			rt.Bootstrap(recs) // recs arrive seq-ordered from Stores.All
+			analyticsPlane = rt
+		}
+		logger.Printf("analytics plane (%d shard(s)) rebuilt from %d records in %v",
+			*shards, len(recs), time.Since(start).Round(time.Millisecond))
 	}
 
 	var ts *series.Store
@@ -149,7 +205,7 @@ func run(ctx context.Context, args []string, errw io.Writer) error {
 	}
 
 	srvCfg := collectserver.Config{
-		Store:             st,
+		Store:             store,
 		AdminToken:        *adminToken,
 		MaxBatch:          *maxBatch,
 		Logger:            logger,
@@ -157,7 +213,7 @@ func run(ctx context.Context, args []string, errw io.Writer) error {
 		MaxInFlight:       *maxInFly,
 		SubmitRatePerSec:  *subRate,
 		EnableDebug:       *debug,
-		Analytics:         eng,
+		Analytics:         analyticsPlane, // nil interface when analytics is off (typed-nil-safe)
 		Watch:             mon,
 		Series:            ts,
 	}
@@ -194,6 +250,6 @@ func run(ctx context.Context, args []string, errw io.Writer) error {
 	if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	logger.Printf("stopped; %d records stored", st.Count())
+	logger.Printf("stopped; %d records stored", store.Count())
 	return nil
 }

@@ -119,6 +119,12 @@ func (g *IntGraph) AddObservation(user, fp int32) bool {
 // cluster-size histogram then applies hist[aUsers]--, hist[bUsers]--,
 // hist[aUsers+bUsers]++.
 func (g *IntGraph) Observe(user, fp int32) (aUsers, bUsers int32, merged bool) {
+	return g.union(g.userElem[user], g.fpNode(fp))
+}
+
+// fpNode returns fp's union-find element, materializing it as a fresh
+// zero-weight singleton on first sight.
+func (g *IntGraph) fpNode(fp int32) int32 {
 	fn := g.fpElem[fp]
 	if fn < 0 {
 		fn = int32(len(g.parent))
@@ -127,7 +133,75 @@ func (g *IntGraph) Observe(user, fp int32) (aUsers, bUsers int32, merged bool) {
 		g.fpElem[fp] = fn
 		g.numFPs++
 	}
-	return g.union(g.userElem[user], fn)
+	return fn
+}
+
+// Clone returns a deep copy of g sharing no state with the original — the
+// building block snapshot/merge consumers use to work on a frozen graph
+// while the live one keeps growing.
+func (g *IntGraph) Clone() *IntGraph {
+	return &IntGraph{
+		numUsers: g.numUsers,
+		numFPs:   g.numFPs,
+		userElem: append([]int32(nil), g.userElem...),
+		fpElem:   append([]int32(nil), g.fpElem...),
+		parent:   append([]int32(nil), g.parent...),
+		size:     append([]int32(nil), g.size...),
+	}
+}
+
+// Merge folds other's connected components into g — the cross-shard union
+// of the collation graph, and the one place the "single dense universe
+// built at intern time" assumption is deliberately crossed.
+//
+// The remap contract: g and other were built over *different* dense
+// universes (each shard interns users and fingerprints independently), so
+// the caller supplies the translation. userMap[u] is the g-user every
+// other-user u maps to; it must be injective and every mapped ID must
+// already exist in g (AddUser / NewIntGraph population). fpMap[f] is the
+// g-universe fingerprint ID for other's fingerprint f; mapped IDs must be
+// addressable in g (EnsureUniverse), and entries for IDs other never
+// observed are ignored. The fingerprint maps of two shards may overlap —
+// two shards interning the same hash to the same g-ID is exactly how
+// cross-shard clusters join — or be disjoint, in which case Merge is a
+// plain disjoint union of partitions.
+//
+// After Merge, g's partition is the join of the two partitions under the
+// mapping: ClusterSizes/Labels/NumClusters over g are identical to a graph
+// built from the union of both observation multisets, which is what makes
+// a sharded replay bit-identical to the single-engine result. Merging an
+// empty graph is a no-op; merging g into itself under identity maps leaves
+// the partition unchanged. Merge may path-compress other's forest (no
+// observable change). O((users+fps)·α) — no per-edge replay.
+func (g *IntGraph) Merge(other *IntGraph, userMap, fpMap []int32) {
+	if len(userMap) < other.numUsers {
+		panic("collate: Merge userMap shorter than other's population")
+	}
+	if len(fpMap) < len(other.fpElem) {
+		panic("collate: Merge fpMap shorter than other's fingerprint universe")
+	}
+	// gElem translates other's element index into g's element index.
+	gElem := make([]int32, len(other.parent))
+	for i := range gElem {
+		gElem[i] = -1
+	}
+	for u := 0; u < other.numUsers; u++ {
+		gElem[other.userElem[u]] = g.userElem[userMap[u]]
+	}
+	for f, e := range other.fpElem {
+		if e >= 0 {
+			gElem[e] = g.fpNode(fpMap[f])
+		}
+	}
+	// Union every element with its root, translated. This transfers the
+	// full partition without knowing the original edges.
+	for e := range gElem {
+		if gElem[e] < 0 {
+			continue
+		}
+		root := other.find(int32(e))
+		g.union(gElem[e], gElem[root])
+	}
 }
 
 // ClusterOf returns the canonical element of the user's component. Valid

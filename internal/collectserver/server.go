@@ -27,6 +27,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"strings"
@@ -42,9 +43,35 @@ import (
 )
 
 // Config parameterizes the server.
+// RecordStore is the persistence surface the server writes to and reads
+// back: a single storage.Store, or shard.Stores fanning appends across a
+// per-shard segment chain. Append must be safe for concurrent use;
+// All/WriteTo serve the stats and export routes.
+type RecordStore interface {
+	Append(recs ...storage.Record) error
+	All() ([]storage.Record, error)
+	WriteTo(w io.Writer) (int64, error)
+	Count() int
+}
+
+// Analytics is the serving side of the live analytics plane: a single
+// streaming.Engine, or shard.Router answering from a merged cross-shard
+// snapshot. EnqueueContext must not block on the caller's critical path
+// beyond queue backpressure.
+type Analytics interface {
+	EnqueueContext(ctx context.Context, recs []storage.Record)
+	Diversity() streaming.EntropySnapshot
+	Clusters() streaming.ClusterSnapshot
+	Stability() streaming.StabilitySnapshot
+	AMI() *streaming.AMISnapshot
+	Status() streaming.StatusSnapshot
+}
+
 type Config struct {
-	// Store receives accepted records. Required.
-	Store *storage.Store
+	// Store receives accepted records. Required. Concrete implementations:
+	// *storage.Store (single) and *shard.Stores (partitioned). Beware the
+	// typed-nil trap: assign only a non-nil concrete value.
+	Store RecordStore
 	// AdminToken authorizes /api/v1/export. Empty disables export.
 	AdminToken string
 	// MaxBatch bounds records per submission (default 256).
@@ -87,8 +114,9 @@ type Config struct {
 	IdempotencyWindow int
 	// Analytics, when set, receives every accepted submission batch off
 	// the request critical path (bounded queue, see streaming.Engine) and
-	// backs the /api/v1/analytics/* routes. Nil disables them.
-	Analytics *streaming.Engine
+	// backs the /api/v1/analytics/* routes. Nil disables them; as with
+	// Store, assign only a non-nil concrete value.
+	Analytics Analytics
 	// Trace, when set, turns on distributed tracing: every request gets a
 	// span that joins the client's traceparent header (obs.Extract) or
 	// starts a fresh trace, submission handling hangs ingest/store.append

@@ -3,6 +3,7 @@ package faultinject_test
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -16,7 +17,9 @@ import (
 	"repro/internal/collectserver"
 	"repro/internal/faultinject"
 	"repro/internal/obs"
+	"repro/internal/shard"
 	"repro/internal/storage"
+	"repro/internal/streaming"
 	"repro/internal/study"
 	"repro/internal/vectors"
 )
@@ -311,6 +314,221 @@ func TestChaosPipelineExactlyOnce(t *testing.T) {
 	}
 	if v := expositionValue(exp, "faultinject_injected_total", faultinject.TornWrite.String()); v < 1 {
 		t.Errorf("faultinject_injected_total{fault=\"torn-write\"} = %v, want ≥ 1", v)
+	}
+}
+
+// shardedPipeline is one running collection stack persisting into a
+// user-partitioned shard.Stores instead of a single store file.
+type shardedPipeline struct {
+	stores *shard.Stores
+	ts     *httptest.Server
+	client *collectclient.Client
+}
+
+func startShardedPipeline(t *testing.T, base string, n int, sched *faultinject.Schedule) *shardedPipeline {
+	t.Helper()
+	sst, err := shard.OpenStores(base, n, storage.Options{MaxSegmentBytes: 8 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := collectserver.New(collectserver.Config{
+		Store:             sst,
+		SubmitRatePerSec:  1e6,
+		SessionRatePerMin: 1e6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+
+	var rt http.RoundTripper = http.DefaultTransport
+	if sched != nil {
+		rt = &faultinject.Transport{Base: rt, Schedule: sched}
+	}
+	client := collectclient.New(ts.URL,
+		collectclient.WithHTTPClient(&http.Client{Transport: rt, Timeout: 10 * time.Second}),
+		collectclient.WithRetries(10),
+		collectclient.WithBackoff(time.Millisecond),
+	)
+	return &shardedPipeline{stores: sst, ts: ts, client: client}
+}
+
+func (p *shardedPipeline) stop() {
+	p.ts.Close()
+	p.stores.Close()
+}
+
+func (p *shardedPipeline) submit(t *testing.T, users []string, batches map[string][]collectserver.FPRecord) {
+	t.Helper()
+	submitUsers(t, &pipeline{ts: p.ts, client: p.client}, users, batches)
+}
+
+// TestChaosShardedPipelineExactlyOnce runs the chaos pipeline against a
+// 3-shard store: the same network fault classes, a process kill with a
+// torn append on one specific shard's active file, a second kill midway
+// through the replayed submissions, and per-shard Recover() on every
+// restart. The partitioned store must come out exactly-once and the
+// router-merged analytics byte-identical to a fault-free single engine.
+func TestChaosShardedPipelineExactlyOnce(t *testing.T) {
+	const nShards = 3
+	ds := chaosDataset(t)
+	users, batches := userBatches(ds)
+
+	// Fault-free single-store reference run.
+	cleanPath := filepath.Join(t.TempDir(), "clean.ndjson")
+	clean := startPipeline(t, cleanPath, nil)
+	submitUsers(t, clean, users, batches)
+	cleanRecs, err := clean.store.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean.stop()
+	wantKeys := sortedKeys(cleanRecs)
+	wantAnalysis := analysisBytes(t, cleanRecs)
+
+	reg := obs.NewRegistry()
+	sched, err := faultinject.ParseSpec(
+		"seed=13,drop=0.08,dropresp=0.06,delay=0.08:1ms,http500=0.08,truncate=0.05,corrupt=0.05",
+		reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.Join(t.TempDir(), "chaos.ndjson")
+	p := startShardedPipeline(t, base, nShards, sched)
+	half := len(users) / 2
+	p.submit(t, users[:half], batches)
+	p.stop() // first "kill": between acked batches
+
+	// The kill interrupted an append to shard 1 whose ack never reached
+	// the client: tear a half-record onto that shard's active file.
+	tornShard := 1
+	f, err := os.OpenFile(shard.StorePath(base, tornShard), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn, err := faultinject.ParseSpec("seed=2,torn=1.0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw := &faultinject.Writer{W: f, Schedule: torn}
+	if _, err := tw.Write([]byte(`{"session_id":"s","user_id":"lost","vector":"DC","iteration":0,` +
+		`"hash":"deadbeef","received_at":"2021-03-01T00:00:00Z","seq":999999}` + "\n")); !faultinject.IsInjected(err) {
+		t.Fatalf("torn write not injected: %v", err)
+	}
+	f.Close()
+
+	// Restart: per-shard recovery must drop exactly the torn shard's tail.
+	p2 := startShardedPipeline(t, base, nShards, sched)
+	reps, err := p2.stores.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rep := range reps {
+		if i == tornShard && rep.DroppedBytes == 0 {
+			t.Errorf("shard %d recovery dropped no bytes despite the torn tail", i)
+		}
+		if i != tornShard && rep.DroppedBytes != 0 {
+			t.Errorf("shard %d recovery dropped %d bytes from an untorn file", i, rep.DroppedBytes)
+		}
+	}
+
+	// Second "kill": the replayed submission itself dies midway.
+	threeQ := half + (len(users)-half)/2
+	p2.submit(t, users[half:threeQ], batches)
+	p2.stop()
+
+	p3 := startShardedPipeline(t, base, nShards, sched)
+	if _, err := p3.stores.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	p3.submit(t, users[threeQ:], batches)
+	chaosRecs, err := p3.stores.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every record must live on the shard that owns its user.
+	for i := 0; i < nShards; i++ {
+		recs, err := p3.stores.Shard(i).All()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range recs {
+			if shard.Of(r.UserID, nShards) != i {
+				t.Fatalf("shard %d holds record for user %s owned by shard %d",
+					i, r.UserID, shard.Of(r.UserID, nShards))
+			}
+		}
+	}
+	p3.stop()
+
+	// Exactly-once across all shards: precisely the reference record set.
+	gotKeys := sortedKeys(chaosRecs)
+	if len(gotKeys) != len(wantKeys) {
+		t.Fatalf("sharded chaotic store has %d records, clean run has %d", len(gotKeys), len(wantKeys))
+	}
+	for i := range wantKeys {
+		if gotKeys[i] != wantKeys[i] {
+			t.Fatalf("record set diverges at %d: got %q want %q", i, gotKeys[i], wantKeys[i])
+		}
+	}
+	seen := make(map[string]bool, len(gotKeys))
+	for _, k := range gotKeys {
+		if seen[k] {
+			t.Fatalf("record %q stored twice", k)
+		}
+		seen[k] = true
+	}
+
+	// Byte-identical batch analysis downstream of the partitioned store.
+	gotAnalysis := analysisBytes(t, chaosRecs)
+	if !bytes.Equal(gotAnalysis, wantAnalysis) {
+		t.Errorf("analysis output diverges under sharded faults:\nclean:\n%s\nchaos:\n%s",
+			wantAnalysis, gotAnalysis)
+	}
+
+	// Byte-identical merged streaming analytics: a router rebuilt from the
+	// chaotic sharded store must serve what a single engine over the clean
+	// run serves.
+	eng := streaming.New(streaming.Config{Registry: obs.NewRegistry(), AMIRefreshEvery: -1})
+	defer eng.Close()
+	eng.Apply(cleanRecs)
+	eng.RefreshAMI()
+	rt, err := shard.NewRouter(shard.Config{
+		Shards: nShards,
+		Engine: streaming.Config{Registry: obs.NewRegistry(), AMIRefreshEvery: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	rt.Bootstrap(chaosRecs)
+	rt.RefreshAMI()
+	for _, pair := range []struct {
+		name           string
+		single, merged any
+	}{
+		{"diversity", eng.Diversity(), rt.Diversity()},
+		{"clusters", eng.Clusters(), rt.Clusters()},
+		{"stability", eng.Stability(), rt.Stability()},
+		{"ami", eng.AMI(), rt.AMI()},
+	} {
+		sb, err := json.Marshal(pair.single)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mb, err := json.Marshal(pair.merged)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(sb, mb) {
+			t.Errorf("merged %s diverges from clean single engine:\nclean: %s\nchaos: %s",
+				pair.name, sb, mb)
+		}
+	}
+
+	if torn.Injected(faultinject.TornWrite) < 1 {
+		t.Error("torn-write fault never fired")
 	}
 }
 

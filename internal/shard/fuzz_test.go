@@ -1,0 +1,123 @@
+package shard_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/shard"
+	"repro/internal/storage"
+	"repro/internal/streaming"
+)
+
+// FuzzShardOf fuzzes the user-id→shard mapping: for any user ID and shard
+// count the result must be in range, deterministic, and independent of
+// process state (it is the on-disk routing contract — a wrong shard
+// orphans a user's records).
+func FuzzShardOf(f *testing.F) {
+	f.Add("user-0001", 3)
+	f.Add("", 16)
+	f.Add("u", 1)
+	f.Add("x", -2)
+	f.Add("participant-2093-with-a-long-identifier-\x00\xff", 1024)
+	f.Fuzz(func(t *testing.T, uid string, n int) {
+		got := shard.Of(uid, n)
+		if n <= 1 {
+			if got != 0 {
+				t.Fatalf("Of(%q, %d) = %d, want 0 for n <= 1", uid, n, got)
+			}
+			return
+		}
+		if got < 0 || got >= n {
+			t.Fatalf("Of(%q, %d) = %d, out of [0, %d)", uid, n, got, n)
+		}
+		if again := shard.Of(uid, n); again != got {
+			t.Fatalf("Of(%q, %d) not deterministic: %d then %d", uid, n, got, again)
+		}
+	})
+}
+
+// fuzzRecords derives a bounded record stream from raw fuzz bytes: three
+// bytes per record select user, vector (sometimes an unparseable aux
+// name), and a hash from a tiny pool so fingerprints collide across users
+// and shards.
+func fuzzRecords(data []byte) []storage.Record {
+	const maxRecs = 300
+	var recs []storage.Record
+	for i := 0; i+2 < len(data) && len(recs) < maxRecs; i += 3 {
+		r := storage.Record{UserID: fmt.Sprintf("u%02d", data[i]%24)}
+		switch v := data[i+1] % 9; v {
+		case 7:
+			r.Vector = "aux" // unparseable: user/surface bookkeeping only
+		case 8:
+			r.Vector = "DC"
+			r.Hash = fmt.Sprintf("h%x", data[i+2]%12)
+			r.UserAgent = fmt.Sprintf("UA-%d", data[i+2]%3)
+		default:
+			r.Vector = [7]string{"DC", "FFT", "Hybrid", "Custom Signal", "Merged Signals", "AM", "FM"}[v]
+			r.Hash = fmt.Sprintf("h%x", data[i+2]%12)
+		}
+		recs = append(recs, r)
+	}
+	return recs
+}
+
+// FuzzMergedSnapshotJSON fuzzes the merged-snapshot JSON encoder against
+// the single-engine encoder: for any derived record stream and shard
+// count, every serialized analytics payload must be byte-identical to the
+// single engine's, and must be valid JSON.
+func FuzzMergedSnapshotJSON(f *testing.F) {
+	f.Add([]byte{}, uint8(3))
+	f.Add([]byte("abcdefghijklmnopqrstuvwxyz0123456789"), uint8(2))
+	f.Add([]byte{0, 0, 0, 1, 1, 1, 2, 2, 2, 254, 253, 252}, uint8(7))
+	f.Add([]byte("\x00\x08\x01\x01\x08\x01\x02\x08\x01"), uint8(0))
+	f.Fuzz(func(t *testing.T, data []byte, nshards uint8) {
+		recs := fuzzRecords(data)
+		n := 1 + int(nshards%8)
+
+		eng := streaming.New(streaming.Config{Registry: obs.NewRegistry(), AMIRefreshEvery: -1})
+		defer eng.Close()
+		eng.Apply(recs)
+		eng.RefreshAMI()
+
+		rt, err := shard.NewRouter(shard.Config{
+			Shards: n,
+			Engine: streaming.Config{Registry: obs.NewRegistry(), AMIRefreshEvery: -1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rt.Close()
+		rt.Bootstrap(recs)
+
+		payloads := []struct {
+			name           string
+			single, merged any
+		}{
+			{"diversity", eng.Diversity(), rt.Diversity()},
+			{"clusters", eng.Clusters(), rt.Clusters()},
+			{"stability", eng.Stability(), rt.Stability()},
+			{"ami", eng.AMI(), rt.AMI()},
+			{"status", eng.Status(), rt.Status()},
+		}
+		for _, p := range payloads {
+			single, err := json.Marshal(p.single)
+			if err != nil {
+				t.Fatalf("%s: marshal single: %v", p.name, err)
+			}
+			merged, err := json.Marshal(p.merged)
+			if err != nil {
+				t.Fatalf("%s: marshal merged: %v", p.name, err)
+			}
+			if !json.Valid(merged) {
+				t.Fatalf("%s: merged payload is invalid JSON: %s", p.name, merged)
+			}
+			if !reflect.DeepEqual(single, merged) {
+				t.Fatalf("%s: merged JSON differs from single engine (%d shards, %d records):\nmerged: %s\nsingle: %s",
+					p.name, n, len(recs), merged, single)
+			}
+		}
+	})
+}

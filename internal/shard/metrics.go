@@ -1,0 +1,36 @@
+package shard
+
+import (
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// routerMetrics is the route-level instrumentation: per-shard ingest
+// counters plus merge-path latency/volume. Shard-engine internals
+// (apply latency, queue depth, users) are registered by each engine
+// under its {"shard": i} label.
+type routerMetrics struct {
+	ingest       []*obs.Counter
+	merges       *obs.Counter
+	cacheHits    *obs.Counter
+	mergeSeconds *obs.Histogram
+}
+
+func (r *Router) registerMetrics(reg *obs.Registry, n int) {
+	r.met.ingest = make([]*obs.Counter, n)
+	for i := 0; i < n; i++ {
+		r.met.ingest[i] = reg.Counter("shard_ingest_total",
+			"Records routed to this shard's engine.",
+			obs.Labels{"shard": strconv.Itoa(i)})
+	}
+	r.met.merges = reg.Counter("shard_merges_total",
+		"Cross-shard analytics state merges performed.", nil)
+	r.met.cacheHits = reg.Counter("shard_merge_cache_hits_total",
+		"Analytics reads served from the cached merged state.", nil)
+	r.met.mergeSeconds = reg.Histogram("shard_merge_seconds",
+		"Latency of one cross-shard state merge (snapshot + fold).",
+		obs.LatencyBuckets(), nil)
+	reg.GaugeFunc("shard_count", "Configured shard count.", nil,
+		func() float64 { return float64(n) })
+}

@@ -1,0 +1,40 @@
+// Package shard partitions the ingest + analytics plane by user-id hash:
+// N shards, each owning its own append-only store segment chain
+// (internal/storage) and its own streaming engine (internal/streaming),
+// behind an in-process router that fans accepted submissions to the
+// owning shard and answers analytics reads from a merged snapshot
+// (streaming.State.Merge).
+//
+// The partitioning contract is user-granular: every record of one user
+// lands on one shard (Of is a pure function of the user ID), so per-user
+// state — distinct-fingerprint sets, surface values, collation-graph
+// membership — never splits. Fingerprint hashes are NOT partitioned: two
+// users on different shards can emit the same hash, which is exactly the
+// cross-shard cluster join streaming.State.Merge reconstructs through the
+// shared intern translation.
+//
+// The correctness gate is bit-identity: a sharded replay of any record
+// stream must serve /api/v1/analytics/* payloads byte-identical to a
+// single engine ingesting the same stream (differential_test.go enforces
+// this at the paper's 2093-user scale for N ∈ {1,2,3,8,16}); DESIGN.md
+// §14 explains why the merge algebra guarantees it.
+package shard
+
+import "repro/internal/hashx"
+
+// routeSeed fixes the murmur3 seed of the user→shard mapping. It is part
+// of the on-disk layout contract: changing it orphans every record in
+// per-shard stores, so it is deliberately a constant rather than
+// configuration.
+const routeSeed = 0x66707368 // "fpsh"
+
+// Of maps a user ID to its owning shard in [0, n). It is deterministic
+// across processes and restarts (fixed-seed murmur3, no map state), and
+// n <= 1 always routes to shard 0.
+func Of(userID string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h1, _ := hashx.Sum128([]byte(userID), routeSeed)
+	return int(h1 % uint64(n))
+}

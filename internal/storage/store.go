@@ -53,6 +53,12 @@ type Record struct {
 	Surfaces map[string]string `json:"surfaces,omitempty"`
 	// ReceivedAt is the server receive time (UTC).
 	ReceivedAt time.Time `json:"received_at"`
+	// Seq is the global arrival sequence number a sharded store stamps at
+	// append time (internal/shard.Stores), letting a cross-shard read
+	// reconstruct the original submission order. Zero (omitted from JSON)
+	// on unsharded stores, so a -shards 1 deployment's files stay
+	// byte-identical to pre-sharding ones.
+	Seq int64 `json:"seq,omitempty"`
 }
 
 // Validate reports whether the record is well-formed enough to store.

@@ -57,6 +57,10 @@ type Config struct {
 	// rides the queue across the async boundary, so the exported span
 	// joins the submitting request's distributed trace.
 	Spans obs.SpanExporter
+	// MetricLabels is merged into every metric the engine registers — how
+	// N shard engines share one registry without their gauges replacing
+	// each other (each shard passes {"shard": i}).
+	MetricLabels obs.Labels
 }
 
 // vecState is one audio vector's incremental analysis state.
@@ -77,6 +81,7 @@ type Engine struct {
 	queueDepth int
 	amiEvery   int
 	spans      obs.SpanExporter
+	metLabels  obs.Labels
 
 	// observer is the watch hook: a func(records int64) invoked after
 	// each applied batch, off the state lock. See SetObserver.
@@ -149,6 +154,7 @@ func New(cfg Config) *Engine {
 		e.amiEvery = 4096
 	}
 	e.spans = cfg.Spans
+	e.metLabels = cfg.MetricLabels
 	e.queue = make(chan batch, e.queueDepth)
 	e.qcond = sync.NewCond(&e.qmu)
 	e.surfs = make([][]string, numSurfaces)

@@ -1,0 +1,379 @@
+package streaming
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/collate"
+	"repro/internal/diversity"
+	"repro/internal/vectors"
+)
+
+// State is a frozen, self-contained copy of an engine's analysis state that
+// can be combined with the states of other engines — the merge algebra the
+// sharded ingest plane is built on (DESIGN.md §14). Each shard's engine
+// owns a disjoint slice of the user population; State captures that slice
+// together with the per-user global arrival sequence, and Merge folds two
+// slices into one whose analytics payloads are bit-identical to an engine
+// that ingested the union directly.
+//
+// Merge is associative and commutative, with NewState() as the identity —
+// the property that lets a router fold shard snapshots in any order (or a
+// tree) and serve one answer. The proof obligation is discharged by the
+// payload shapes: every served quantity depends only on (a) the user
+// partition of each vector's collation graph, (b) the global user order
+// reconstructed from Seq, and (c) per-user values/counts — none on the
+// shard-local dense ID assignment that differs between merge orders.
+type State struct {
+	// Users holds the user IDs in this state's dense order; Seq holds each
+	// user's global first-seen sequence number. Within one engine the dense
+	// order is arrival order, so Engine.State stamps Seq 0..n-1; a router
+	// overwrites Seq with its global ledger before merging so the merged
+	// dense order reproduces the single-engine arrival order exactly
+	// (labels and AMI depend on it).
+	Users []string
+	Seq   []int64
+	// Records counts applied records (audio + auxiliary).
+	Records int64
+	// Surfs holds per-surface, per-user current values in surface index
+	// order (surfCanvas..surfUA) — value counts are rebuilt at snapshot
+	// time, so they merge by concatenation.
+	Surfs [][]string
+	// Vecs holds one VecState per vectors.All entry.
+	Vecs []VecState
+}
+
+// VecState is one audio vector's mergeable analysis state.
+type VecState struct {
+	// Hashes maps this state's dense fingerprint ID to the fingerprint
+	// hash — the intern table exported in ID order, which is what lets
+	// Merge translate two shard-local universes into one.
+	Hashes []string
+	// Graph is the collation graph over this state's users and Hashes.
+	Graph *collate.IntGraph
+	// Distinct holds each user's distinct-fingerprint count (users are
+	// shard-disjoint, so counts merge by scatter).
+	Distinct []int
+	// Obs counts observations applied, duplicates included.
+	Obs int64
+}
+
+// State returns a deep snapshot of the engine's analysis state, stamped
+// with local sequence numbers 0..n-1 (dense order == arrival order within
+// one engine). The copy shares nothing with the live engine.
+func (e *Engine) State() *State {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	s := &State{
+		Users:   append([]string(nil), e.userIDs...),
+		Seq:     make([]int64, len(e.userIDs)),
+		Records: e.records,
+		Surfs:   make([][]string, numSurfaces),
+		Vecs:    make([]VecState, len(e.vecs)),
+	}
+	for i := range s.Seq {
+		s.Seq[i] = int64(i)
+	}
+	for i := 0; i < numSurfaces; i++ {
+		s.Surfs[i] = append([]string(nil), e.surfs[i]...)
+	}
+	for i, vs := range e.vecs {
+		hashes := make([]string, len(vs.intern))
+		for h, id := range vs.intern {
+			hashes[id] = h
+		}
+		distinct := make([]int, len(vs.distinct))
+		for u, d := range vs.distinct {
+			distinct[u] = len(d)
+		}
+		s.Vecs[i] = VecState{
+			Hashes:   hashes,
+			Graph:    vs.g.Clone(),
+			Distinct: distinct,
+			Obs:      vs.obsCount,
+		}
+	}
+	return s
+}
+
+// NewState returns the merge identity: an empty state over zero users.
+func NewState() *State {
+	s := &State{
+		Surfs: make([][]string, numSurfaces),
+		Vecs:  make([]VecState, len(vectors.All)),
+	}
+	for i := range s.Vecs {
+		s.Vecs[i] = VecState{Graph: collate.NewIntGraph(0, 0)}
+	}
+	return s
+}
+
+// Merge combines two states over disjoint user sets into a new state; both
+// inputs are left logically unchanged (the union pass may path-compress
+// their graphs, which is unobservable). The merged dense user order is by
+// ascending Seq (user ID as a tie-break, which never fires when Seq comes
+// from one global ledger), so a router stamping global sequences gets back
+// the single-engine arrival order. Sharing a user between the two states
+// is a routing bug and returns an error.
+func (s *State) Merge(o *State) (*State, error) {
+	na, nb := len(s.Users), len(o.Users)
+	m := &State{
+		Users:   make([]string, 0, na+nb),
+		Seq:     make([]int64, 0, na+nb),
+		Records: s.Records + o.Records,
+		Surfs:   make([][]string, numSurfaces),
+		Vecs:    make([]VecState, len(s.Vecs)),
+	}
+	// Two-pointer merge by (Seq, Users) producing each input's user→merged
+	// translation.
+	mapA := make([]int32, na)
+	mapB := make([]int32, nb)
+	i, j := 0, 0
+	for i < na || j < nb {
+		takeA := j >= nb
+		if i < na && j < nb {
+			switch {
+			case s.Seq[i] < o.Seq[j]:
+				takeA = true
+			case s.Seq[i] > o.Seq[j]:
+				takeA = false
+			default:
+				takeA = s.Users[i] < o.Users[j]
+			}
+		}
+		if takeA {
+			mapA[i] = int32(len(m.Users))
+			m.Users = append(m.Users, s.Users[i])
+			m.Seq = append(m.Seq, s.Seq[i])
+			i++
+		} else {
+			mapB[j] = int32(len(m.Users))
+			m.Users = append(m.Users, o.Users[j])
+			m.Seq = append(m.Seq, o.Seq[j])
+			j++
+		}
+	}
+	if overlap := findOverlap(m.Users); overlap != "" {
+		return nil, fmt.Errorf("streaming: Merge states share user %q", overlap)
+	}
+	for si := 0; si < numSurfaces; si++ {
+		m.Surfs[si] = make([]string, len(m.Users))
+		for u, v := range s.Surfs[si] {
+			m.Surfs[si][mapA[u]] = v
+		}
+		for u, v := range o.Surfs[si] {
+			m.Surfs[si][mapB[u]] = v
+		}
+	}
+	for vi := range s.Vecs {
+		a, b := &s.Vecs[vi], &o.Vecs[vi]
+		// Merged intern table: a's hashes keep their IDs, b's unseen
+		// hashes append in b's ID order. The assignment order differs
+		// between merge orders, but no payload reads fingerprint IDs —
+		// only partition structure and per-user counts.
+		hashes := append([]string(nil), a.Hashes...)
+		idx := make(map[string]int32, len(a.Hashes)+len(b.Hashes))
+		for id, h := range hashes {
+			idx[h] = int32(id)
+		}
+		fpMapA := make([]int32, len(a.Hashes))
+		for id := range fpMapA {
+			fpMapA[id] = int32(id)
+		}
+		fpMapB := make([]int32, len(b.Hashes))
+		for id, h := range b.Hashes {
+			mid, ok := idx[h]
+			if !ok {
+				mid = int32(len(hashes))
+				hashes = append(hashes, h)
+				idx[h] = mid
+			}
+			fpMapB[id] = mid
+		}
+		g := collate.NewIntGraph(len(m.Users), len(hashes))
+		g.Merge(a.Graph, mapA, fpMapA)
+		g.Merge(b.Graph, mapB, fpMapB)
+		distinct := make([]int, len(m.Users))
+		for u, d := range a.Distinct {
+			distinct[mapA[u]] = d
+		}
+		for u, d := range b.Distinct {
+			distinct[mapB[u]] = d
+		}
+		m.Vecs[vi] = VecState{
+			Hashes:   hashes,
+			Graph:    g,
+			Distinct: distinct,
+			Obs:      a.Obs + b.Obs,
+		}
+	}
+	return m, nil
+}
+
+// findOverlap returns a user ID appearing twice in the sorted-by-arrival
+// merged list, or "". Duplicates are detected with a sorted copy so the
+// scan is O(n log n) without a map allocation per merge.
+func findOverlap(users []string) string {
+	if len(users) < 2 {
+		return ""
+	}
+	sorted := append([]string(nil), users...)
+	sort.Strings(sorted)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			return sorted[i]
+		}
+	}
+	return ""
+}
+
+// Diversity returns the entropy table of the merged population — the same
+// rows, bit for bit, as Engine.Diversity over the union of the merged
+// record streams. Audio rows reduce ClusterSizes through
+// diversity.SummaryFromCounts (which sorts, so histogram-vs-sweep and
+// merge-order differences vanish); the Combined row re-labels the graphs
+// over the Seq-reconstructed user order.
+func (s *State) Diversity() EntropySnapshot {
+	snap := EntropySnapshot{Records: s.Records, Users: len(s.Users)}
+	for i, v := range vectors.All {
+		snap.Rows = append(snap.Rows, summaryRow(v.String(),
+			diversity.SummaryFromCounts(s.Vecs[i].Graph.ClusterSizes())))
+	}
+	if combined := s.combinedLabels(); combined != nil {
+		snap.Rows = append(snap.Rows, summaryRow("Combined", diversity.SummarizeStable(combined)))
+	}
+	for si := 0; si < numSurfaces; si++ {
+		counts := make(map[string]int64, len(s.Surfs[si]))
+		for _, v := range s.Surfs[si] {
+			counts[v]++
+		}
+		snap.Rows = append(snap.Rows, summaryRow(surfaceNames[si],
+			diversity.SummaryFromCounts(surfaceCounts(counts))))
+	}
+	return snap
+}
+
+// Clusters returns the per-vector collation statistics of the merged
+// population, matching Engine.Clusters bit for bit.
+func (s *State) Clusters() ClusterSnapshot {
+	snap := ClusterSnapshot{Records: s.Records, Users: len(s.Users)}
+	for i, v := range vectors.All {
+		vs := &s.Vecs[i]
+		snap.Rows = append(snap.Rows, ClusterRow{
+			Vector:       v.String(),
+			Users:        vs.Graph.NumUsers(),
+			Clusters:     vs.Graph.NumClusters(),
+			Unique:       vs.Graph.UniqueClusters(),
+			Fingerprints: vs.Graph.NumFingerprints(),
+			Observations: vs.Obs,
+		})
+	}
+	return snap
+}
+
+// Stability returns the Table 1 rows of the merged population.
+func (s *State) Stability() StabilitySnapshot {
+	snap := StabilitySnapshot{Records: s.Records, Users: len(s.Users)}
+	for i, v := range vectors.All {
+		vs := &s.Vecs[i]
+		row := StabilityRow{Vector: v.String()}
+		if len(vs.Distinct) > 0 {
+			row.Min = vs.Distinct[0]
+			sum := 0
+			for _, c := range vs.Distinct {
+				if c < row.Min {
+					row.Min = c
+				}
+				if c > row.Max {
+					row.Max = c
+				}
+				sum += c
+			}
+			row.Mean = float64(sum) / float64(len(vs.Distinct))
+		}
+		snap.Rows = append(snap.Rows, row)
+	}
+	return snap
+}
+
+// AMI computes the pairwise-vector AMI matrix of the merged population —
+// the merged counterpart of Engine.RefreshAMI, matching
+// Dataset.PairwiseVectorAMI bit for bit over the Seq-reconstructed user
+// order.
+func (s *State) AMI() *AMISnapshot {
+	k := len(vectors.All)
+	snap := &AMISnapshot{Records: s.Records, Vectors: make([]string, k)}
+	for i, v := range vectors.All {
+		snap.Vectors[i] = v.String()
+	}
+	if len(s.Users) == 0 {
+		return snap
+	}
+	labels := make([][]int32, k)
+	ks := make([]int, k)
+	for i := range s.Vecs {
+		labels[i] = s.Vecs[i].Graph.Labels()
+		ks[i] = s.Vecs[i].Graph.NumClusters()
+	}
+	snap.Matrix = make([][]float64, k)
+	for i := range snap.Matrix {
+		snap.Matrix[i] = make([]float64, k)
+		snap.Matrix[i][i] = 1
+	}
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			v, err := cluster.AMIDense(labels[i], labels[j], ks[i], ks[j])
+			if err != nil {
+				continue // unreachable for a non-empty population
+			}
+			snap.Matrix[i][j] = v
+			snap.Matrix[j][i] = v
+		}
+	}
+	return snap
+}
+
+// Labels returns v's first-appearance-canonical cluster labels over the
+// merged user order — the State counterpart of Engine.Labels.
+func (s *State) Labels(v vectors.ID) []int {
+	for i, vv := range vectors.All {
+		if vv == v {
+			labels := s.Vecs[i].Graph.Labels()
+			out := make([]int, len(labels))
+			for j, l := range labels {
+				out[j] = int(l)
+			}
+			return out
+		}
+	}
+	return nil
+}
+
+// DistinctPerUser returns each user's distinct-fingerprint count for v in
+// merged dense order.
+func (s *State) DistinctPerUser(v vectors.ID) []int {
+	for i, vv := range vectors.All {
+		if vv == v {
+			return append([]int(nil), s.Vecs[i].Distinct...)
+		}
+	}
+	return nil
+}
+
+// combinedLabels builds the combination tuple per user — nil when the
+// population is empty.
+func (s *State) combinedLabels() []string {
+	if len(s.Users) == 0 {
+		return nil
+	}
+	parts := make([][]int32, len(vectors.All))
+	for i := range s.Vecs {
+		parts[i] = s.Vecs[i].Graph.Labels()
+	}
+	combined, err := diversity.Combine(parts...)
+	if err != nil {
+		panic(err) // impossible: all parts share the population length
+	}
+	return combined
+}
