@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short check bench bench-json bench-stream bench-render bench-shard bench-gate fuzz study trace examples clean
+.PHONY: all build vet test test-short check bench bench-json bench-stream bench-render bench-shard bench-verify bench-gate fuzz study trace examples clean
 
 all: build vet test
 
@@ -82,6 +82,12 @@ bench-stream:
 bench-shard:
 	$(GO) test -run '^$$' -bench BenchmarkShard -benchmem ./internal/shard/ | $(GO) run ./cmd/benchjson > BENCH_shard.json
 	@echo wrote BENCH_shard.json
+
+# Verification decision latency at enrolled-population scale: the serving
+# path behind POST /api/v1/verify, serial and parallel (DESIGN.md §15).
+bench-verify:
+	$(GO) test -run '^$$' -bench BenchmarkVerify -benchmem ./internal/verify/ | $(GO) run ./cmd/benchjson > BENCH_verify.json
+	@echo wrote BENCH_verify.json
 
 # Short fuzzing passes over the parsing/ingestion surfaces.
 fuzz:

@@ -9,6 +9,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -27,8 +28,33 @@ import (
 	"repro/internal/shard"
 	"repro/internal/storage"
 	"repro/internal/streaming"
+	"repro/internal/verify"
 	"repro/internal/watch"
 )
+
+// loadCalibration reads a calibration file: either a bare verify.Calibration
+// or a full fpstudy verify-sweep result wrapping one under "calibration".
+func loadCalibration(path string) (*verify.Calibration, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var wrapped struct {
+		Calibration *verify.Calibration `json:"calibration"`
+	}
+	if err := json.Unmarshal(raw, &wrapped); err == nil &&
+		wrapped.Calibration != nil && len(wrapped.Calibration.Points) > 0 {
+		return wrapped.Calibration, nil
+	}
+	var cal verify.Calibration
+	if err := json.Unmarshal(raw, &cal); err != nil {
+		return nil, err
+	}
+	if len(cal.Points) == 0 {
+		return nil, fmt.Errorf("%s carries no sweep points", path)
+	}
+	return &cal, nil
+}
 
 // onListen, when set by tests, receives the bound listener address so an
 // in-process run on ":0" can be probed.
@@ -67,6 +93,9 @@ func run(ctx context.Context, args []string, errw io.Writer) error {
 		seriesFlag = fs.Bool("series", false, "retain metric time-series in memory and serve them on /api/v1/obs/query and /api/v1/obs/series")
 		seriesTick = fs.Duration("series-interval", 5*time.Second, "series snapshot interval (with -series)")
 		seriesCap  = fs.Int("series-capacity", 720, "retained points per series (with -series)")
+		verifyFlag = fs.Bool("verify", false, "serve authentication decisions on POST /api/v1/verify (history bootstrapped from the store, kept current by accepted submissions)")
+		verifyThr  = fs.Float64("verify-threshold", 0, "accept threshold override in (0,1]; 0 takes the calibration's EER threshold, else the built-in default (with -verify)")
+		verifyCal  = fs.String("verify-calibration", "", "calibration JSON from 'fpstudy -verify-sweep' supplying the threshold and served on /api/v1/analytics/verify (with -verify)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -191,6 +220,42 @@ func run(ctx context.Context, args []string, errw io.Writer) error {
 		logger.Printf("series store ticking every %v, %d points per series", *seriesTick, *seriesCap)
 	}
 
+	var verifier collectserver.Verifier
+	if *verifyFlag {
+		vcfg := verify.Config{Threshold: *verifyThr, Registry: obs.Default}
+		if *verifyCal != "" {
+			cal, err := loadCalibration(*verifyCal)
+			if err != nil {
+				return fmt.Errorf("-verify-calibration: %w", err)
+			}
+			vcfg.Calibration = cal
+			logger.Printf("verify calibration loaded from %s (EER %.4f at threshold %.2f over %d+%d trials)",
+				*verifyCal, cal.EER, cal.EERThreshold, cal.GenuineTrials, cal.ImpostorTrials)
+		}
+		recs, err := store.All()
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		if *shards == 1 {
+			e := verify.New(vcfg)
+			e.Enroll(recs)
+			verifier = e
+		} else {
+			vs, err := shard.NewVerifiers(*shards, vcfg)
+			if err != nil {
+				return err
+			}
+			vs.Enroll(recs)
+			verifier = vs
+		}
+		st := verifier.Stats()
+		logger.Printf("verify plane (%d shard(s)) enrolled %d users from %d records in %v, threshold %.2f",
+			*shards, st.Users, len(recs), time.Since(start).Round(time.Millisecond), st.Threshold)
+	} else if *verifyThr != 0 || *verifyCal != "" {
+		return errors.New("-verify-threshold/-verify-calibration require -verify")
+	}
+
 	var mon *watch.Monitor
 	if *watchFlag {
 		mon, err = watch.New(watch.Config{
@@ -216,6 +281,7 @@ func run(ctx context.Context, args []string, errw io.Writer) error {
 		Analytics:         analyticsPlane, // nil interface when analytics is off (typed-nil-safe)
 		Watch:             mon,
 		Series:            ts,
+		Verifier:          verifier, // nil interface without -verify (typed-nil-safe)
 	}
 	if exporter != nil {
 		srvCfg.Trace = exporter

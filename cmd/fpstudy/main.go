@@ -27,6 +27,7 @@ import (
 	"repro/internal/storage"
 	"repro/internal/study"
 	"repro/internal/vectors"
+	"repro/internal/verify"
 	"repro/internal/webaudio"
 )
 
@@ -61,6 +62,11 @@ func run(runCtx context.Context, args []string, outw, errw io.Writer) error {
 		shadow     = fs.Int("shadow", 0, "audit 1 in N cache-miss renders by re-rendering through both engines in lockstep (0 disables)")
 		shadowOut  = fs.String("shadow-out", "", "write the shadow auditor's flight-record summary as JSON to this path (with -shadow)")
 		kernelTime = fs.Bool("kernel-timing", false, "record per-kernel block timing histograms with trace exemplars (adds clock overhead per op)")
+		vSweep     = fs.Bool("verify-sweep", false, "run the offline verification FAR/FRR/EER sweep over the evolved population instead of the measurement campaigns (uses -users and -seed)")
+		vEpochs    = fs.Int("verify-epochs", 6, "evolved-population epochs for the sweep (with -verify-sweep)")
+		vSamples   = fs.Int("verify-samples", 2, "samples per user per vector per epoch (with -verify-sweep)")
+		vEnroll    = fs.Int("verify-enroll", 3, "leading epochs enrolled as stored history; the rest supply trials (with -verify-sweep)")
+		vOut       = fs.String("verify-out", "", "write the sweep result as JSON — loadable by 'fpserver -verify-calibration' (with -verify-sweep)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -115,6 +121,13 @@ func run(runCtx context.Context, args []string, outw, errw io.Writer) error {
 	// One render cache across both campaigns: platform classes shared
 	// between the main and follow-up mixes render once for the whole run.
 	renderCache := vectors.NewCache()
+
+	if *vSweep {
+		return runVerifySweep(outw, logger, renderCache, verifySweepOpts{
+			seed: *seed, users: *users, epochs: *vEpochs,
+			samples: *vSamples, enroll: *vEnroll, out: *vOut,
+		})
+	}
 
 	var auditor *vectors.ShadowAuditor
 	if *shadow > 0 {
@@ -204,6 +217,71 @@ func run(runCtx context.Context, args []string, outw, errw io.Writer) error {
 	}
 	writeTrace(logger, root, *traceJSON, *traceText)
 	fmt.Fprintf(errw, "total runtime: %s\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// verifySweepOpts carries the -verify-sweep knobs.
+type verifySweepOpts struct {
+	seed                           int64
+	users, epochs, samples, enroll int
+	out                            string
+}
+
+// runVerifySweep is the -verify-sweep mode: build the evolved population,
+// sweep the verification threshold over genuine and impostor trials, print
+// the FAR/FRR operating curve with its equal-error-rate point, and
+// optionally persist the calibration for `fpserver -verify-calibration`.
+func runVerifySweep(outw io.Writer, logger *log.Logger, cache *vectors.Cache, o verifySweepOpts) error {
+	start := time.Now()
+	logger.Printf("verify sweep: %d users × %d epochs × %d samples × %d vectors, enrolling %d epochs",
+		o.users, o.epochs, o.samples, len(vectors.All), o.enroll)
+	res, err := verify.Sweep(verify.SweepConfig{
+		Evolved: study.EvolvedConfig{
+			LongitudinalConfig: study.LongitudinalConfig{
+				Seed: o.seed, Users: o.users, Epochs: o.epochs, SamplesPerEpoch: o.samples,
+			},
+			Vectors:     vectors.All,
+			Churn:       population.DefaultChurn(),
+			RenderCache: cache,
+			Parallelism: 8,
+		},
+		EnrollEpochs: o.enroll,
+	})
+	if err != nil {
+		return fmt.Errorf("verify sweep: %w", err)
+	}
+	cal := res.Calibration
+
+	fmt.Fprintf(outw, "== Verification threshold sweep (evolved population) ==\n")
+	fmt.Fprintf(outw, "users %d · epochs %d (enroll %d) · browser upgrades %d · OS upgrades %d · fingerprint shifts %d\n",
+		res.Users, res.Epochs, res.EnrollEpochs, res.Upgrades, res.OSUpgrades, res.FingerprintShifts)
+	fmt.Fprintf(outw, "trials: %d genuine, %d impostor\n\n", cal.GenuineTrials, cal.ImpostorTrials)
+	fmt.Fprintf(outw, "%10s %8s %8s\n", "threshold", "FAR", "FRR")
+	for _, p := range cal.Points {
+		// The full grid is in -verify-out; print every 5th row.
+		if int(p.Threshold*100+0.5)%5 == 0 {
+			fmt.Fprintf(outw, "%10.2f %8.4f %8.4f\n", p.Threshold, p.FAR, p.FRR)
+		}
+	}
+	fmt.Fprintf(outw, "\nEER %.4f at threshold %.2f\n", cal.EER, cal.EERThreshold)
+
+	if o.out != "" {
+		f, err := os.Create(o.out)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		logger.Printf("calibration written to %s", o.out)
+	}
+	logger.Printf("verify sweep complete in %s", time.Since(start).Round(time.Millisecond))
 	return nil
 }
 

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -59,5 +60,48 @@ func TestRunRejectsNonPositivePopulation(t *testing.T) {
 	err := run(context.Background(), []string{"-users", "0"}, &stdout, &logs)
 	if err == nil {
 		t.Fatal("zero users accepted")
+	}
+}
+
+// TestRunVerifySweep runs the -verify-sweep mode at miniature scale and
+// checks the printed operating curve plus the persisted calibration JSON.
+func TestRunVerifySweep(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "cal.json")
+	var stdout, logs bytes.Buffer
+	err := run(context.Background(), []string{
+		"-verify-sweep",
+		"-users", "40",
+		"-verify-epochs", "4",
+		"-verify-samples", "1",
+		"-verify-enroll", "2",
+		"-verify-out", out,
+	}, &stdout, &logs)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, logs.String())
+	}
+	for _, want := range []string{"Verification threshold sweep", "FAR", "FRR", "EER "} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, stdout.String())
+		}
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("calibration not written: %v", err)
+	}
+	var res struct {
+		Calibration struct {
+			Points       []struct{ Threshold float64 }
+			EERThreshold float64 `json:"eer_threshold"`
+		} `json:"calibration"`
+		Users int `json:"users"`
+	}
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatalf("calibration JSON: %v", err)
+	}
+	if res.Users != 40 || len(res.Calibration.Points) != 101 {
+		t.Errorf("calibration = users %d, %d points", res.Users, len(res.Calibration.Points))
+	}
+	if !strings.Contains(logs.String(), "calibration written to") {
+		t.Errorf("log missing calibration line:\n%s", logs.String())
 	}
 }

@@ -138,18 +138,51 @@ func (g *Graph) Users() []string { return g.userIDs }
 type MatchResult int
 
 const (
-	// MatchNone means no submitted fingerprint was ever seen.
+	// MatchNone means fingerprints were submitted but none was ever seen —
+	// the visitor presented evidence and it matched nothing.
 	MatchNone MatchResult = iota
 	// MatchUnique means all recognized fingerprints point to one cluster.
 	MatchUnique
 	// MatchAmbiguous means recognized fingerprints span several clusters —
 	// which cannot persist: inserting them would merge those clusters.
 	MatchAmbiguous
+	// MatchNoEvidence means the submitted set was empty: there was nothing
+	// to match. Distinct from MatchNone, where evidence existed but was
+	// unrecognized — a verification layer treats the former as a malformed
+	// query and the latter as a (weak) rejection signal.
+	MatchNoEvidence
 )
 
+// String renders the result for logs and decision payloads.
+func (r MatchResult) String() string {
+	switch r {
+	case MatchNone:
+		return "none"
+	case MatchUnique:
+		return "unique"
+	case MatchAmbiguous:
+		return "ambiguous"
+	case MatchNoEvidence:
+		return "no_evidence"
+	}
+	return "invalid"
+}
+
+// HasFingerprint reports whether the elementary fingerprint hash has been
+// observed by this graph.
+func (g *Graph) HasFingerprint(hash string) bool {
+	_, ok := g.fps[hash]
+	return ok
+}
+
 // Match looks up a set of elementary fingerprints without inserting them
-// and returns which existing cluster they identify.
+// and returns which existing cluster they identify. An empty set returns
+// MatchNoEvidence; a non-empty set in which nothing is recognized returns
+// MatchNone.
 func (g *Graph) Match(hashes []string) (cluster int, res MatchResult) {
+	if len(hashes) == 0 {
+		return 0, MatchNoEvidence
+	}
 	found := make(map[int]struct{})
 	var first int
 	for _, h := range hashes {

@@ -279,9 +279,14 @@ func (g *IntGraph) UniqueClusters() int {
 
 // Match looks up a set of fingerprint IDs without inserting them and
 // reports which existing cluster they identify — the int-keyed equivalent
-// of Graph.Match. It allocates nothing for the common ≤ 16-distinct-root
-// case.
+// of Graph.Match. An empty fps slice returns MatchNoEvidence (nothing was
+// submitted); a non-empty slice of IDs this graph never observed returns
+// MatchNone (evidence was submitted and recognized nothing). It allocates
+// nothing for the common ≤ 16-distinct-root case.
 func (g *IntGraph) Match(fps []int32) (cluster int32, res MatchResult) {
+	if len(fps) == 0 {
+		return 0, MatchNoEvidence
+	}
 	var roots [16]int32
 	found := roots[:0]
 	for _, fp := range fps {

@@ -141,8 +141,57 @@ func TestIntGraphMatchManyRoots(t *testing.T) {
 	if c, res := ig.Match(all[3:4]); res != MatchUnique || ig.ClusterOf(3) != c {
 		t.Errorf("single probe: cluster %d result %v, want unique cluster of user 3", c, res)
 	}
-	if _, res := ig.Match(nil); res != MatchNone {
-		t.Error("empty probe must be MatchNone")
+	if _, res := ig.Match(nil); res != MatchNoEvidence {
+		t.Error("empty probe must be MatchNoEvidence")
+	}
+}
+
+// TestIntGraphMatchEvidence: the no-evidence / no-match distinction. An
+// empty probe set carries no evidence at all; a non-empty probe set whose
+// IDs are out of universe or never observed is evidence that matched
+// nothing. Both graph flavors must agree.
+func TestIntGraphMatchEvidence(t *testing.T) {
+	ig := NewIntGraph(2, 4)
+	ig.AddObservation(0, 0)
+	ig.AddObservation(1, 1)
+
+	if _, res := ig.Match(nil); res != MatchNoEvidence {
+		t.Errorf("nil probe: %v, want MatchNoEvidence", res)
+	}
+	if _, res := ig.Match([]int32{}); res != MatchNoEvidence {
+		t.Errorf("empty probe: %v, want MatchNoEvidence", res)
+	}
+	// In-universe but never observed.
+	if _, res := ig.Match([]int32{2, 3}); res != MatchNone {
+		t.Errorf("unobserved IDs: %v, want MatchNone", res)
+	}
+	// Entirely out of the interning universe.
+	if _, res := ig.Match([]int32{99, 1000}); res != MatchNone {
+		t.Errorf("out-of-universe IDs: %v, want MatchNone", res)
+	}
+	// A mix of unknown and known still identifies the known cluster.
+	if c, res := ig.Match([]int32{99, 0}); res != MatchUnique || c != ig.ClusterOf(0) {
+		t.Errorf("mixed probe: cluster %d result %v, want unique cluster of user 0", c, res)
+	}
+
+	// The string graph agrees on every case.
+	g := NewGraph()
+	g.AddObservation("u0", "h0")
+	g.AddObservation("u1", "h1")
+	if _, res := g.Match(nil); res != MatchNoEvidence {
+		t.Errorf("string graph nil probe: %v, want MatchNoEvidence", res)
+	}
+	if _, res := g.Match([]string{"nope", "also-nope"}); res != MatchNone {
+		t.Errorf("string graph unknown hashes: %v, want MatchNone", res)
+	}
+	for res, want := range map[MatchResult]string{
+		MatchNone: "none", MatchUnique: "unique",
+		MatchAmbiguous: "ambiguous", MatchNoEvidence: "no_evidence",
+		MatchResult(42): "invalid",
+	} {
+		if got := res.String(); got != want {
+			t.Errorf("MatchResult(%d).String() = %q, want %q", res, got, want)
+		}
 	}
 }
 

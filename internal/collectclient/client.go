@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/collectserver"
 	"repro/internal/obs"
+	"repro/internal/verify"
 )
 
 // Client talks to one collection server. Safe for concurrent use.
@@ -79,19 +80,26 @@ func New(baseURL string, opts ...Option) *Client {
 	return c
 }
 
-// idempotencyKey derives a batch key from the session token and the batch
-// content. Content-derived keys mean ANY resubmission of the same batch in
-// the same session — the in-request retry loop, but also an agent-level
-// retry after a garbled ack — replays the server's cached response instead
-// of double-storing. (Fingerprint records are content-identified, so two
-// identical batches in one session are by definition the same batch.)
-func idempotencyKey(token string, records []collectserver.FPRecord) string {
+// contentKey derives an idempotency key from a scope (session token, user
+// ID) and a payload's JSON content. Content-derived keys mean ANY
+// resubmission of the same payload in the same scope — the in-request
+// retry loop, but also an agent-level retry after a garbled ack — carries
+// the same key, so the server can replay the original outcome instead of
+// acting twice.
+func contentKey(scope string, payload any) string {
 	h := sha256.New()
-	h.Write([]byte(token))
+	h.Write([]byte(scope))
 	h.Write([]byte{0})
-	b, _ := json.Marshal(records)
+	b, _ := json.Marshal(payload)
 	h.Write(b)
 	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// idempotencyKey is the submission batch key. (Fingerprint records are
+// content-identified, so two identical batches in one session are by
+// definition the same batch.)
+func idempotencyKey(token string, records []collectserver.FPRecord) string {
+	return contentKey(token, records)
 }
 
 // Session is an authorized collection session.
@@ -313,8 +321,7 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 			retryAfter: ra,
 		}
 		// v1 envelope failure: lift out the stable code and human message.
-		var env collectserver.Envelope
-		if json.Unmarshal(msg, &env) == nil && env.Error != nil {
+		if env, ok := decodeEnvelope(msg); ok && env.Error != nil {
 			se.apiCode = env.Error.Code
 			se.body = env.Error.Message
 		}
@@ -324,6 +331,18 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 		return nil
 	}
 	return decodeBody(resp.Body, out)
+}
+
+// decodeEnvelope parses raw as a v1 envelope. ok is false when the body is
+// not an envelope at all — non-JSON error text, or a legacy (pre-envelope)
+// server's bare payload. Both the error path (once) and the success path
+// (decodeBody) branch on this one decoder, so envelope handling cannot
+// drift between them.
+func decodeEnvelope(raw []byte) (env collectserver.Envelope, ok bool) {
+	if json.Unmarshal(raw, &env) != nil {
+		return collectserver.Envelope{}, false
+	}
+	return env, env.Error != nil || env.Data != nil
 }
 
 // decodeBody unwraps a v1 success envelope {"data": ...} into out, falling
@@ -336,19 +355,35 @@ func decodeBody(r io.Reader, out any) error {
 	if err != nil {
 		return err
 	}
-	var env collectserver.Envelope
-	if json.Unmarshal(raw, &env) == nil {
+	if env, ok := decodeEnvelope(raw); ok {
 		if env.Error != nil {
 			// A 2xx with an error envelope is a server bug, but don't
 			// silently decode garbage into out.
 			return fmt.Errorf("collectclient: error envelope on success status: %s: %s",
 				env.Error.Code, env.Error.Message)
 		}
-		if env.Data != nil {
-			return json.Unmarshal(env.Data, out)
-		}
+		return json.Unmarshal(env.Data, out)
 	}
 	return json.Unmarshal(raw, out)
+}
+
+// Verify asks the server for an authentication decision: does this set of
+// elementary fingerprints vouch for the claimed user? Stable failure codes
+// surface through ErrorCode — "unknown_user" for a claim with no stored
+// history, "verify_disabled" against a server running without -verify.
+// The idempotency key reuses the submission scheme (content-derived, so a
+// retried request carries the same key); verification decisions are pure
+// functions of stored history, making the key advisory.
+func (c *Client) Verify(ctx context.Context, userID string, samples []collectserver.VerifySample) (*verify.Decision, error) {
+	req := collectserver.VerifyRequest{UserID: userID, Samples: samples}
+	if c.idempotency {
+		req.IdempotencyKey = contentKey(userID, samples)
+	}
+	var d verify.Decision
+	if err := c.do(ctx, http.MethodPost, "/api/v1/verify", req, &d); err != nil {
+		return nil, fmt.Errorf("collectclient: verify: %w", err)
+	}
+	return &d, nil
 }
 
 // Stats fetches the server's aggregate counters (/api/v1/stats).

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/collectserver"
 	"repro/internal/storage"
+	"repro/internal/verify"
 )
 
 // realServer spins up a genuine collectserver for end-to-end client tests.
@@ -333,5 +334,75 @@ func TestLegacyResponseShapes(t *testing.T) {
 	}
 	if got := ErrorCode(err); got != collectserver.CodeUnauthorized {
 		t.Errorf("v1 error code = %q, want %q", got, collectserver.CodeUnauthorized)
+	}
+}
+
+// TestVerifyEndToEnd drives the authentication path through the SDK:
+// enroll via Submit, then Verify a genuine claim, an impostor claim, and
+// the stable failure codes.
+func TestVerifyEndToEnd(t *testing.T) {
+	st, err := storage.Open(filepath.Join(t.TempDir(), "fp.ndjson"), storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := collectserver.New(collectserver.Config{
+		Store:    st,
+		Verifier: verify.New(verify.Config{}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); st.Close() })
+
+	c := New(ts.URL)
+	ctx := context.Background()
+	sess, err := c.StartSession(ctx, "alice", "UA/1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Submit(ctx, []collectserver.FPRecord{
+		{Vector: "DC", Iteration: 0, Hash: "aa11"},
+		{Vector: "FFT", Iteration: 0, Hash: "bb22"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	d, err := c.Verify(ctx, "alice", []collectserver.VerifySample{
+		{Vector: "DC", Hash: "aa11"}, {Vector: "FFT", Hash: "bb22"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Accept || d.Score != 1 {
+		t.Errorf("genuine decision = %+v", d)
+	}
+
+	d, err = c.Verify(ctx, "alice", []collectserver.VerifySample{
+		{Vector: "DC", Hash: "9999"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Accept || d.Score != 0 {
+		t.Errorf("impostor decision = %+v", d)
+	}
+
+	// Unknown user: a 404 with the stable code, not retried.
+	_, err = c.Verify(ctx, "mallory", []collectserver.VerifySample{{Vector: "DC", Hash: "aa11"}})
+	if ErrorCode(err) != "unknown_user" || StatusCode(err) != http.StatusNotFound {
+		t.Errorf("unknown user: code=%q status=%d err=%v", ErrorCode(err), StatusCode(err), err)
+	}
+}
+
+// TestVerifyDisabledCode: a server without -verify answers the stable
+// verify_disabled code through ErrorCode.
+func TestVerifyDisabledCode(t *testing.T) {
+	ts, _ := realServer(t)
+	c := New(ts.URL, WithRetries(0)) // 503 is retryable; don't wait it out
+	_, err := c.Verify(context.Background(), "alice",
+		[]collectserver.VerifySample{{Vector: "DC", Hash: "aa11"}})
+	if ErrorCode(err) != "verify_disabled" {
+		t.Errorf("disabled verify: code=%q err=%v", ErrorCode(err), err)
 	}
 }

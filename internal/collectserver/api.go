@@ -54,6 +54,10 @@ const (
 	// CodeUnknownMetric: /api/v1/obs/query for a metric the series store
 	// has never snapshotted.
 	CodeUnknownMetric = "unknown_metric"
+	// CodeUnknownUser: /api/v1/verify for a user with no stored history.
+	CodeUnknownUser = "unknown_user"
+	// CodeVerifyDisabled: /api/v1/verify without -verify.
+	CodeVerifyDisabled = "verify_disabled"
 	// CodeInternal: recovered panic or other unexpected failure.
 	CodeInternal = "internal"
 )

@@ -109,6 +109,20 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 	}
 }
 
+// verifyDecision records one verification decision's serving latency
+// against the SLO: the total and the slow-exceeding-slo counters feed the
+// watch verify-latency error-budget rule.
+func (m *serverMetrics) verifyDecision(dur, slo time.Duration) {
+	m.reg.Counter("fpserver_verify_requests_total",
+		"Verification decisions served.", nil).Inc()
+	if dur > slo {
+		m.reg.Counter("fpserver_verify_slow_total",
+			"Verification decisions slower than the configured SLO.", nil).Inc()
+	}
+	m.reg.Histogram("fpserver_verify_duration_seconds",
+		"Verification decision latency.", obs.LatencyBuckets(), nil).Observe(dur.Seconds())
+}
+
 // shed counts one load-shed request by reason ("overload" = in-flight cap,
 // "rate" = per-IP submission token bucket).
 func (m *serverMetrics) shed(reason string) {
@@ -135,16 +149,11 @@ func (m *serverMetrics) request(route string, code int, dur time.Duration, size 
 }
 
 // routeLabel maps a request path to a bounded-cardinality route label so
-// arbitrary client paths cannot mint unbounded metric series.
+// arbitrary client paths cannot mint unbounded metric series. The label
+// set is derived from the route table (routes.go), so newly registered
+// routes label themselves.
 func routeLabel(path string) string {
-	switch path {
-	case "/healthz", "/metrics",
-		"/api/v1/study", "/api/v1/sessions", "/api/v1/fingerprints",
-		"/api/v1/stats", "/api/v1/export",
-		"/api/v1/analytics/entropy", "/api/v1/analytics/clusters",
-		"/api/v1/analytics/stability", "/api/v1/analytics/ami",
-		"/api/v1/analytics/status", "/api/v1/analytics/alerts",
-		"/debug/health":
+	if _, ok := knownRoutePaths[path]; ok {
 		return path
 	}
 	return "other"

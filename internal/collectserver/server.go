@@ -4,19 +4,19 @@
 // elementary fingerprints, and exports the dataset for analysis.
 //
 // API (JSON over HTTP; every /api/v1 route speaks the typed envelope of
-// api.go and carries X-API-Version):
+// api.go and carries X-API-Version). The authoritative, machine-readable
+// surface is the route table in routes.go, served live at GET /api/v1;
+// the highlights:
 //
-//	GET  /healthz                    liveness (unversioned)
+//	GET  /api/v1                     route catalog (methods, features, error codes)
 //	GET  /api/v1/study               study metadata + consent text
 //	POST /api/v1/sessions            begin a session (consent click) → token
 //	POST /api/v1/fingerprints        submit a batch (session token required)
+//	POST /api/v1/verify              authentication decision for a claimed user
 //	GET  /api/v1/stats               record counts, ?vector= filterable
 //	GET  /api/v1/export              NDJSON dump (admin token required)
-//	GET  /api/v1/analytics/entropy   live diversity rows (streaming engine)
-//	GET  /api/v1/analytics/clusters  live per-vector collation statistics
-//	GET  /api/v1/analytics/stability live distinct-per-user rows
-//	GET  /api/v1/analytics/ami       pairwise-AMI snapshot
-//	GET  /api/v1/analytics/status    engine ingestion position
+//	GET  /api/v1/analytics/*         live analytics snapshots (streaming engine)
+//	GET  /api/v1/analytics/verify    verification decision counters + calibration
 package collectserver
 
 import (
@@ -39,6 +39,7 @@ import (
 	"repro/internal/storage"
 	"repro/internal/streaming"
 	"repro/internal/vectors"
+	"repro/internal/verify"
 	"repro/internal/watch"
 )
 
@@ -132,6 +133,26 @@ type Config struct {
 	// RenderAudit, when set, backs GET /debug/render/divergence with the
 	// shadow auditor's flight-record dump.
 	RenderAudit *vectors.ShadowAuditor
+	// Verifier, when set, turns on the authentication surface: accepted
+	// submissions are enrolled into it and POST /api/v1/verify answers
+	// decisions from it. Nil keeps the routes registered but answering the
+	// stable verify_disabled code. Concrete implementations: *verify.Engine
+	// (single) and *shard.Verifiers (the claimed user pins the owning
+	// shard, so decisions are identical either way). As with Store, assign
+	// only a non-nil concrete value.
+	Verifier Verifier
+	// VerifySLO is the decision-latency objective: verifications slower
+	// than this increment fpserver_verify_slow_total, which the watch
+	// verify-latency error-budget rule burns against (default 100ms).
+	VerifySLO time.Duration
+}
+
+// Verifier is the authentication decision plane behind POST /api/v1/verify:
+// a single verify.Engine or the sharded shard.Verifiers.
+type Verifier interface {
+	Enroll(recs []storage.Record)
+	Verify(userID string, samples []verify.Sample) (verify.Decision, error)
+	Stats() verify.StatsSnapshot
 }
 
 // Server is the collection backend. Create with New, mount via Handler.
@@ -214,6 +235,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.IdempotencyWindow <= 0 {
 		cfg.IdempotencyWindow = 512
 	}
+	if cfg.VerifySLO == 0 {
+		cfg.VerifySLO = 100 * time.Millisecond
+	}
 	srv := &Server{cfg: cfg, sessions: make(map[string]*session)}
 	srv.limiter = newRateLimiter(cfg.SessionRatePerMin/60, cfg.SessionRatePerMin, cfg.Now)
 	srv.submitLimiter = newRateLimiter(cfg.SubmitRatePerSec, 2*cfg.SubmitRatePerSec, cfg.Now)
@@ -224,26 +248,16 @@ func New(cfg Config) (*Server, error) {
 	return srv, nil
 }
 
-// Handler returns the server's HTTP routes.
+// Handler returns the server's HTTP routes, registered from the route
+// table in routes.go — the same table GET /api/v1 serves as the catalog.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /api/v1/study", s.handleStudy)
-	mux.HandleFunc("POST /api/v1/sessions", s.handleNewSession)
-	mux.HandleFunc("POST /api/v1/fingerprints", s.handleSubmit)
-	mux.HandleFunc("GET /api/v1/stats", s.handleStats)
-	mux.HandleFunc("GET /api/v1/export", s.handleExport)
-	mux.HandleFunc("GET /api/v1/analytics/entropy", s.handleAnalyticsEntropy)
-	mux.HandleFunc("GET /api/v1/analytics/clusters", s.handleAnalyticsClusters)
-	mux.HandleFunc("GET /api/v1/analytics/stability", s.handleAnalyticsStability)
-	mux.HandleFunc("GET /api/v1/analytics/ami", s.handleAnalyticsAMI)
-	mux.HandleFunc("GET /api/v1/analytics/status", s.handleAnalyticsStatus)
-	mux.HandleFunc("GET /api/v1/analytics/alerts", s.handleAnalyticsAlerts)
-	mux.HandleFunc("GET /api/v1/obs/query", s.handleObsQuery)
-	mux.HandleFunc("GET /api/v1/obs/series", s.handleObsSeries)
-	mux.HandleFunc("GET /debug/render/divergence", s.handleRenderDivergence)
-	mux.HandleFunc("GET /debug/health", s.handleDebugHealth)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	for _, rt := range routeTable() {
+		h := rt.handler
+		mux.HandleFunc(rt.Method+" "+rt.Path, func(w http.ResponseWriter, r *http.Request) {
+			h(s, w, r)
+		})
+	}
 	if s.cfg.EnableDebug {
 		obs.RegisterDebug(mux)
 	}
@@ -508,10 +522,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.cfg.Analytics != nil {
 		// Off the critical path: hand the batch to the engine's bounded
-		// queue. recs is not retained by anything else past this point.
-		// The context carries the ingest span, so a trace-configured
+		// queue. The context carries the ingest span, so a trace-configured
 		// engine stitches its async apply onto this request's trace.
 		s.cfg.Analytics.EnqueueContext(ctx, recs)
+	}
+	if s.cfg.Verifier != nil {
+		// Enrollment keeps the verification history in lockstep with the
+		// store: every accepted audio-vector record extends the user's
+		// collated history (the engine skips auxiliary surfaces itself).
+		// Neither consumer mutates recs, so sharing the slice is safe.
+		s.cfg.Verifier.Enroll(recs)
 	}
 	ingest.SetAttr("accepted", len(recs))
 	resp := SubmitResponse{Accepted: len(recs), Total: total}
@@ -537,10 +557,16 @@ func validateFPRecord(fr FPRecord, maxIter int) error {
 	if fr.Iteration < 0 || fr.Iteration >= maxIter {
 		return fmt.Errorf("iteration %d out of range [0,%d)", fr.Iteration, maxIter)
 	}
-	if len(fr.Hash) == 0 || len(fr.Hash) > 128 {
-		return fmt.Errorf("hash length %d out of range", len(fr.Hash))
+	return validateHash(fr.Hash)
+}
+
+// validateHash enforces the wire hash format shared by submission and
+// verification: nonempty lowercase hex, at most 128 characters.
+func validateHash(hash string) error {
+	if len(hash) == 0 || len(hash) > 128 {
+		return fmt.Errorf("hash length %d out of range", len(hash))
 	}
-	for _, c := range fr.Hash {
+	for _, c := range hash {
 		if !strings.ContainsRune("0123456789abcdef", c) {
 			return fmt.Errorf("hash is not lowercase hex")
 		}

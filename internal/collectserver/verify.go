@@ -1,0 +1,110 @@
+package collectserver
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/vectors"
+	"repro/internal/verify"
+)
+
+// Verification routes: the authentication surface over the collected
+// fingerprint history. POST /api/v1/verify answers whether a submitted set
+// of elementary fingerprints vouches for a claimed user;
+// GET /api/v1/analytics/verify serves the engine's decision counters and
+// the offline calibration backing its threshold. Without -verify both stay
+// registered and answer the stable verify_disabled code.
+
+// VerifySample is the wire form of one submitted elementary fingerprint.
+type VerifySample struct {
+	Vector string `json:"vector"`
+	Hash   string `json:"hash"`
+}
+
+// VerifyRequest is the payload of POST /api/v1/verify. Unlike submission,
+// no session token is required: verification is the login path, and the
+// claimed user is the subject, not an authenticated caller.
+// IdempotencyKey is accepted for client symmetry with submission but is
+// advisory — a decision is a pure function of the stored history, so a
+// retried request recomputes the same verdict.
+type VerifyRequest struct {
+	UserID         string         `json:"user_id"`
+	Samples        []VerifySample `json:"samples"`
+	IdempotencyKey string         `json:"idempotency_key,omitempty"`
+}
+
+// verifierEngine returns the configured verifier or answers 503 and false.
+func (s *Server) verifierEngine(w http.ResponseWriter) bool {
+	if s.cfg.Verifier == nil {
+		respondError(w, http.StatusServiceUnavailable, CodeVerifyDisabled,
+			"verification not enabled; start the server with -verify")
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	if !s.verifierEngine(w) {
+		return
+	}
+	var req VerifyRequest
+	if err := decodeJSON(r, &req); err != nil {
+		respondError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	if req.UserID == "" {
+		respondError(w, http.StatusBadRequest, CodeBadRequest, "user_id is required")
+		return
+	}
+	if len(req.Samples) == 0 {
+		respondError(w, http.StatusBadRequest, CodeBadRequest, "at least one sample is required")
+		return
+	}
+	if len(req.Samples) > s.cfg.MaxBatch {
+		respondError(w, http.StatusRequestEntityTooLarge, CodeBatchTooLarge,
+			fmt.Sprintf("batch of %d exceeds limit %d", len(req.Samples), s.cfg.MaxBatch))
+		return
+	}
+	samples := make([]verify.Sample, 0, len(req.Samples))
+	for i, vs := range req.Samples {
+		v, err := vectors.ParseID(vs.Vector)
+		if err != nil {
+			respondError(w, http.StatusUnprocessableEntity, CodeInvalidRecord,
+				fmt.Sprintf("sample %d: unknown vector %q", i, vs.Vector))
+			return
+		}
+		if err := validateHash(vs.Hash); err != nil {
+			respondError(w, http.StatusUnprocessableEntity, CodeInvalidRecord,
+				fmt.Sprintf("sample %d: %v", i, err))
+			return
+		}
+		samples = append(samples, verify.Sample{Vector: v, Hash: vs.Hash})
+	}
+
+	// Latency accounting uses the wall clock, not the test-overridable
+	// cfg.Now: the SLO guards real serving time.
+	start := time.Now()
+	d, err := s.cfg.Verifier.Verify(req.UserID, samples)
+	s.met.verifyDecision(time.Since(start), s.cfg.VerifySLO)
+	if err != nil {
+		if errors.Is(err, verify.ErrUnknownUser) {
+			respondError(w, http.StatusNotFound, CodeUnknownUser,
+				fmt.Sprintf("no stored history for user %q", req.UserID))
+			return
+		}
+		respondError(w, http.StatusInternalServerError, CodeInternal, "verification failure")
+		return
+	}
+	respondJSON(w, http.StatusOK, d)
+}
+
+// handleAnalyticsVerify serves the verifier's decision counters, active
+// threshold and (when loaded) the offline FAR/FRR calibration.
+func (s *Server) handleAnalyticsVerify(w http.ResponseWriter, _ *http.Request) {
+	if !s.verifierEngine(w) {
+		return
+	}
+	respondJSON(w, http.StatusOK, s.cfg.Verifier.Stats())
+}

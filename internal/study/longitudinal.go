@@ -2,11 +2,8 @@ package study
 
 import (
 	"fmt"
-	"math/rand"
 
 	"repro/internal/collate"
-	"repro/internal/platform"
-	"repro/internal/population"
 	"repro/internal/vectors"
 )
 
@@ -57,79 +54,53 @@ func (r LongitudinalResult) String() string {
 		r.Users, r.Epochs, r.Upgrades, r.FingerprintShifts, r.MeanAccuracy)
 }
 
-// Longitudinal runs the simulation.
+// Longitudinal runs the simulation: it builds the evolved dataset (see
+// BuildEvolved) and replays it through a collation graph, measuring how
+// often the tracker re-identifies each user against the history recorded
+// so far.
 func Longitudinal(cfg LongitudinalConfig) (LongitudinalResult, error) {
 	if cfg.Users <= 0 || cfg.Epochs < 2 {
 		return LongitudinalResult{}, fmt.Errorf("study: need ≥1 user and ≥2 epochs (got %d, %d)",
 			cfg.Users, cfg.Epochs)
 	}
-	if cfg.SamplesPerEpoch <= 0 {
-		cfg.SamplesPerEpoch = 3
-	}
 	if cfg.Vector == 0 {
 		cfg.Vector = vectors.Hybrid
 	}
-
-	devs := population.Sample(population.Config{Seed: cfg.Seed, N: cfg.Users})
-	jitter := platform.DefaultJitter()
-	cache := vectors.NewCache()
-	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x4c4f4e47))
-
-	res := LongitudinalResult{Users: cfg.Users, Epochs: cfg.Epochs}
-	graph := collate.NewGraph()
-
-	collect := func(d *platform.Device) ([]string, error) {
-		runner := vectors.NewRunner(d.AudioTraits(), d.SampleRate)
-		stack := d.AudioStackKey()
-		out := make([]string, cfg.SamplesPerEpoch)
-		for i := range out {
-			fp, err := cache.Run(stack, runner, cfg.Vector, jitter.Offset(rng, d.Load, cfg.Vector))
-			if err != nil {
-				return nil, err
-			}
-			out[i] = fp.Hash
-		}
-		return out, nil
+	ev, err := BuildEvolved(EvolvedConfig{LongitudinalConfig: cfg})
+	if err != nil {
+		return LongitudinalResult{}, err
 	}
+
+	res := LongitudinalResult{
+		Users:             cfg.Users,
+		Epochs:            cfg.Epochs,
+		Upgrades:          ev.Upgrades,
+		FingerprintShifts: ev.FingerprintShifts,
+	}
+	graph := collate.NewGraph()
+	obs := ev.Obs[cfg.Vector]
 
 	// Epoch 0: enrollment.
-	for _, d := range devs {
-		hashes, err := collect(d)
-		if err != nil {
-			return res, err
-		}
-		for _, h := range hashes {
-			graph.AddObservation(d.ID, h)
+	for u, user := range ev.Users {
+		for _, h := range obs[0][u] {
+			graph.AddObservation(user, h)
 		}
 	}
-
 	for e := 1; e < cfg.Epochs; e++ {
 		correct := 0
-		for _, d := range devs {
-			// Possible browser upgrade between epochs.
-			if rng.Float64() < cfg.UpgradeProb {
-				res.Upgrades++
-				before := d.AudioStackKey()
-				d.Major++
-				if after := d.AudioStackKey(); after != before {
-					res.FingerprintShifts++
-				}
-			}
-			hashes, err := collect(d)
-			if err != nil {
-				return res, err
-			}
-			want, known := graph.ClusterOf(d.ID)
+		for u, user := range ev.Users {
+			hashes := obs[e][u]
+			want, known := graph.ClusterOf(user)
 			got, m := graph.Match(hashes)
 			if known && m == collate.MatchUnique && got == want {
 				correct++
 			}
 			// The tracker records what it saw regardless.
 			for _, h := range hashes {
-				graph.AddObservation(d.ID, h)
+				graph.AddObservation(user, h)
 			}
 		}
-		res.EpochAccuracy = append(res.EpochAccuracy, float64(correct)/float64(len(devs)))
+		res.EpochAccuracy = append(res.EpochAccuracy, float64(correct)/float64(len(ev.Users)))
 	}
 	var sum float64
 	for _, a := range res.EpochAccuracy {

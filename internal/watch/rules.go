@@ -147,5 +147,17 @@ func DefaultRules() []Rule {
 			Name: "render-divergence",
 			Kind: KindRenderDivergence,
 		},
+		{
+			// Burn-rate alert over the verification decision latency SLO:
+			// fpserver increments the slow counter for every decision served
+			// over Config.VerifySLO, so a sustained slow fraction above 1%
+			// (SLO 0.99) burns the budget and fires. Inert without -verify —
+			// both series then stay absent and the rule never breaches.
+			Name:        "verify-latency",
+			Kind:        KindErrorBudget,
+			ErrorMetric: "fpserver_verify_slow_total",
+			TotalMetric: "fpserver_verify_requests_total",
+			SLO:         0.99,
+		},
 	}
 }
