@@ -30,7 +30,7 @@ test-short:
 # report-only bench-gate comparison against the committed render trajectory
 # (shared CI runners are too noisy to enforce here; nightly enforces).
 check: build vet
-	$(GO) test -race ./internal/obs/ ./internal/obs/series/ ./internal/watch/ ./internal/webaudio/
+	$(GO) test -race ./internal/obs/ ./internal/obs/series/ ./internal/watch/ ./internal/webaudio/ ./internal/diag/
 	$(GO) test -race ./internal/shard/
 	$(GO) test -race ./internal/...
 	$(GO) test ./...

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/collectclient"
 	"repro/internal/collectserver"
+	"repro/internal/diag"
 	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/platform"
@@ -74,6 +75,10 @@ func run(ctx context.Context, args []string, errw io.Writer) error {
 		}
 		defer exporter.Close()
 		logger.Printf("telemetry export to %s", *export)
+		// runtime_* gauges land in the exported metrics snapshots.
+		sampler := diag.NewSampler(diag.SamplerConfig{Registry: obs.Default})
+		sampler.Start()
+		defer sampler.Close()
 	}
 
 	cfg := population.Config{Seed: *seed, N: *users}

@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/diag"
 	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/study"
@@ -77,6 +78,12 @@ func run(runCtx context.Context, args []string, outw, errw io.Writer) error {
 				logger.Printf("pprof server: %v", err)
 			}
 		}()
+	}
+	if *pprofAddr != "" || *export != "" {
+		// runtime_* gauges for whoever is watching the telemetry.
+		sampler := diag.NewSampler(diag.SamplerConfig{Registry: obs.Default})
+		sampler.Start()
+		defer sampler.Close()
 	}
 	var exporter *obs.Exporter
 	if *export != "" {

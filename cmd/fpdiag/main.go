@@ -1,0 +1,200 @@
+// Command fpdiag inspects the diagnostic bundles a -diag fpserver (or a
+// manual POST /api/v1/obs/bundles) captured: list the ring, show one
+// bundle's manifest and heap top-N, and diff the heap between two bundles
+// to see what grew between captures.
+//
+// Usage:
+//
+//	fpdiag [-dir diag] list
+//	fpdiag [-dir diag] show <bundle-id> [-top 10]
+//	fpdiag [-dir diag] diff <bundle-a> <bundle-b> [-top 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"text/tabwriter"
+
+	"repro/internal/diag"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "fpdiag:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the CLI behind a testable seam.
+func run(args []string, out, errw io.Writer) error {
+	fs := flag.NewFlagSet("fpdiag", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	dir := fs.String("dir", "diag", "bundle ring directory (fpserver's -diag-dir)")
+	top := fs.Int("top", 10, "rows in heap top-N tables (show/diff)")
+	fs.Usage = func() {
+		fmt.Fprintln(errw, "usage: fpdiag [-dir DIR] [-top N] <list | show ID | diff A B>")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch cmd, rest := fs.Arg(0), fs.Args(); cmd {
+	case "list":
+		return runList(out, *dir)
+	case "show":
+		if len(rest) != 2 {
+			return fmt.Errorf("show wants exactly one bundle ID, got %d args", len(rest)-1)
+		}
+		return runShow(out, *dir, rest[1], *top)
+	case "diff":
+		if len(rest) != 3 {
+			return fmt.Errorf("diff wants exactly two bundle IDs, got %d args", len(rest)-1)
+		}
+		return runDiff(out, *dir, rest[1], rest[2], *top)
+	case "":
+		fs.Usage()
+		return fmt.Errorf("a command is required")
+	default:
+		return fmt.Errorf("unknown command %q (want list, show or diff)", cmd)
+	}
+}
+
+func runList(out io.Writer, dir string) error {
+	mans, err := diag.ListBundles(dir)
+	if err != nil {
+		return err
+	}
+	if len(mans) == 0 {
+		fmt.Fprintf(out, "no bundles under %s\n", dir)
+		return nil
+	}
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "ID\tCAPTURED\tREASON\tRULE\tFILES\tBYTES")
+	for _, m := range mans {
+		rule := m.Rule
+		if rule == "" {
+			rule = "-"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%d\t%d\n",
+			m.ID, m.CapturedAt.Format("2006-01-02 15:04:05Z"), m.Reason, rule,
+			len(m.Files), m.TotalBytes)
+	}
+	return tw.Flush()
+}
+
+func runShow(out io.Writer, dir, id string, top int) error {
+	m, err := diag.ReadManifest(dir, id)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "bundle %s\n", m.ID)
+	fmt.Fprintf(out, "  captured: %s  reason: %s\n", m.CapturedAt.Format("2006-01-02 15:04:05Z"), m.Reason)
+	if m.Rule != "" {
+		fmt.Fprintf(out, "  rule: %s\n", m.Rule)
+	}
+	if m.Alert != nil {
+		fmt.Fprintf(out, "  alert: %s value=%.4f threshold=%.4f at record %d\n",
+			m.Alert.State, m.Alert.Value, m.Alert.Threshold, m.Alert.FiredAtRecords)
+		if m.Alert.Message != "" {
+			fmt.Fprintf(out, "  message: %s\n", m.Alert.Message)
+		}
+	}
+	fmt.Fprintf(out, "  go: %s  pid: %d", m.GoVersion, m.PID)
+	if m.Hostname != "" {
+		fmt.Fprintf(out, "  host: %s", m.Hostname)
+	}
+	fmt.Fprintln(out)
+	if m.Runtime != nil {
+		fmt.Fprintf(out, "  runtime: goroutines=%d heap_inuse=%d last_gc_pause=%.6fs\n",
+			m.Runtime.Goroutines, m.Runtime.HeapInuseBytes, m.Runtime.LastGCPauseSeconds)
+	}
+	if len(m.Shards) > 0 {
+		fmt.Fprintf(out, "  shards: %d (ingest skew %.2f)\n", len(m.Shards), m.ShardSkew)
+	}
+	fmt.Fprintf(out, "  files (%d bytes total):\n", m.TotalBytes)
+	for _, f := range m.Files {
+		fmt.Fprintf(out, "    %-16s %d\n", f.Name, f.Bytes)
+	}
+
+	heap, err := readHeapProfile(dir, id)
+	if err != nil {
+		fmt.Fprintf(out, "  heap profile unreadable: %v\n", err)
+		return nil
+	}
+	fmt.Fprintf(out, "  heap inuse_space top %d by function:\n", top)
+	tw := tabwriter.NewWriter(out, 4, 4, 2, ' ', 0)
+	for _, ft := range diag.TopByType(heap, "inuse_space", top) {
+		fmt.Fprintf(tw, "    %d\t%s\n", ft.Value, ft.Func)
+	}
+	return tw.Flush()
+}
+
+// runDiff prints the per-function inuse_space delta between bundle a
+// (before) and bundle b (after), largest absolute change first — "what
+// grew between these two captures".
+func runDiff(out io.Writer, dir, a, b string, top int) error {
+	before, err := readHeapProfile(dir, a)
+	if err != nil {
+		return fmt.Errorf("bundle %s: %w", a, err)
+	}
+	after, err := readHeapProfile(dir, b)
+	if err != nil {
+		return fmt.Errorf("bundle %s: %w", b, err)
+	}
+	delta := map[string]int64{}
+	for _, ft := range diag.TopByType(before, "inuse_space", 0) {
+		delta[ft.Func] -= ft.Value
+	}
+	for _, ft := range diag.TopByType(after, "inuse_space", 0) {
+		delta[ft.Func] += ft.Value
+	}
+	rows := make([]diag.FuncTotal, 0, len(delta))
+	for f, v := range delta {
+		if v != 0 {
+			rows = append(rows, diag.FuncTotal{Func: f, Value: v})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		ai, aj := abs(rows[i].Value), abs(rows[j].Value)
+		if ai != aj {
+			return ai > aj
+		}
+		return rows[i].Func < rows[j].Func
+	})
+	if top > 0 && len(rows) > top {
+		rows = rows[:top]
+	}
+	fmt.Fprintf(out, "heap inuse_space delta %s -> %s (top %d by |change|):\n", a, b, top)
+	if len(rows) == 0 {
+		fmt.Fprintln(out, "  no per-function changes")
+		return nil
+	}
+	tw := tabwriter.NewWriter(out, 4, 4, 2, ' ', 0)
+	for _, r := range rows {
+		fmt.Fprintf(tw, "  %+d\t%s\n", r.Value, r.Func)
+	}
+	return tw.Flush()
+}
+
+func readHeapProfile(dir, id string) (*diag.Profile, error) {
+	if !diag.ValidBundleID(id) {
+		return nil, diag.ErrUnknownBundle
+	}
+	f, err := os.Open(filepath.Join(dir, id, diag.FileHeap))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return diag.ParsePprof(f)
+}
+
+func abs(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

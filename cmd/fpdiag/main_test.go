@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/diag"
+	"repro/internal/obs"
+)
+
+// fpdiagSink retains allocations between the two captures so the heap
+// diff has a real per-function delta to report.
+var fpdiagSink [][]byte
+
+//go:noinline
+func retainForDiff(mb int) {
+	for i := 0; i < mb; i++ {
+		fpdiagSink = append(fpdiagSink, make([]byte, 1<<20))
+	}
+}
+
+// TestFpdiagListShowDiff captures two real bundles and drives every
+// subcommand through the run() seam.
+func TestFpdiagListShowDiff(t *testing.T) {
+	dir := t.TempDir()
+	capt, err := diag.NewCapturer(diag.CaptureConfig{
+		Dir:      dir,
+		Registry: obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	first, err := capt.Capture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	retainForDiff(6)
+	defer func() { fpdiagSink = nil }()
+	runtime.GC() // heap profiles report post-GC live data
+	second, err := capt.Capture()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := run([]string{"-dir", dir, "list"}, &out, &out); err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	text := out.String()
+	for _, want := range []string{"ID", first.ID, second.ID, diag.ReasonManual} {
+		if !strings.Contains(text, want) {
+			t.Errorf("list output missing %q:\n%s", want, text)
+		}
+	}
+
+	out.Reset()
+	if err := run([]string{"-dir", dir, "show", second.ID}, &out, &out); err != nil {
+		t.Fatalf("show: %v", err)
+	}
+	text = out.String()
+	for _, want := range []string{
+		"bundle " + second.ID,
+		diag.FileHeap,
+		diag.FileGoroutines,
+		"heap inuse_space top",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("show output missing %q:\n%s", want, text)
+		}
+	}
+
+	out.Reset()
+	if err := run([]string{"-dir", dir, "diff", first.ID, second.ID}, &out, &out); err != nil {
+		t.Fatalf("diff: %v", err)
+	}
+	text = out.String()
+	if !strings.Contains(text, "heap inuse_space delta") {
+		t.Errorf("diff output missing header:\n%s", text)
+	}
+	// The retained megabytes must show up as growth attributed to the
+	// retaining function.
+	if !strings.Contains(text, "retainForDiff") {
+		t.Errorf("diff output does not attribute growth to retainForDiff:\n%s", text)
+	}
+
+	// Error paths: unknown command, missing args, unknown bundle.
+	if err := run([]string{"-dir", dir, "bogus"}, &out, &out); err == nil {
+		t.Error("unknown command did not error")
+	}
+	if err := run([]string{"-dir", dir, "show"}, &out, &out); err == nil {
+		t.Error("show without ID did not error")
+	}
+	if err := run([]string{"-dir", dir, "diff", first.ID, "nope"}, &out, &out); err == nil {
+		t.Error("diff with unknown bundle did not error")
+	}
+	if err := run([]string{"-dir", dir}, &out, &out); err == nil {
+		t.Error("missing command did not error")
+	}
+}

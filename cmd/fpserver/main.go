@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/collectserver"
+	"repro/internal/diag"
 	"repro/internal/obs"
 	"repro/internal/obs/series"
 	"repro/internal/shard"
@@ -96,11 +97,22 @@ func run(ctx context.Context, args []string, errw io.Writer) error {
 		verifyFlag = fs.Bool("verify", false, "serve authentication decisions on POST /api/v1/verify (history bootstrapped from the store, kept current by accepted submissions)")
 		verifyThr  = fs.Float64("verify-threshold", 0, "accept threshold override in (0,1]; 0 takes the calibration's EER threshold, else the built-in default (with -verify)")
 		verifyCal  = fs.String("verify-calibration", "", "calibration JSON from 'fpstudy -verify-sweep' supplying the threshold and served on /api/v1/analytics/verify (with -verify)")
+		diagFlag   = fs.Bool("diag", false, "capture diagnostic bundles (goroutines, heap, metrics, series window) when a watch alert fires, and on demand via POST /api/v1/obs/bundles")
+		diagDir    = fs.String("diag-dir", "diag", "bundle ring directory (with -diag)")
+		diagCPU    = fs.Int("diag-cpu-seconds", 0, "also record a CPU profile of this many seconds per bundle (with -diag; 0 disables)")
+		diagCool   = fs.Duration("diag-cooldown", 10*time.Minute, "minimum gap between alert-triggered captures of the same rule (with -diag)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	logger := log.New(errw, "fpserver ", log.LstdFlags|log.Lmsgprefix)
+
+	// The runtime sampler is always on: runtime_* gauges cost one
+	// runtime/metrics read per interval and feed /metrics, /debug/health,
+	// -series retention, and diagnostic bundles.
+	sampler := diag.NewSampler(diag.SamplerConfig{Registry: obs.Default})
+	sampler.Start()
+	defer sampler.Close()
 
 	var err error
 	if *shards < 1 {
@@ -269,6 +281,34 @@ func run(ctx context.Context, args []string, errw io.Writer) error {
 		logger.Printf("watch monitor running %d rules", len(watch.DefaultRules()))
 	}
 
+	var capt *diag.Capturer
+	if *diagFlag {
+		dcfg := diag.CaptureConfig{
+			Dir:        *diagDir,
+			CPUSeconds: *diagCPU,
+			Cooldown:   *diagCool,
+			Registry:   obs.Default,
+			Series:     ts,
+			Sampler:    sampler,
+			Logger:     obs.NewLogger(obs.LogConfig{W: errw, Component: "diag"}),
+		}
+		if mon != nil {
+			dcfg.Alerts = mon.Snapshot
+			dcfg.RuleLookup = mon.RuleByName
+		}
+		capt, err = diag.NewCapturer(dcfg)
+		if err != nil {
+			return err
+		}
+		defer capt.Flush() // let an in-flight alert capture finish writing
+		if mon != nil {
+			mon.SetTransitionHook(capt.OnTransition)
+		}
+		logger.Printf("diag bundles to %s (cooldown %v, cpu %ds)", *diagDir, *diagCool, *diagCPU)
+	} else if *diagCPU != 0 {
+		return errors.New("-diag-cpu-seconds requires -diag")
+	}
+
 	srvCfg := collectserver.Config{
 		Store:             store,
 		AdminToken:        *adminToken,
@@ -282,6 +322,8 @@ func run(ctx context.Context, args []string, errw io.Writer) error {
 		Watch:             mon,
 		Series:            ts,
 		Verifier:          verifier, // nil interface without -verify (typed-nil-safe)
+		Diag:              capt,
+		Runtime:           sampler,
 	}
 	if exporter != nil {
 		srvCfg.Trace = exporter

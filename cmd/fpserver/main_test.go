@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -94,17 +95,37 @@ func TestRunSmoke(t *testing.T) {
 	}
 }
 
+// syncBuf is a mutex-guarded log buffer: tests read it while the server
+// goroutine is still logging (e.g. right after startServer returns, before
+// the "listening on" line lands).
+type syncBuf struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuf) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
 // startServer boots run() on an ephemeral port with the given extra flags
 // and returns the base URL, the log buffer, a cancel func, and the done
 // channel carrying run's error.
-func startServer(t *testing.T, store string, extra ...string) (string, *bytes.Buffer, context.CancelFunc, chan error) {
+func startServer(t *testing.T, store string, extra ...string) (string, *syncBuf, context.CancelFunc, chan error) {
 	t.Helper()
 	addrCh := make(chan net.Addr, 1)
 	onListen = func(a net.Addr) { addrCh <- a }
 	t.Cleanup(func() { onListen = nil })
 
 	ctx, cancel := context.WithCancel(context.Background())
-	logs := &bytes.Buffer{}
+	logs := &syncBuf{}
 	done := make(chan error, 1)
 	args := append([]string{"-addr", "127.0.0.1:0", "-store", store}, extra...)
 	go func() { done <- run(ctx, args, logs) }()

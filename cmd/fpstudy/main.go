@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/diag"
 	"repro/internal/obs"
 	"repro/internal/population"
 	"repro/internal/storage"
@@ -89,6 +90,12 @@ func run(runCtx context.Context, args []string, outw, errw io.Writer) error {
 				logger.Printf("pprof server: %v", err)
 			}
 		}()
+	}
+	if *pprofAddr != "" || *export != "" {
+		// runtime_* gauges for whoever is watching the telemetry.
+		sampler := diag.NewSampler(diag.SamplerConfig{Registry: obs.Default})
+		sampler.Start()
+		defer sampler.Close()
 	}
 
 	var exporter *obs.Exporter

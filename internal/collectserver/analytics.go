@@ -79,12 +79,20 @@ func (s *Server) handleAnalyticsAlerts(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleDebugHealth serves the plain-text measurement-health verdict —
-// grep-able from a shell, no JSON tooling required.
+// grep-able from a shell, no JSON tooling required. When a runtime sampler
+// is attached a resources section follows the watch verdict.
 func (s *Server) handleDebugHealth(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if s.cfg.Watch == nil {
 		fmt.Fprintln(w, "status: watch disabled")
+	} else {
+		fmt.Fprint(w, s.cfg.Watch.HealthText())
+	}
+	if s.cfg.Runtime == nil {
 		return
 	}
-	fmt.Fprint(w, s.cfg.Watch.HealthText())
+	s.cfg.Runtime.Sample()
+	st := s.cfg.Runtime.Stats()
+	fmt.Fprintf(w, "runtime goroutines: %d\nruntime heap_inuse_bytes: %d\nruntime last_gc_pause_seconds: %.6f\nruntime gc_pause_p99_seconds: %.6f\nruntime gomaxprocs: %d\n",
+		st.Goroutines, st.HeapInuseBytes, st.LastGCPauseSeconds, st.GCPauseP99Seconds, st.GOMAXPROCS)
 }

@@ -54,6 +54,11 @@ const (
 	// CodeUnknownMetric: /api/v1/obs/query for a metric the series store
 	// has never snapshotted.
 	CodeUnknownMetric = "unknown_metric"
+	// CodeDiagDisabled: /api/v1/obs/bundles without -diag.
+	CodeDiagDisabled = "diag_disabled"
+	// CodeUnknownBundle: /api/v1/obs/bundles/{id} for a bundle that is not
+	// (or is no longer, after ring eviction) on disk.
+	CodeUnknownBundle = "unknown_bundle"
 	// CodeUnknownUser: /api/v1/verify for a user with no stored history.
 	CodeUnknownUser = "unknown_user"
 	// CodeVerifyDisabled: /api/v1/verify without -verify.

@@ -1,0 +1,126 @@
+package collectserver
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/diag"
+)
+
+// Diagnostic-bundle routes: the HTTP surface over the diag.Capturer's
+// on-disk ring. Like the other feature-gated routes, they stay registered
+// without -diag and answer the stable diag_disabled code.
+
+// diagCapturer returns true when the capturer is configured, else answers
+// 503 with the stable diag_disabled code.
+func (s *Server) diagCapturer(w http.ResponseWriter) bool {
+	if s.cfg.Diag == nil {
+		respondError(w, http.StatusServiceUnavailable, CodeDiagDisabled,
+			"diagnostic captures not enabled; start the server with -diag")
+		return false
+	}
+	return true
+}
+
+// diagListResponse is the payload of GET /api/v1/obs/bundles.
+type diagListResponse struct {
+	// Bundles lists every retained bundle's manifest, newest first.
+	Bundles []diag.Manifest `json:"bundles"`
+}
+
+// handleDiagList serves the bundle ring's manifests, newest first.
+func (s *Server) handleDiagList(w http.ResponseWriter, r *http.Request) {
+	if !s.diagCapturer(w) {
+		return
+	}
+	mans, err := s.cfg.Diag.List()
+	if err != nil {
+		respondError(w, http.StatusInternalServerError, CodeInternal, "bundle ring unreadable")
+		return
+	}
+	if mans == nil {
+		mans = []diag.Manifest{}
+	}
+	respondJSON(w, http.StatusOK, diagListResponse{Bundles: mans})
+}
+
+// handleDiagCapture serves POST /api/v1/obs/bundles: an on-demand capture,
+// taken synchronously (cooldown does not apply to manual captures). The
+// response is the new bundle's manifest.
+func (s *Server) handleDiagCapture(w http.ResponseWriter, r *http.Request) {
+	if !s.diagCapturer(w) {
+		return
+	}
+	man, err := s.cfg.Diag.Capture()
+	if err != nil {
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.Printf("diag capture: %v", err)
+		}
+		respondError(w, http.StatusInternalServerError, CodeInternal, "bundle capture failed")
+		return
+	}
+	respondJSON(w, http.StatusCreated, man)
+}
+
+// handleDiagBundle serves GET /api/v1/obs/bundles/{id}: the manifest, or
+// with ?file=NAME one raw bundle file (validated against the manifest's
+// file list, so only files the capture wrote can be fetched).
+func (s *Server) handleDiagBundle(w http.ResponseWriter, r *http.Request) {
+	if !s.diagCapturer(w) {
+		return
+	}
+	id := r.PathValue("id")
+	man, err := s.cfg.Diag.Manifest(id)
+	if err != nil {
+		if err == diag.ErrUnknownBundle {
+			respondError(w, http.StatusNotFound, CodeUnknownBundle,
+				fmt.Sprintf("no bundle %q; list /api/v1/obs/bundles", id))
+			return
+		}
+		respondError(w, http.StatusInternalServerError, CodeInternal, "bundle unreadable")
+		return
+	}
+	name := r.URL.Query().Get("file")
+	if name == "" {
+		respondJSON(w, http.StatusOK, man)
+		return
+	}
+	known := name == diag.FileManifest
+	for _, f := range man.Files {
+		if f.Name == name {
+			known = true
+			break
+		}
+	}
+	if !known {
+		respondError(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Sprintf("bundle %s has no file %q; the manifest lists its files", id, name))
+		return
+	}
+	f, err := os.Open(filepath.Join(s.cfg.Diag.Dir(), id, name))
+	if err != nil {
+		respondError(w, http.StatusInternalServerError, CodeInternal, "bundle file unreadable")
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", diagFileContentType(name))
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.Copy(w, f)
+}
+
+// diagFileContentType picks the response type for a raw bundle file.
+func diagFileContentType(name string) string {
+	switch {
+	case strings.HasSuffix(name, ".json"):
+		return "application/json"
+	case strings.HasSuffix(name, ".txt"), strings.HasSuffix(name, ".prom"):
+		return "text/plain; charset=utf-8"
+	case strings.HasSuffix(name, ".gz"):
+		return "application/octet-stream"
+	}
+	return "application/octet-stream"
+}

@@ -1,0 +1,221 @@
+package collectserver
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/diag"
+	"repro/internal/obs"
+	"repro/internal/obs/series"
+)
+
+func newDiagFixture(t *testing.T) (*fixture, *diag.Capturer) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	capt, err := diag.NewCapturer(diag.CaptureConfig{
+		Dir:      t.TempDir(),
+		Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := newFixture(t, func(cfg *Config) {
+		cfg.Registry = reg
+		cfg.Diag = capt
+	})
+	return f, capt
+}
+
+func TestDiagRoutesDisabledWithoutCapturer(t *testing.T) {
+	f := newFixture(t, nil)
+	resp, body := obsGet(t, f, "/api/v1/obs/bundles")
+	if resp.StatusCode != http.StatusServiceUnavailable || errCode(t, body) != CodeDiagDisabled {
+		t.Fatalf("list without capturer: %d %s", resp.StatusCode, body)
+	}
+	resp, body = obsGet(t, f, "/api/v1/obs/bundles/whatever")
+	if resp.StatusCode != http.StatusServiceUnavailable || errCode(t, body) != CodeDiagDisabled {
+		t.Fatalf("fetch without capturer: %d %s", resp.StatusCode, body)
+	}
+	presp, err := http.Post(f.ts.URL+"/api/v1/obs/bundles", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("POST without capturer: %d", presp.StatusCode)
+	}
+}
+
+func TestDiagCaptureListFetchRoundTrip(t *testing.T) {
+	f, _ := newDiagFixture(t)
+
+	// Empty ring lists as an empty array, not null.
+	resp, body := obsGet(t, f, "/api/v1/obs/bundles")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("empty list: %d %s", resp.StatusCode, body)
+	}
+	var list diagListResponse
+	decodeData(t, body, &list)
+	if list.Bundles == nil || len(list.Bundles) != 0 {
+		t.Fatalf("empty ring list = %+v", list)
+	}
+
+	// On-demand capture.
+	presp, err := http.Post(f.ts.URL+"/api/v1/obs/bundles", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pbody := readBody(t, presp)
+	if presp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST capture: %d %s", presp.StatusCode, pbody)
+	}
+	var man diag.Manifest
+	decodeData(t, pbody, &man)
+	if man.ID == "" || man.Reason != diag.ReasonManual || len(man.Files) == 0 {
+		t.Fatalf("capture manifest = %+v", man)
+	}
+
+	// List now shows it.
+	resp, body = obsGet(t, f, "/api/v1/obs/bundles")
+	decodeData(t, body, &list)
+	if len(list.Bundles) != 1 || list.Bundles[0].ID != man.ID {
+		t.Fatalf("list after capture = %+v", list)
+	}
+
+	// Fetch the manifest by ID.
+	resp, body = obsGet(t, f, "/api/v1/obs/bundles/"+man.ID)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fetch manifest: %d %s", resp.StatusCode, body)
+	}
+	var got diag.Manifest
+	decodeData(t, body, &got)
+	if got.ID != man.ID {
+		t.Fatalf("fetched manifest ID = %q, want %q", got.ID, man.ID)
+	}
+
+	// Fetch a raw file: goroutines.txt must mention this test's stack.
+	resp, body = obsGet(t, f, "/api/v1/obs/bundles/"+man.ID+"?file="+diag.FileGoroutines)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fetch file: %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "goroutine") {
+		t.Errorf("goroutines dump does not look like one: %.80s", body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("goroutines content type = %q", ct)
+	}
+
+	// A file outside the manifest's list is rejected, not served.
+	resp, body = obsGet(t, f, "/api/v1/obs/bundles/"+man.ID+"?file=../../../etc/passwd")
+	if resp.StatusCode != http.StatusBadRequest || errCode(t, body) != CodeBadRequest {
+		t.Fatalf("traversal file fetch: %d %s", resp.StatusCode, body)
+	}
+
+	// Unknown bundle IDs answer the stable code.
+	resp, body = obsGet(t, f, "/api/v1/obs/bundles/20000101T000000Z-9999-nope")
+	if resp.StatusCode != http.StatusNotFound || errCode(t, body) != CodeUnknownBundle {
+		t.Fatalf("unknown bundle: %d %s", resp.StatusCode, body)
+	}
+	// A traversal bundle ID never reaches the handler (the HTTP layer
+	// cleans the path) and diag.ValidBundleID rejects it at the ring layer;
+	// either way the response is a 404, never a file.
+	resp, _ = obsGet(t, f, "/api/v1/obs/bundles/..")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("traversal bundle id: %d", resp.StatusCode)
+	}
+}
+
+func TestDebugHealthRuntimeSection(t *testing.T) {
+	reg := obs.NewRegistry()
+	sampler := diag.NewSampler(diag.SamplerConfig{Registry: reg})
+	defer sampler.Close()
+	f := newFixture(t, func(cfg *Config) {
+		cfg.Registry = reg
+		cfg.Runtime = sampler
+	})
+	resp, body := obsGet(t, f, "/debug/health")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("health: %d", resp.StatusCode)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"status: watch disabled",
+		"runtime goroutines: ",
+		"runtime heap_inuse_bytes: ",
+		"runtime last_gc_pause_seconds: ",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("health output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestObsQueryErrorCodePins pins the stable error codes on the
+// /api/v1/obs/query failure paths — clients branch on these, so a code
+// change is a contract break.
+func TestObsQueryErrorCodePins(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("pin_total", "", nil)
+	reg.Gauge("pin_gauge", "", nil).Set(4)
+	var f *fixture
+	st := series.New(series.Config{
+		Registry: reg,
+		Capacity: 8,
+		Now:      func() time.Time { return f.now },
+	})
+	defer st.Close()
+	f = newFixture(t, func(cfg *Config) {
+		cfg.Registry = reg
+		cfg.Series = st
+	})
+	st.Tick()
+
+	// Unknown metric → 404 unknown_metric.
+	resp, body := obsGet(t, f, "/api/v1/obs/query?metric=never_snapshotted")
+	if resp.StatusCode != http.StatusNotFound || errCode(t, body) != CodeUnknownMetric {
+		t.Errorf("unknown metric: %d %s", resp.StatusCode, body)
+	}
+
+	// Malformed range → 400 bad_request (both unparsable and non-positive).
+	for _, rng := range []string{"bogus", "-5m", "0s"} {
+		resp, body = obsGet(t, f, "/api/v1/obs/query?metric=pin_total&range="+rng)
+		if resp.StatusCode != http.StatusBadRequest || errCode(t, body) != CodeBadRequest {
+			t.Errorf("range=%q: %d %s", rng, resp.StatusCode, body)
+		}
+	}
+
+	// Malformed delta → 400 bad_request.
+	resp, body = obsGet(t, f, "/api/v1/obs/query?metric=pin_total&delta=maybe")
+	if resp.StatusCode != http.StatusBadRequest || errCode(t, body) != CodeBadRequest {
+		t.Errorf("delta=maybe: %d %s", resp.StatusCode, body)
+	}
+
+	// Delta on a gauge is not an error: the store answers the raw series
+	// with the delta flag off (deltas are meaningless for gauges).
+	resp, body = obsGet(t, f, "/api/v1/obs/query?metric=pin_gauge&delta=true")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delta on gauge: %d %s", resp.StatusCode, body)
+	}
+	var res series.QueryResult
+	decodeData(t, body, &res)
+	if res.Type != "gauge" || res.Delta {
+		t.Errorf("delta-on-gauge payload = type %q delta %v, want gauge/false", res.Type, res.Delta)
+	}
+}
+
+func readBody(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	defer resp.Body.Close()
+	var body []byte
+	buf := make([]byte, 1<<16)
+	for {
+		n, err := resp.Body.Read(buf)
+		body = append(body, buf[:n]...)
+		if err != nil {
+			break
+		}
+	}
+	return body
+}

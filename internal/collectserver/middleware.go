@@ -4,6 +4,7 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -155,6 +156,11 @@ func (m *serverMetrics) request(route string, code int, dur time.Duration, size 
 func routeLabel(path string) string {
 	if _, ok := knownRoutePaths[path]; ok {
 		return path
+	}
+	for _, wr := range wildcardRoutes {
+		if strings.HasPrefix(path, wr[0]) {
+			return wr[1]
+		}
 	}
 	return "other"
 }

@@ -1,6 +1,9 @@
 package collectserver
 
-import "net/http"
+import (
+	"net/http"
+	"strings"
+)
 
 // The route table is the single source of truth for the server's surface:
 // Handler registers from it, GET /api/v1 serves it as a machine-readable
@@ -83,6 +86,15 @@ func routeTable() []Route {
 		{Method: "GET", Path: "/api/v1/obs/series", Feature: "series", Envelope: true,
 			ErrorCodes: []string{CodeSeriesDisabled},
 			handler:    (*Server).handleObsSeries},
+		{Method: "GET", Path: "/api/v1/obs/bundles", Feature: "diag", Envelope: true,
+			ErrorCodes: []string{CodeDiagDisabled, CodeInternal},
+			handler:    (*Server).handleDiagList},
+		{Method: "POST", Path: "/api/v1/obs/bundles", Feature: "diag", Envelope: true,
+			ErrorCodes: []string{CodeDiagDisabled, CodeInternal},
+			handler:    (*Server).handleDiagCapture},
+		{Method: "GET", Path: "/api/v1/obs/bundles/{id}", Feature: "diag", Envelope: true,
+			ErrorCodes: []string{CodeDiagDisabled, CodeUnknownBundle, CodeBadRequest},
+			handler:    (*Server).handleDiagBundle},
 		{Method: "GET", Path: "/debug/render/divergence", Feature: "render-audit",
 			handler: (*Server).handleRenderDivergence},
 		{Method: "GET", Path: "/debug/health",
@@ -100,6 +112,19 @@ var knownRoutePaths = func() map[string]struct{} {
 		m[rt.Path] = struct{}{}
 	}
 	return m
+}()
+
+// wildcardRoutes backs routeLabel for table paths with a {wildcard}
+// segment: a request path matching the literal prefix labels itself with
+// the pattern, so /api/v1/obs/bundles/<any-id> stays one metric series.
+var wildcardRoutes = func() [][2]string {
+	var out [][2]string
+	for _, rt := range routeTable() {
+		if i := strings.IndexByte(rt.Path, '{'); i > 0 {
+			out = append(out, [2]string{rt.Path[:i], rt.Path})
+		}
+	}
+	return out
 }()
 
 // CatalogResponse is the payload of GET /api/v1: the API's routes, which

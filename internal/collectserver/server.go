@@ -34,6 +34,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/diag"
 	"repro/internal/obs"
 	"repro/internal/obs/series"
 	"repro/internal/storage"
@@ -133,6 +134,13 @@ type Config struct {
 	// RenderAudit, when set, backs GET /debug/render/divergence with the
 	// shadow auditor's flight-record dump.
 	RenderAudit *vectors.ShadowAuditor
+	// Diag, when set, backs the diagnostic-bundle routes
+	// GET/POST /api/v1/obs/bundles[/{id}]. Nil keeps the routes registered
+	// answering the stable diag_disabled code.
+	Diag *diag.Capturer
+	// Runtime, when set, contributes the runtime/resources section
+	// (goroutines, heap in-use, last GC pause) to GET /debug/health.
+	Runtime *diag.Sampler
 	// Verifier, when set, turns on the authentication surface: accepted
 	// submissions are enrolled into it and POST /api/v1/verify answers
 	// decisions from it. Nil keeps the routes registered but answering the

@@ -1,0 +1,371 @@
+package diag
+
+import (
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// This file is a minimal, dependency-free reader for the pprof protobuf
+// profile format (the gzipped proto written by runtime/pprof). It decodes
+// just enough of the wire format — sample types, per-sample values, and the
+// leaf function name of each sample's call stack — for fpdiag to rank and
+// diff heap usage by function. It is a reader for our own bundles, not a
+// general pprof implementation.
+
+// Profile is the decoded subset of a pprof profile.
+type Profile struct {
+	// SampleTypes names each value column, as "type/unit" (e.g.
+	// "inuse_space/bytes").
+	SampleTypes []string
+	// Samples carries one entry per profile sample.
+	Samples []ProfileSample
+}
+
+// ProfileSample is one sample: a call stack (leaf first) and one value per
+// sample type.
+type ProfileSample struct {
+	// Funcs is the sample's call stack as function names, leaf first.
+	Funcs []string
+	// Values align with Profile.SampleTypes.
+	Values []int64
+}
+
+// protobuf field numbers for the pprof Profile message and its submessages
+// (profile.proto from github.com/google/pprof, stable since 2016).
+const (
+	fProfileSampleType = 1
+	fProfileSample     = 2
+	fProfileLocation   = 4
+	fProfileFunction   = 5
+	fProfileStringTab  = 6
+
+	fValueTypeType = 1
+	fValueTypeUnit = 2
+
+	fSampleLocationID = 1
+	fSampleValue      = 2
+
+	fLocationID   = 1
+	fLocationLine = 4
+
+	fLineFunctionID = 1
+
+	fFunctionID   = 1
+	fFunctionName = 2
+)
+
+// ParsePprof decodes a (possibly gzipped) pprof protobuf profile.
+func ParsePprof(r io.Reader) (*Profile, error) {
+	head := make([]byte, 2)
+	n, err := io.ReadFull(r, head)
+	if err != nil && !errors.Is(err, io.ErrUnexpectedEOF) {
+		return nil, fmt.Errorf("read profile: %w", err)
+	}
+	body := io.MultiReader(newByteReader(head[:n]), r)
+	if n == 2 && head[0] == 0x1f && head[1] == 0x8b {
+		gz, err := gzip.NewReader(body)
+		if err != nil {
+			return nil, fmt.Errorf("gunzip profile: %w", err)
+		}
+		defer gz.Close()
+		body = gz
+	}
+	raw, err := io.ReadAll(body)
+	if err != nil {
+		return nil, fmt.Errorf("read profile: %w", err)
+	}
+	return parseProfile(raw)
+}
+
+type byteReader struct {
+	b []byte
+}
+
+func newByteReader(b []byte) *byteReader { return &byteReader{b} }
+
+func (r *byteReader) Read(p []byte) (int, error) {
+	if len(r.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b)
+	r.b = r.b[n:]
+	return n, nil
+}
+
+// rawSample/rawLocation hold cross-referenced IDs until the whole message
+// is decoded and the string table is known.
+type rawSample struct {
+	locIDs []uint64
+	values []int64
+}
+
+func parseProfile(raw []byte) (*Profile, error) {
+	var (
+		strTab      [][]byte
+		typeIdx     [][2]uint64 // string-table indexes of sample (type, unit)
+		samples     []rawSample
+		locFunc     = map[uint64]uint64{} // location id → leaf function id
+		funcNameIdx = map[uint64]uint64{} // function id → name string index
+	)
+	err := walkFields(raw, func(field uint64, wire int, v uint64, msg []byte) error {
+		switch field {
+		case fProfileStringTab:
+			strTab = append(strTab, msg)
+		case fProfileSampleType:
+			var tIdx, uIdx uint64
+			err := walkFields(msg, func(f uint64, _ int, v uint64, _ []byte) error {
+				switch f {
+				case fValueTypeType:
+					tIdx = v
+				case fValueTypeUnit:
+					uIdx = v
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			typeIdx = append(typeIdx, [2]uint64{tIdx, uIdx})
+		case fProfileSample:
+			s, err := parseSample(msg)
+			if err != nil {
+				return err
+			}
+			samples = append(samples, s)
+		case fProfileLocation:
+			var id, fn uint64
+			err := walkFields(msg, func(f uint64, _ int, v uint64, sub []byte) error {
+				switch f {
+				case fLocationID:
+					id = v
+				case fLocationLine:
+					if fn == 0 { // first Line is the innermost frame
+						return walkFields(sub, func(lf uint64, _ int, lv uint64, _ []byte) error {
+							if lf == fLineFunctionID && fn == 0 {
+								fn = lv
+							}
+							return nil
+						})
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			locFunc[id] = fn
+		case fProfileFunction:
+			var id, name uint64
+			err := walkFields(msg, func(f uint64, _ int, v uint64, _ []byte) error {
+				switch f {
+				case fFunctionID:
+					id = v
+				case fFunctionName:
+					name = v
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			funcNameIdx[id] = name
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	str := func(i uint64) string {
+		if i < uint64(len(strTab)) {
+			return string(strTab[i])
+		}
+		return ""
+	}
+	p := &Profile{}
+	for _, ti := range typeIdx {
+		st := str(ti[0])
+		if unit := str(ti[1]); unit != "" {
+			st += "/" + unit
+		}
+		p.SampleTypes = append(p.SampleTypes, st)
+	}
+	for _, rs := range samples {
+		ps := ProfileSample{Values: rs.values}
+		for _, lid := range rs.locIDs {
+			name := str(funcNameIdx[locFunc[lid]])
+			if name == "" {
+				name = fmt.Sprintf("location#%d", lid)
+			}
+			ps.Funcs = append(ps.Funcs, name)
+		}
+		p.Samples = append(p.Samples, ps)
+	}
+	if len(p.SampleTypes) == 0 {
+		return nil, errors.New("profile carries no sample types (not a pprof profile?)")
+	}
+	return p, nil
+}
+
+func parseSample(msg []byte) (rawSample, error) {
+	var s rawSample
+	err := walkFields(msg, func(f uint64, wire int, v uint64, sub []byte) error {
+		switch f {
+		case fSampleLocationID:
+			if wire == 2 { // packed
+				return walkPacked(sub, func(v uint64) {
+					s.locIDs = append(s.locIDs, v)
+				})
+			}
+			s.locIDs = append(s.locIDs, v)
+		case fSampleValue:
+			if wire == 2 { // packed
+				return walkPacked(sub, func(v uint64) {
+					s.values = append(s.values, int64(v))
+				})
+			}
+			s.values = append(s.values, int64(v))
+		}
+		return nil
+	})
+	return s, err
+}
+
+// walkFields iterates a protobuf message's fields. For varint fields the
+// value arrives in v; for length-delimited fields the payload arrives in
+// msg (and v is its length). Fixed32/64 are skipped (pprof doesn't use
+// them in the fields we read).
+func walkFields(b []byte, fn func(field uint64, wire int, v uint64, msg []byte) error) error {
+	for len(b) > 0 {
+		key, n := uvarint(b)
+		if n <= 0 {
+			return errors.New("truncated field key")
+		}
+		b = b[n:]
+		field, wire := key>>3, int(key&7)
+		switch wire {
+		case 0: // varint
+			v, n := uvarint(b)
+			if n <= 0 {
+				return errors.New("truncated varint")
+			}
+			b = b[n:]
+			if err := fn(field, wire, v, nil); err != nil {
+				return err
+			}
+		case 1: // fixed64
+			if len(b) < 8 {
+				return errors.New("truncated fixed64")
+			}
+			b = b[8:]
+		case 2: // length-delimited
+			l, n := uvarint(b)
+			if n <= 0 || uint64(len(b)-n) < l {
+				return errors.New("truncated length-delimited field")
+			}
+			payload := b[n : uint64(n)+l]
+			b = b[uint64(n)+l:]
+			if err := fn(field, wire, l, payload); err != nil {
+				return err
+			}
+		case 5: // fixed32
+			if len(b) < 4 {
+				return errors.New("truncated fixed32")
+			}
+			b = b[4:]
+		default:
+			return fmt.Errorf("unsupported wire type %d", wire)
+		}
+	}
+	return nil
+}
+
+func walkPacked(b []byte, fn func(uint64)) error {
+	for len(b) > 0 {
+		v, n := uvarint(b)
+		if n <= 0 {
+			return errors.New("truncated packed varint")
+		}
+		fn(v)
+		b = b[n:]
+	}
+	return nil
+}
+
+func uvarint(b []byte) (uint64, int) {
+	var v uint64
+	for i := 0; i < len(b) && i < 10; i++ {
+		v |= uint64(b[i]&0x7f) << (7 * i)
+		if b[i]&0x80 == 0 {
+			return v, i + 1
+		}
+	}
+	return 0, 0
+}
+
+// FuncTotal is a per-function aggregate from a profile.
+type FuncTotal struct {
+	Func  string `json:"func"`
+	Value int64  `json:"value"`
+}
+
+// TopByType aggregates a profile's samples by leaf function for the named
+// sample type (e.g. "inuse_space") and returns the top n by absolute
+// value, largest first. Returns nil when the type is absent.
+func TopByType(p *Profile, sampleType string, n int) []FuncTotal {
+	col := -1
+	for i, st := range p.SampleTypes {
+		if st == sampleType || splitType(st) == sampleType {
+			col = i
+			break
+		}
+	}
+	if col < 0 {
+		return nil
+	}
+	byFunc := map[string]int64{}
+	for _, s := range p.Samples {
+		if col >= len(s.Values) {
+			continue
+		}
+		leaf := "<unknown>"
+		if len(s.Funcs) > 0 {
+			leaf = s.Funcs[0]
+		}
+		byFunc[leaf] += s.Values[col]
+	}
+	out := make([]FuncTotal, 0, len(byFunc))
+	for f, v := range byFunc {
+		out = append(out, FuncTotal{Func: f, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ai, aj := abs64(out[i].Value), abs64(out[j].Value)
+		if ai != aj {
+			return ai > aj
+		}
+		return out[i].Func < out[j].Func
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+func splitType(st string) string {
+	for i := 0; i < len(st); i++ {
+		if st[i] == '/' {
+			return st[:i]
+		}
+	}
+	return st
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,77 @@
+package diag
+
+import (
+	"bytes"
+	"runtime"
+	"runtime/pprof"
+	"testing"
+)
+
+// heapSink keeps an allocation reachable so the heap profile is guaranteed
+// to carry inuse_space samples from this package.
+var heapSink [][]byte
+
+//go:noinline
+func retainMegabytes(n int) {
+	for i := 0; i < n; i++ {
+		heapSink = append(heapSink, make([]byte, 1<<20))
+	}
+}
+
+func TestParsePprofHeapProfile(t *testing.T) {
+	retainMegabytes(8)
+	defer func() { heapSink = nil }()
+	runtime.GC() // heap profile reflects the last completed GC
+
+	var buf bytes.Buffer
+	if err := pprof.Lookup("heap").WriteTo(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := ParsePprof(&buf)
+	if err != nil {
+		t.Fatalf("ParsePprof: %v", err)
+	}
+	if len(p.Samples) == 0 {
+		t.Fatal("heap profile decoded with zero samples")
+	}
+	hasInuse := false
+	for _, st := range p.SampleTypes {
+		if splitType(st) == "inuse_space" {
+			hasInuse = true
+		}
+	}
+	if !hasInuse {
+		t.Fatalf("sample types %v missing inuse_space", p.SampleTypes)
+	}
+
+	top := TopByType(p, "inuse_space", 10)
+	if len(top) == 0 {
+		t.Fatal("TopByType(inuse_space) empty")
+	}
+	found := false
+	for _, ft := range top {
+		if ft.Func == "repro/internal/diag.retainMegabytes" && ft.Value >= 4<<20 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("retainMegabytes (8MB retained) not in top-10 inuse_space: %+v", top)
+	}
+}
+
+func TestParsePprofRejectsGarbage(t *testing.T) {
+	if _, err := ParsePprof(bytes.NewReader([]byte("not a profile"))); err == nil {
+		t.Fatal("garbage input parsed without error")
+	}
+	if _, err := ParsePprof(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input parsed without error")
+	}
+}
+
+func TestTopByTypeMissingType(t *testing.T) {
+	p := &Profile{SampleTypes: []string{"inuse_space/bytes"}}
+	if got := TopByType(p, "cpu", 5); got != nil {
+		t.Fatalf("TopByType(missing) = %v, want nil", got)
+	}
+}

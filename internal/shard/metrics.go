@@ -33,4 +33,30 @@ func (r *Router) registerMetrics(reg *obs.Registry, n int) {
 		obs.LatencyBuckets(), nil)
 	reg.GaugeFunc("shard_count", "Configured shard count.", nil,
 		func() float64 { return float64(n) })
+	ingest := r.met.ingest
+	reg.GaugeFunc("shard_ingest_skew",
+		"Max/mean ratio of per-shard ingest counts; 1.0 is a perfectly balanced keyset.",
+		nil, func() float64 { return ingestSkew(ingest) })
+}
+
+// ingestSkew computes max/mean over the per-shard ingest counters. It runs
+// inside registry snapshots, so it only reads the counters' atomics and
+// takes no locks. Before any ingest (sum 0) the skew reports 0.
+func ingestSkew(ingest []*obs.Counter) float64 {
+	if len(ingest) == 0 {
+		return 0
+	}
+	var sum, max int64
+	for _, c := range ingest {
+		v := c.Value()
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(ingest))
+	return float64(max) / mean
 }

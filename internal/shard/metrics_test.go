@@ -1,0 +1,84 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/storage"
+	"repro/internal/streaming"
+	"repro/internal/vectors"
+)
+
+// TestIngestSkewGauge pins the shard_ingest_skew gauge: a balanced keyset
+// reads near 1.0, a keyset deliberately crafted to land on a single shard
+// reads N (max == N × mean), and an idle router reads 0.
+func TestIngestSkewGauge(t *testing.T) {
+	const shards = 4
+	reg := obs.NewRegistry()
+	r, err := NewRouter(Config{
+		Shards: shards,
+		Engine: streaming.Config{Registry: reg, AMIRefreshEvery: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	skew := func() float64 {
+		for _, s := range reg.Snapshot() {
+			if s.Name == "shard_ingest_skew" {
+				return s.Value
+			}
+		}
+		t.Fatal("shard_ingest_skew not in registry snapshot")
+		return 0
+	}
+
+	if got := skew(); got != 0 {
+		t.Fatalf("idle skew = %v, want 0", got)
+	}
+
+	// A keyset picked to hash onto one shard: max = sum, mean = sum/N,
+	// so the gauge must read exactly N.
+	target := Of("seed-user", shards)
+	var hot []storage.Record
+	for i := 0; len(hot) < 64; i++ {
+		uid := fmt.Sprintf("hot-%d", i)
+		if Of(uid, shards) == target {
+			hot = append(hot, storage.Record{UserID: uid, Vector: vectors.DC.String(), Hash: "aaaa"})
+		}
+	}
+	r.Apply(hot)
+	if got := skew(); got != float64(shards) {
+		t.Fatalf("single-shard keyset skew = %v, want %d", got, shards)
+	}
+
+	// Level the other shards and the skew falls back toward 1.
+	var spread []storage.Record
+	counts := map[int]int{target: len(hot)}
+	for i := 0; ; i++ {
+		uid := fmt.Sprintf("cold-%d", i)
+		sh := Of(uid, shards)
+		if counts[sh] >= len(hot) {
+			done := true
+			for s := 0; s < shards; s++ {
+				if counts[s] < len(hot) {
+					done = false
+					break
+				}
+			}
+			if done {
+				break
+			}
+			continue
+		}
+		counts[sh]++
+		spread = append(spread, storage.Record{UserID: uid, Vector: vectors.DC.String(), Hash: "bbbb"})
+	}
+	r.Apply(spread)
+	if got := skew(); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("balanced keyset skew = %v, want 1.0", got)
+	}
+}

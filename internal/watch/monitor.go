@@ -69,6 +69,16 @@ type Config struct {
 	History int
 	// Logger receives fire/resolve events; nil disables logging.
 	Logger *slog.Logger
+	// OnTransition, when set, receives every user-visible alert state
+	// change: (alert, "", "pending") when a breach opens an alert,
+	// (alert, "pending", "firing") on promotion, and (alert, "firing",
+	// "resolved") when a firing alert clears. Cancelled pending alerts
+	// stay silent, matching the lifecycle. The hook runs on the observing
+	// goroutine but outside the monitor's lock, after the evaluation pass
+	// that produced the transition — calling back into Snapshot/Alerts
+	// from the hook is safe. Heavy work should still be handed off to
+	// another goroutine to keep the ingest path fast.
+	OnTransition func(alert Alert, from, to string)
 }
 
 // ewmaState is one subject's running mean/variance.
@@ -106,6 +116,13 @@ type alertState struct {
 	breaches int
 }
 
+// transition is one queued OnTransition delivery: state changes are
+// collected under the lock and delivered after it is released.
+type transition struct {
+	alert    Alert
+	from, to string
+}
+
 // ruleState is one rule's evaluation cursor and per-subject detectors.
 type ruleState struct {
 	rule     Rule
@@ -141,12 +158,20 @@ type Monitor struct {
 	nFiring  atomic.Int64
 	nPending atomic.Int64
 
+	// hook is the OnTransition callback; atomic so SetTransitionHook can
+	// install it after construction without racing Observe.
+	hook atomic.Pointer[func(Alert, string, string)]
+
 	mu       sync.Mutex
 	rules    []*ruleState
 	active   map[string]*alertState // key: rule "\x00" subject
 	resolved []Alert                // oldest first, bounded by hist
 	records  int64
 	evals    int64
+	// trans queues state changes produced under mu; Observe drains and
+	// delivers them after unlocking, so a hook that calls back into the
+	// monitor cannot deadlock.
+	trans []transition
 }
 
 // New builds a Monitor over cfg.Engine and installs it as the engine's
@@ -199,14 +224,55 @@ func New(cfg Config) (*Monitor, error) {
 	reg.GaugeFunc("watch_alerts_pending",
 		"Alerts currently in the pending state.", nil,
 		func() float64 { return float64(m.nPending.Load()) })
+	if cfg.OnTransition != nil {
+		m.SetTransitionHook(cfg.OnTransition)
+	}
 	cfg.Engine.SetObserver(m.Observe)
 	return m, nil
 }
 
+// SetTransitionHook installs (or, with nil, removes) the OnTransition
+// callback after construction. This breaks the chicken-and-egg between the
+// monitor and a diag.Capturer that needs the monitor's snapshot: build the
+// monitor first, then hand its hook to the capturer. Safe for concurrent
+// use.
+func (m *Monitor) SetTransitionHook(fn func(alert Alert, from, to string)) {
+	if fn == nil {
+		m.hook.Store(nil)
+		return
+	}
+	m.hook.Store(&fn)
+}
+
+// RuleByName returns the named rule (normalized form) from the monitor's
+// table. The table is immutable after New.
+func (m *Monitor) RuleByName(name string) (Rule, bool) {
+	for _, rs := range m.rules {
+		if rs.rule.Name == name {
+			return rs.rule, true
+		}
+	}
+	return Rule{}, false
+}
+
 // Observe is the engine's per-batch hook: records is the total applied
 // record count. Each rule whose Every-interval has elapsed since its last
-// evaluation is evaluated once at this record index.
+// evaluation is evaluated once at this record index. State transitions
+// produced by the pass are delivered to the OnTransition hook after the
+// lock is released.
 func (m *Monitor) Observe(records int64) {
+	trans := m.observeLocked(records)
+	if len(trans) == 0 {
+		return
+	}
+	if fn := m.hook.Load(); fn != nil {
+		for _, t := range trans {
+			(*fn)(t.alert, t.from, t.to)
+		}
+	}
+}
+
+func (m *Monitor) observeLocked(records int64) []transition {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.records = records
@@ -228,6 +294,9 @@ func (m *Monitor) Observe(records int64) {
 			m.evalDivergence(rs, records)
 		}
 	}
+	trans := m.trans
+	m.trans = nil
+	return trans
 }
 
 // evalEntropy z-scores each watched diversity row against its EWMA.
@@ -370,6 +439,16 @@ func (m *Monitor) evalDivergence(rs *ruleState, records int64) {
 	st.prev = sum
 }
 
+// queueTransition records one state change for post-unlock delivery.
+// Caller holds m.mu. Nothing is queued when no hook is installed, so the
+// hookless path stays allocation-free.
+func (m *Monitor) queueTransition(a Alert, from, to string) {
+	if m.hook.Load() == nil {
+		return
+	}
+	m.trans = append(m.trans, transition{alert: a, from: from, to: to})
+}
+
 // labelsMatch reports whether have contains every key=value of want.
 func labelsMatch(have, want map[string]string) bool {
 	for k, v := range want {
@@ -393,13 +472,18 @@ func (m *Monitor) breach(r Rule, subject string, records int64, value, threshold
 		m.active[key] = as
 		m.nPending.Add(1)
 	}
+	opened := !ok
 	as.breaches++
 	as.alert.Value = value
 	as.alert.Threshold = threshold
 	as.alert.Message = msg
+	if opened {
+		m.queueTransition(as.alert, "", StatePending)
+	}
 	if as.alert.State == StatePending && as.breaches >= r.For {
 		as.alert.State = StateFiring
 		as.alert.FiredAtRecords = records
+		m.queueTransition(as.alert, StatePending, StateFiring)
 		m.nPending.Add(-1)
 		m.nFiring.Add(1)
 		m.reg.Counter("watch_alerts_total",
@@ -428,6 +512,7 @@ func (m *Monitor) clear(r Rule, subject string, records int64) {
 	m.nFiring.Add(-1)
 	as.alert.State = StateResolved
 	as.alert.ResolvedAtRecords = records
+	m.queueTransition(as.alert, StateFiring, StateResolved)
 	m.resolved = append(m.resolved, as.alert)
 	if len(m.resolved) > m.hist {
 		m.resolved = m.resolved[len(m.resolved)-m.hist:]

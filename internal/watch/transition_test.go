@@ -1,0 +1,132 @@
+package watch
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/storage"
+	"repro/internal/streaming"
+	"repro/internal/vectors"
+)
+
+// TestTransitionHookLifecycle drives a divergence rule through
+// open→fire→resolve and asserts the hook sees each user-visible state
+// change exactly once, outside the monitor lock (the hook calls Snapshot,
+// which would deadlock if delivery happened under m.mu).
+func TestTransitionHookLifecycle(t *testing.T) {
+	reg := obs.NewRegistry()
+	eng := streaming.New(streaming.Config{Registry: reg, AMIRefreshEvery: -1})
+	defer eng.Close()
+
+	type seen struct {
+		rule, from, to string
+		firing         int
+	}
+	var got []seen
+	mon, err := New(Config{
+		Engine:   eng,
+		Registry: reg,
+		Rules: []Rule{{
+			Name: "render-divergence", Kind: KindRenderDivergence,
+			Every: 1, For: 2,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.SetTransitionHook(func(a Alert, from, to string) {
+		// Calling back into the monitor must not deadlock.
+		snap := mon.Snapshot()
+		got = append(got, seen{a.Rule, from, to, snap.Firing})
+	})
+
+	div := reg.Counter("vectors_render_divergence_total", "", nil)
+
+	div.Inc()
+	mon.Observe(1) // breach 1: opens pending
+	mon.Observe(2) // clean: cancels pending silently
+	div.Inc()
+	mon.Observe(3) // breach 1: opens pending again
+	div.Inc()
+	mon.Observe(4) // breach 2: promotes to firing
+	mon.Observe(5) // clean: resolves
+
+	// Expected sequence: open, (silent cancel), open, fire, resolve.
+	exp := []struct{ from, to string }{
+		{"", StatePending},
+		{"", StatePending},
+		{StatePending, StateFiring},
+		{StateFiring, StateResolved},
+	}
+	if len(got) != len(exp) {
+		t.Fatalf("hook saw %d transitions %+v, want %d", len(got), got, len(exp))
+	}
+	for i, e := range exp {
+		if got[i].from != e.from || got[i].to != e.to {
+			t.Errorf("transition %d = %s->%s, want %s->%s",
+				i, got[i].from, got[i].to, e.from, e.to)
+		}
+		if got[i].rule != "render-divergence" {
+			t.Errorf("transition %d rule = %q", i, got[i].rule)
+		}
+	}
+	// The firing transition must be observable via Snapshot from inside
+	// the hook (delivery happens after the evaluation pass commits).
+	if got[2].firing != 1 {
+		t.Errorf("Snapshot inside firing hook reports %d firing, want 1", got[2].firing)
+	}
+}
+
+func TestRuleByName(t *testing.T) {
+	reg := obs.NewRegistry()
+	eng := streaming.New(streaming.Config{Registry: reg, AMIRefreshEvery: -1})
+	defer eng.Close()
+	mon, err := New(Config{Engine: eng, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := mon.RuleByName("render-divergence")
+	if !ok {
+		t.Fatal("RuleByName(render-divergence) not found in DefaultRules")
+	}
+	if r.Kind != KindRenderDivergence {
+		t.Errorf("kind = %q", r.Kind)
+	}
+	if r.DivergenceMetric == "" {
+		t.Error("rule not normalized: DivergenceMetric empty")
+	}
+	if _, ok := mon.RuleByName("no-such-rule"); ok {
+		t.Error("RuleByName(no-such-rule) = true")
+	}
+}
+
+// TestConfigOnTransition checks the Config-field form of the hook wiring.
+func TestConfigOnTransition(t *testing.T) {
+	reg := obs.NewRegistry()
+	eng := streaming.New(streaming.Config{Registry: reg, AMIRefreshEvery: -1})
+	defer eng.Close()
+	var fired int
+	_, err := New(Config{
+		Engine:   eng,
+		Registry: reg,
+		Rules: []Rule{{
+			Name: "render-divergence", Kind: KindRenderDivergence,
+			Every: 1, For: 1,
+		}},
+		OnTransition: func(a Alert, from, to string) {
+			if to == StateFiring {
+				fired++
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Counter("vectors_render_divergence_total", "", nil).Inc()
+	// The observer evaluates rules at the applied-record count, so drive a
+	// real record through the engine.
+	eng.Apply([]storage.Record{{UserID: "u0", Vector: vectors.DC.String(), Hash: "cafe"}})
+	if fired != 1 {
+		t.Fatalf("firing transitions = %d, want 1", fired)
+	}
+}
